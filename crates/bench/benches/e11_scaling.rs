@@ -1,0 +1,93 @@
+//! Experiment E11 — engineering ablations not present in the paper:
+//! ball-extraction and view-enumeration scaling, fragment-collection growth,
+//! and the view-function engine versus the message-passing round engine.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use local_decision::constructions::fragments::{FragmentCollection, FragmentSource};
+use local_decision::local::engine;
+use local_decision::prelude::*;
+use std::time::Duration;
+
+fn print_fragment_growth() {
+    eprintln!("E11: fragment-collection size |C(M, r)| by source (machine = right-forever)");
+    eprintln!("  r   windows  windows+decoys  exhaustive(cap 200k)");
+    let machine = zoo::infinite_loop().machine;
+    for r in [1u32] {
+        let windows = FragmentCollection::build(&machine, r, FragmentSource::TableWindows)
+            .unwrap()
+            .len();
+        let decoys = FragmentCollection::build(&machine, r, FragmentSource::WindowsAndDecoys)
+            .unwrap()
+            .len();
+        let exhaustive = FragmentCollection::build(
+            &machine,
+            r,
+            FragmentSource::Exhaustive { cap: 200_000 },
+        )
+        .map(|c| c.len().to_string())
+        .unwrap_or_else(|_| "cap exceeded".to_string());
+        eprintln!("  {r}   {windows:>7}  {decoys:>14}  {exhaustive:>12}");
+    }
+}
+
+fn print_engine_equivalence() {
+    eprintln!("E11: view-function engine vs message-passing round engine (grid 12x12, radius 2)");
+    let labeled = LabeledGraph::from_fn(generators::grid(12, 12), |v| (v.index() % 5) as u8);
+    let input = Input::with_consecutive_ids(labeled).unwrap();
+    let algorithm = FnLocal::new("label-sum-even", 2, |view: &View<u8>| {
+        Verdict::from_bool(view.labels().iter().map(|&l| l as u32).sum::<u32>() % 2 == 0)
+    });
+    let direct = decision::run_local(&input, &algorithm);
+    let flooded = engine::run_with_engine(&input, &algorithm);
+    eprintln!(
+        "  identical verdicts: {}",
+        direct.verdicts() == flooded.verdicts()
+    );
+}
+
+fn bench(c: &mut Criterion) {
+    print_fragment_growth();
+    print_engine_equivalence();
+
+    let mut group = c.benchmark_group("e11_scaling");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(800));
+
+    for &n in &[64usize, 256, 1024] {
+        let labeled = LabeledGraph::uniform(generators::cycle(n), 0u8);
+        let input = Input::with_consecutive_ids(labeled).unwrap();
+        group.bench_with_input(BenchmarkId::new("ball_extraction_cycle", n), &n, |b, _| {
+            b.iter(|| input.view(NodeId(0), 3))
+        });
+    }
+
+    for &side in &[6usize, 10, 14] {
+        let labeled = LabeledGraph::uniform(generators::grid(side, side), 0u8);
+        group.bench_with_input(
+            BenchmarkId::new("distinct_views_grid_radius1", side),
+            &side,
+            |b, _| b.iter(|| enumeration::distinct_oblivious_views_of(&labeled, 1).len()),
+        );
+    }
+
+    let labeled = LabeledGraph::from_fn(generators::grid(16, 16), |v| (v.index() % 5) as u8);
+    let input = Input::with_consecutive_ids(labeled).unwrap();
+    let algorithm = FnLocal::new("label-sum-even", 2, |view: &View<u8>| {
+        Verdict::from_bool(view.labels().iter().map(|&l| l as u32).sum::<u32>() % 2 == 0)
+    });
+    group.bench_function("engine_view_function_grid16", |b| {
+        b.iter(|| decision::run_local(&input, &algorithm).accepted())
+    });
+    group.bench_function("engine_parallel4_grid16", |b| {
+        b.iter(|| decision::run_local_parallel(&input, &algorithm, 4).accepted())
+    });
+    group.bench_function("engine_message_passing_grid16", |b| {
+        b.iter(|| engine::run_with_engine(&input, &algorithm).accepted())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,108 @@
+//! Experiments E2–E4 — the Section 2 artefacts (Figure 1, the promise
+//! problem on cycles, and Theorem 1's bounded-identifier separation).
+//!
+//! The harness prints, per parameter value, the series an evaluation section
+//! would tabulate: instance sizes, view coverage of `T_r` by `H_r`, and the
+//! verdicts of the Id-based decider versus the Id-oblivious candidates.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use local_decision::deciders::section2 as s2;
+use local_decision::prelude::*;
+use std::time::Duration;
+
+fn print_fig1_series() {
+    eprintln!("E2: Figure 1 — coverage of T_r views by H_r views (bound f(n) = n + 2)");
+    eprintln!("  r   |T_r|  |H+|  radius  coverage");
+    for r in [1u32, 2] {
+        let params = Section2Params::new(r, IdBound::identity_plus(2)).unwrap();
+        for radius in [0usize, 1] {
+            let coverage = s2::large_instance_view_coverage(&params, radius, 64).unwrap();
+            eprintln!(
+                "  {r}   {:>6} {:>5}  {radius}       {coverage:.3}",
+                params.large_instance_size(),
+                params.small_instance_size(),
+            );
+        }
+    }
+}
+
+fn print_promise_series() {
+    eprintln!("E3: Section 2 promise problem (f(r) = 3r), consecutive ids from 1");
+    eprintln!("  r   n_yes  n_no  id-decider(yes)  id-decider(no)  views-indistinguishable(t=2)");
+    let bound = IdBound::linear(3, 0);
+    for r in [5u64, 7, 9, 15] {
+        let decider = s2::PromiseIdDecider::new(bound.clone());
+        let yes = local_decision::constructions::section2::promise::yes_instance(r).unwrap();
+        let no =
+            local_decision::constructions::section2::promise::no_instance(r, &bound, 100_000)
+                .unwrap();
+        let yes_n = yes.node_count();
+        let no_n = no.node_count();
+        let yes_input = Input::new(yes, IdAssignment::consecutive_from(yes_n, 1)).unwrap();
+        let no_input = Input::new(no, IdAssignment::consecutive_from(no_n, 1)).unwrap();
+        let yes_ok = decision::run_local(&yes_input, &decider).accepted();
+        let no_rejected = !decision::run_local(&no_input, &decider).accepted();
+        let indist = s2::promise_views_indistinguishable(r, &bound, 2, 100_000).unwrap();
+        eprintln!("  {r}   {yes_n:>5} {no_n:>5}  {yes_ok:>15}  {no_rejected:>14}  {indist}");
+    }
+}
+
+fn print_theorem1_series(params: &Section2Params) {
+    eprintln!("E4: Theorem 1 under (B) — who decides what (r = {})", params.r());
+    let property_p =
+        local_decision::constructions::section2::SmallInstancesProperty::new(params.clone());
+    let property_p_prime =
+        local_decision::constructions::section2::SmallOrLargeProperty::new(params.clone());
+    let inputs = s2::experiment_inputs(params, 8).unwrap();
+    let verifier = StructureVerifier::new(params.clone());
+    let id_decider = IdBasedDecider::new(params.clone());
+    let p_prime_ok = decision::check_decides_oblivious(&property_p_prime, &verifier, &inputs);
+    let p_ok = decision::check_decides(&property_p, &id_decider, &inputs);
+    let oblivious_fails =
+        s2::oblivious_candidate_fails(params, &verifier, 8).unwrap();
+    eprintln!(
+        "  P' in LD*: {} ({} / {} instances correct)",
+        p_prime_ok.all_correct(),
+        p_prime_ok.correct.len(),
+        p_prime_ok.total()
+    );
+    eprintln!(
+        "  P  in LD : {} ({} / {} instances correct)",
+        p_ok.all_correct(),
+        p_ok.correct.len(),
+        p_ok.total()
+    );
+    eprintln!("  P  not in LD* (candidate verifier fails): {oblivious_fails}");
+}
+
+fn bench(c: &mut Criterion) {
+    let params = Section2Params::new(1, IdBound::identity_plus(2)).unwrap();
+    print_fig1_series();
+    print_promise_series();
+    print_theorem1_series(&params);
+
+    let mut group = c.benchmark_group("e2_e4_section2");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(800));
+    group.bench_function("build_large_instance_r1", |b| {
+        b.iter(|| params.large_instance().unwrap())
+    });
+    group.bench_function("classify_large_instance_r1", |b| {
+        let t = params.large_instance().unwrap();
+        b.iter(|| params.classify(&t))
+    });
+    group.bench_function("coverage_r1_radius1", |b| {
+        b.iter(|| s2::large_instance_view_coverage(&params, 1, 16).unwrap())
+    });
+    group.bench_function("id_decider_on_large_instance", |b| {
+        let inputs = s2::experiment_inputs(&params, 0).unwrap();
+        let decider = IdBasedDecider::new(params.clone());
+        b.iter(|| decision::run_local(&inputs[0], &decider).accepted())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

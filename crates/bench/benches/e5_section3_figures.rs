@@ -1,0 +1,129 @@
+//! Experiments E5–E8 — the Section 3 artefacts (Figure 2's `G(M, r)`,
+//! Figure 3's pyramids, Theorem 2's deciders and the halting promise
+//! problem).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use local_decision::constructions::pyramid::Pyramid;
+use local_decision::constructions::section3 as c3;
+use local_decision::deciders::section3 as s3;
+use local_decision::prelude::*;
+use std::time::Duration;
+
+const SOURCE: FragmentSource = FragmentSource::WindowsAndDecoys;
+
+fn print_fig2_series() {
+    eprintln!("E5: Figure 2 — G(M, r) construction and neighbourhood generator B(M, r)");
+    eprintln!("  machine          steps  nodes  fragments  |B(M,1)|  coverage-by-B");
+    for spec in [
+        zoo::halts_with_output(1, Symbol(0)),
+        zoo::halts_with_output(3, Symbol(0)),
+        zoo::halts_with_output(3, Symbol(1)),
+        zoo::halts_with_output(6, Symbol(1)),
+    ] {
+        let instance = c3::build_gmr(&spec.machine, 1, 10_000, SOURCE).unwrap();
+        let views = c3::neighborhood_generator(&spec.machine, 1, SOURCE).unwrap();
+        let actual = enumeration::distinct_oblivious_views_of(instance.labeled(), 1);
+        let coverage = enumeration::coverage(&actual, &views);
+        eprintln!(
+            "  {:<16} {:>5} {:>6} {:>10} {:>9}  {coverage:.3}",
+            spec.machine.name(),
+            spec.truth.steps().unwrap(),
+            instance.labeled().node_count(),
+            instance.fragment_count(),
+            views.len(),
+        );
+    }
+}
+
+fn print_fig3_series() {
+    eprintln!("E6: Figure 3 — quadtree pyramids (Appendix A)");
+    eprintln!("  h   nodes  corner-distance(grid)  corner-distance(pyramid)  structure-ok");
+    for h in [1u32, 2, 3, 4, 5] {
+        let p = Pyramid::new(h).unwrap();
+        let grid_distance = 2 * ((1usize << h) - 1);
+        eprintln!(
+            "  {h}  {:>6}  {:>21}  {:>24}  {}",
+            p.labeled().node_count(),
+            grid_distance,
+            p.corner_distance(),
+            p.verify_structure()
+        );
+    }
+}
+
+fn print_theorem2_series() {
+    eprintln!("E7: Theorem 2 — two-stage Id decider vs fuel-bounded oblivious candidates");
+    let zoo_machines = vec![
+        zoo::halts_with_output(1, Symbol(0)),
+        zoo::halts_with_output(4, Symbol(0)),
+        zoo::halts_with_output(4, Symbol(1)),
+        zoo::halts_with_output(9, Symbol(1)),
+    ];
+    let (id_ok, failing) =
+        s3::theorem2_experiment(&zoo_machines, 1, 10_000, SOURCE, &[2, 5, 8, 50]).unwrap();
+    eprintln!("  Id-based decider correct on the zoo: {id_ok}");
+    eprintln!("  fuel-bounded oblivious candidates that fail: {failing:?} (fuels tried: [2, 5, 8, 50])");
+    let candidate = s3::FuelBoundedObliviousCandidate::new(5);
+    let report = s3::separation_harness(&candidate, &zoo_machines, 1, SOURCE).unwrap();
+    eprintln!(
+        "  separation algorithm R driven by fuel-5 candidate errs on: L0-rejected {:?}, L1-accepted {:?}",
+        report.rejected_l0, report.accepted_l1
+    );
+}
+
+fn print_promise_series() {
+    eprintln!("E8: Section 3 promise problem (cycle labelled with M)");
+    eprintln!("  machine          n   id-decider  oblivious-fuel-3");
+    let decider = s3::PromiseHaltingDecider::new(100_000);
+    for (spec, n) in [
+        (zoo::infinite_loop(), 12usize),
+        (zoo::ping_pong(), 12),
+        (zoo::halts_with_output(6, Symbol(0)), 12),
+        (zoo::halts_with_output(10, Symbol(1)), 16),
+    ] {
+        let instance = local_decision::constructions::section3::promise::instance(&spec.machine, n).unwrap();
+        let input = Input::new(instance, IdAssignment::consecutive(n)).unwrap();
+        let accepted = decision::run_local(&input, &decider).accepted();
+        eprintln!(
+            "  {:<16} {n:>3}  {:>10}  (expected accept = {})",
+            spec.machine.name(),
+            accepted,
+            !spec.truth.halts()
+        );
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    print_fig2_series();
+    print_fig3_series();
+    print_theorem2_series();
+    print_promise_series();
+
+    let mut group = c.benchmark_group("e5_e8_section3");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(800));
+    let spec = zoo::halts_with_output(3, Symbol(1));
+    group.bench_function("build_gmr_walk3", |b| {
+        b.iter(|| c3::build_gmr(&spec.machine, 1, 10_000, SOURCE).unwrap())
+    });
+    group.bench_function("neighborhood_generator_walk3", |b| {
+        b.iter(|| c3::neighborhood_generator(&spec.machine, 1, SOURCE).unwrap())
+    });
+    group.bench_function("two_stage_decider_walk3", |b| {
+        let input = s3::gmr_input(&spec.machine, 1, 10_000, SOURCE).unwrap();
+        let decider = s3::TwoStageIdDecider::new(10_000);
+        b.iter(|| decision::run_local(&input, &decider).accepted())
+    });
+    group.bench_function("pyramid_h4_build_and_verify", |b| {
+        b.iter(|| {
+            let p = Pyramid::new(4).unwrap();
+            p.verify_structure()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

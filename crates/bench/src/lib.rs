@@ -1,0 +1,2 @@
+//! Shared helpers for the benchmark and experiment harnesses (populated
+//! alongside the Criterion benches).

@@ -1,0 +1,97 @@
+//! Error type for the construction crate.
+
+use std::fmt;
+
+/// Errors produced while building the paper's witness instances.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ConstructionError {
+    /// A parameter combination would produce an instance too large to build
+    /// in memory (e.g. a layered tree whose depth exceeds the configured
+    /// limit).
+    InstanceTooLarge {
+        /// Human-readable description of the size that was requested.
+        reason: String,
+    },
+    /// A parameter was invalid (zero locality, empty table, …).
+    InvalidParameter {
+        /// Human-readable description of the problem.
+        reason: String,
+    },
+    /// The Turing machine needed to halt for this construction but did not
+    /// within the provided fuel.
+    MachineDidNotHalt {
+        /// The fuel budget that was exhausted.
+        fuel: u64,
+    },
+    /// An underlying graph operation failed.
+    Graph(ld_graph::GraphError),
+    /// An underlying Turing-machine operation failed.
+    Turing(ld_turing::TuringError),
+    /// An underlying LOCAL-model operation failed.
+    Local(ld_local::LocalError),
+}
+
+impl fmt::Display for ConstructionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConstructionError::InstanceTooLarge { reason } => {
+                write!(f, "instance too large to materialise: {reason}")
+            }
+            ConstructionError::InvalidParameter { reason } => {
+                write!(f, "invalid parameter: {reason}")
+            }
+            ConstructionError::MachineDidNotHalt { fuel } => {
+                write!(f, "machine did not halt within {fuel} steps")
+            }
+            ConstructionError::Graph(e) => write!(f, "graph error: {e}"),
+            ConstructionError::Turing(e) => write!(f, "turing-machine error: {e}"),
+            ConstructionError::Local(e) => write!(f, "local-model error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ConstructionError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ConstructionError::Graph(e) => Some(e),
+            ConstructionError::Turing(e) => Some(e),
+            ConstructionError::Local(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ld_graph::GraphError> for ConstructionError {
+    fn from(value: ld_graph::GraphError) -> Self {
+        ConstructionError::Graph(value)
+    }
+}
+
+impl From<ld_turing::TuringError> for ConstructionError {
+    fn from(value: ld_turing::TuringError) -> Self {
+        ConstructionError::Turing(value)
+    }
+}
+
+impl From<ld_local::LocalError> for ConstructionError {
+    fn from(value: ld_local::LocalError) -> Self {
+        ConstructionError::Local(value)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_conversions() {
+        let e: ConstructionError = ld_graph::GraphError::EmptyGraph.into();
+        assert!(e.to_string().contains("graph error"));
+        let e: ConstructionError = ld_turing::TuringError::FuelExhausted { fuel: 3 }.into();
+        assert!(e.to_string().contains('3'));
+        let e: ConstructionError = ld_local::LocalError::DisconnectedInput.into();
+        assert!(std::error::Error::source(&e).is_some());
+        let e = ConstructionError::InstanceTooLarge { reason: "depth 40".into() };
+        assert!(e.to_string().contains("depth 40"));
+    }
+}

@@ -1,0 +1,303 @@
+//! Fragment collections `C(M, r)`: syntactically possible execution-table
+//! fragments (Section 3.2).
+//!
+//! The role of `C(M, r)` is pure obfuscation: the graph `G(M, r)` contains,
+//! next to the real execution table of `M`, *every* locally consistent table
+//! fragment, so that no local view reveals anything about `M`'s actual run
+//! that an Id-oblivious algorithm could not compute by itself.
+//!
+//! The paper enumerates all `3r × 3r` labelled grids consistent with `M`'s
+//! transition rules.  That set grows exponentially, so this module offers
+//! three sources (the substitution is documented in `DESIGN.md` §2):
+//!
+//! * [`FragmentSource::Exhaustive`] — the paper's full enumeration, with a
+//!   hard cap, feasible for tiny machines and `r = 1`;
+//! * [`FragmentSource::TableWindows`] — all windows of the (possibly
+//!   truncated) real table;
+//! * [`FragmentSource::WindowsAndDecoys`] — the default: real windows plus
+//!   *decoy* fragments containing halted heads over every possible scanned
+//!   symbol, which is exactly the property the obfuscation needs (a halting
+//!   configuration with output 0 and one with output 1 both appear in
+//!   `G(M, r)` regardless of what `M` actually does).
+
+use crate::error::ConstructionError;
+use crate::Result;
+use ld_turing::window::enumerate_rows;
+use ld_turing::{Cell, ExecutionTable, State, Symbol, TuringMachine};
+
+/// Which fragments to include in `C(M, r)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FragmentSource {
+    /// The paper's exhaustive enumeration of all locally consistent
+    /// `side x side` fragments, aborting with an error beyond `cap`
+    /// fragments.
+    Exhaustive {
+        /// Maximum number of fragments to enumerate before giving up.
+        cap: usize,
+    },
+    /// All distinct `side x side` windows of the real (truncated) execution
+    /// table.
+    TableWindows,
+    /// Real windows plus halted-head decoy fragments for every possible
+    /// output symbol (the default).
+    WindowsAndDecoys,
+}
+
+impl Default for FragmentSource {
+    fn default() -> Self {
+        FragmentSource::WindowsAndDecoys
+    }
+}
+
+/// The fragment collection `C(M, r)`.
+#[derive(Debug, Clone)]
+pub struct FragmentCollection {
+    side: usize,
+    fragments: Vec<ExecutionTable>,
+}
+
+impl FragmentCollection {
+    /// Builds `C(M, r)` from the requested source.  The fragment side length
+    /// is `3r` as in the paper (at least 2 so that window rules bind).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for `r = 0`, and for exhaustive enumeration that
+    /// exceeds its cap.
+    pub fn build(machine: &TuringMachine, r: u32, source: FragmentSource) -> Result<Self> {
+        if r == 0 {
+            return Err(ConstructionError::InvalidParameter {
+                reason: "the locality parameter r must be at least 1".to_string(),
+            });
+        }
+        let side = (3 * r as usize).max(2);
+        let fragments = match source {
+            FragmentSource::Exhaustive { cap } => enumerate_exhaustive(machine, side, cap)?,
+            FragmentSource::TableWindows => table_windows(machine, side),
+            FragmentSource::WindowsAndDecoys => {
+                let mut fragments = table_windows(machine, side);
+                fragments.extend(decoy_fragments(machine, side));
+                dedup(fragments)
+            }
+        };
+        Ok(FragmentCollection { side, fragments })
+    }
+
+    /// Side length of every fragment (`3r`).
+    pub fn side(&self) -> usize {
+        self.side
+    }
+
+    /// The fragments.
+    pub fn fragments(&self) -> &[ExecutionTable] {
+        &self.fragments
+    }
+
+    /// Number of fragments.
+    pub fn len(&self) -> usize {
+        self.fragments.len()
+    }
+
+    /// `true` when the collection is empty.
+    pub fn is_empty(&self) -> bool {
+        self.fragments.is_empty()
+    }
+
+    /// Checks that every fragment is locally consistent with `machine` — the
+    /// defining invariant of `C(M, r)`.
+    pub fn all_consistent(&self, machine: &TuringMachine) -> bool {
+        self.fragments
+            .iter()
+            .all(|f| f.is_locally_consistent_fragment(machine))
+    }
+}
+
+/// The paper's exhaustive enumeration: chain syntactically possible rows,
+/// requiring consecutive rows to be fragment-consistent.
+fn enumerate_exhaustive(
+    machine: &TuringMachine,
+    side: usize,
+    cap: usize,
+) -> Result<Vec<ExecutionTable>> {
+    let rows = enumerate_rows(machine, side);
+    let mut partial: Vec<Vec<Vec<Cell>>> = rows.iter().map(|r| vec![r.clone()]).collect();
+    for _ in 1..side {
+        let mut next = Vec::new();
+        for stack in &partial {
+            let last = stack.last().expect("stacks are non-empty");
+            for row in &rows {
+                if ld_turing::window::rows_fragment_consistent(machine, last, row) {
+                    let mut extended = stack.clone();
+                    extended.push(row.clone());
+                    next.push(extended);
+                    if next.len() > cap {
+                        return Err(ConstructionError::InstanceTooLarge {
+                            reason: format!(
+                                "exhaustive fragment enumeration exceeded the cap of {cap}"
+                            ),
+                        });
+                    }
+                }
+            }
+        }
+        partial = next;
+    }
+    partial
+        .into_iter()
+        .map(|rows| ExecutionTable::from_rows(rows).map_err(ConstructionError::from))
+        .collect()
+}
+
+/// All distinct `side x side` windows of the real execution table of
+/// `machine`, truncated to `4 * side` rows/columns if the machine does not
+/// halt quickly (exactly the table prefix the neighbourhood generator `B`
+/// uses).
+fn table_windows(machine: &TuringMachine, side: usize) -> Vec<ExecutionTable> {
+    let extent = 4 * side;
+    let table = match ExecutionTable::of_halting(machine, extent as u64) {
+        Ok(t) if t.height() >= side => t,
+        _ => ExecutionTable::truncated(machine, extent, extent),
+    };
+    let mut windows = Vec::new();
+    for row in 0..=table.height().saturating_sub(side) {
+        for col in 0..=table.width().saturating_sub(side) {
+            if let Ok(w) = table.window(row, col, side) {
+                windows.push(w);
+            }
+        }
+    }
+    dedup(windows)
+}
+
+/// Decoy fragments: a column of constant symbol `s` in which a halted head
+/// (state `q` with no transition on `s`) sits from the middle row downwards.
+/// One decoy per halting pair `(q, s)`, so halting configurations with every
+/// possible output occur in the collection no matter how `machine` behaves.
+fn decoy_fragments(machine: &TuringMachine, side: usize) -> Vec<ExecutionTable> {
+    let mut decoys = Vec::new();
+    for q in 0..machine.num_states() {
+        for s in 0..machine.num_symbols() {
+            let state = State(q);
+            let symbol = Symbol(s);
+            if !machine.halts_on(state, symbol) {
+                continue;
+            }
+            let arrival = side / 2;
+            let rows: Vec<Vec<Cell>> = (0..side)
+                .map(|row| {
+                    (0..side)
+                        .map(|col| {
+                            if col == 0 {
+                                if row >= arrival {
+                                    Cell::with_head(symbol, state)
+                                } else {
+                                    Cell::symbol(symbol)
+                                }
+                            } else {
+                                Cell::blank()
+                            }
+                        })
+                        .collect()
+                })
+                .collect();
+            decoys.push(ExecutionTable::from_rows(rows).expect("decoy rows are well-formed"));
+        }
+    }
+    decoys
+}
+
+fn dedup(fragments: Vec<ExecutionTable>) -> Vec<ExecutionTable> {
+    let mut out: Vec<ExecutionTable> = Vec::with_capacity(fragments.len());
+    for f in fragments {
+        if !out.contains(&f) {
+            out.push(f);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ld_turing::zoo;
+
+    #[test]
+    fn windows_and_decoys_are_consistent_and_nonempty() {
+        for spec in zoo::full_zoo() {
+            let c = FragmentCollection::build(&spec.machine, 1, FragmentSource::WindowsAndDecoys)
+                .unwrap();
+            assert_eq!(c.side(), 3);
+            assert!(!c.is_empty());
+            assert!(c.all_consistent(&spec.machine), "machine {}", spec.machine.name());
+        }
+    }
+
+    #[test]
+    fn decoys_cover_every_halting_output() {
+        let spec = zoo::halts_with_output(3, Symbol(0));
+        let c = FragmentCollection::build(&spec.machine, 1, FragmentSource::WindowsAndDecoys)
+            .unwrap();
+        // Some fragment must contain a halted head scanning 0 and another a
+        // halted head scanning 1 — regardless of what the machine outputs.
+        let mut saw_output = [false, false];
+        for f in c.fragments() {
+            for row in f.rows() {
+                for cell in row {
+                    if let Some(q) = cell.head {
+                        if spec.machine.halts_on(q, cell.symbol) && cell.symbol.0 < 2 {
+                            saw_output[cell.symbol.0 as usize] = true;
+                        }
+                    }
+                }
+            }
+        }
+        assert!(saw_output[0], "halting-with-0 decoy missing");
+        assert!(saw_output[1], "halting-with-1 decoy missing");
+    }
+
+    #[test]
+    fn table_windows_contain_the_initial_window() {
+        let spec = zoo::halts_with_output(5, Symbol(0));
+        let c =
+            FragmentCollection::build(&spec.machine, 1, FragmentSource::TableWindows).unwrap();
+        let table = ExecutionTable::of_halting(&spec.machine, 100).unwrap();
+        let initial = table.window(0, 0, 3).unwrap();
+        assert!(c.fragments().contains(&initial));
+    }
+
+    #[test]
+    fn exhaustive_enumeration_respects_cap_and_consistency() {
+        let spec = zoo::infinite_loop(); // 1 state, 2 symbols: small row space
+        let too_small = FragmentCollection::build(
+            &spec.machine,
+            1,
+            FragmentSource::Exhaustive { cap: 10 },
+        );
+        assert!(matches!(too_small, Err(ConstructionError::InstanceTooLarge { .. })));
+
+        let c = FragmentCollection::build(
+            &spec.machine,
+            1,
+            FragmentSource::Exhaustive { cap: 200_000 },
+        )
+        .unwrap();
+        assert!(c.len() > 100, "exhaustive enumeration should be large, got {}", c.len());
+        assert!(c.all_consistent(&spec.machine));
+    }
+
+    #[test]
+    fn r_zero_is_rejected_and_default_source_is_decoys() {
+        let spec = zoo::ping_pong();
+        assert!(FragmentCollection::build(&spec.machine, 0, FragmentSource::default()).is_err());
+        assert_eq!(FragmentSource::default(), FragmentSource::WindowsAndDecoys);
+    }
+
+    #[test]
+    fn nonhalting_machines_use_truncated_tables_for_windows() {
+        let spec = zoo::infinite_loop();
+        let c =
+            FragmentCollection::build(&spec.machine, 1, FragmentSource::TableWindows).unwrap();
+        assert!(!c.is_empty());
+        assert!(c.all_consistent(&spec.machine));
+    }
+}

@@ -1,0 +1,37 @@
+//! The paper's witness constructions.
+//!
+//! This crate builds the concrete labelled-graph families with which
+//! Fraigniaud, Göös, Korman and Suomela (PODC 2013) separate LD from LD\*:
+//!
+//! * [`section2`] — the bounded-identifier separation (assumption (B)):
+//!   layered complete binary trees `T_r`, the "small" pivot-augmented
+//!   instances `H_r`, the properties `P = ⋃ H_r` and `P' = P ∪ {T_r}`, and
+//!   the illustrative promise problem on cycles (Figure 1).
+//! * [`section3`] — the computability separation (assumption (C)):
+//!   Turing-machine execution tables embedded in graphs `G(M, r)`, the
+//!   syntactic fragment collections `C(M, r)` that obfuscate the machine's
+//!   behaviour, the neighbourhood generator `B(N, r)` of property (P3), and
+//!   the halting promise problem on cycles (Figure 2).
+//! * [`fragments`] — fragment collections `C(M, r)` (exhaustive enumeration,
+//!   real-table windows, and output-decoy fragments).
+//! * [`pyramid`] — the layered quadtree pyramids of Appendix A (Figure 3)
+//!   that make square grids locally checkable.
+//!
+//! Everything is parameterised so that laptop-scale instances exercise the
+//! same code paths as the asymptotic constructions in the paper; the
+//! substitutions (finite machine zoo, injected bound function `f`, fragment
+//! sources) are catalogued in `DESIGN.md` §2.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod error;
+pub mod fragments;
+pub mod pyramid;
+pub mod section2;
+pub mod section3;
+
+pub use error::ConstructionError;
+
+/// Convenient result alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, ConstructionError>;

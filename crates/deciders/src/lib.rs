@@ -1,0 +1,21 @@
+//! The paper's local decision algorithms and the baselines they are compared
+//! against.
+//!
+//! * [`section2`] — the bounded-identifier separation: the Id-oblivious
+//!   structure verifier showing `P' ∈ LD*`, the identifier-reading decider
+//!   showing `P ∈ LD`, and the indistinguishability harness showing
+//!   `P ∉ LD*`.
+//! * [`section3`] — the computability separation: the two-stage
+//!   identifier-reading decider of Theorem 2, fuel-bounded Id-oblivious
+//!   candidate deciders, and the separation algorithm `R` that would turn a
+//!   correct Id-oblivious decider into a separator for `L₀`/`L₁`.
+//! * [`randomized`] — Corollary 1: the randomised Id-oblivious
+//!   `(1, 1−o(1))`-decider that replaces large identifiers with large random
+//!   numbers.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod randomized;
+pub mod section2;
+pub mod section3;

@@ -1,0 +1,199 @@
+//! Radius-`t` balls `B(v, t)`: the induced subgraph a LOCAL algorithm can see.
+
+use crate::graph::{Graph, NodeId};
+use crate::Result;
+
+/// The restriction of a graph to the ball `B(v, t)` of radius `t` around a
+/// centre node, as used in the definition of a local algorithm (Section 1.2).
+///
+/// The ball keeps track of:
+///
+/// * the induced subgraph on the nodes within distance `t` of the centre,
+/// * which node of that subgraph is the centre,
+/// * the mapping from ball-local node ids back to the original graph, and
+/// * the distance of every ball node from the centre (within the original
+///   graph; since shortest paths to nodes at distance `<= t` stay inside the
+///   ball, this equals the in-ball distance).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Ball {
+    graph: Graph,
+    center: NodeId,
+    radius: usize,
+    mapping: Vec<NodeId>,
+    distances: Vec<usize>,
+}
+
+impl Ball {
+    /// The induced subgraph of the ball.
+    pub fn graph(&self) -> &Graph {
+        &self.graph
+    }
+
+    /// The centre node, in ball-local numbering.
+    pub fn center(&self) -> NodeId {
+        self.center
+    }
+
+    /// The radius this ball was extracted with.
+    pub fn radius(&self) -> usize {
+        self.radius
+    }
+
+    /// Maps a ball-local node id back to the node id in the original graph.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `local` is not a node of the ball.
+    pub fn original(&self, local: NodeId) -> NodeId {
+        self.mapping[local.index()]
+    }
+
+    /// The full local-to-original mapping, indexed by ball-local node id.
+    pub fn mapping(&self) -> &[NodeId] {
+        &self.mapping
+    }
+
+    /// Distance from the centre to a ball-local node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `local` is not a node of the ball.
+    pub fn distance_from_center(&self, local: NodeId) -> usize {
+        self.distances[local.index()]
+    }
+
+    /// Number of nodes in the ball.
+    pub fn node_count(&self) -> usize {
+        self.graph.node_count()
+    }
+
+    /// The ball-local node ids at exactly distance `d` from the centre.
+    pub fn sphere(&self, d: usize) -> Vec<NodeId> {
+        self.graph
+            .nodes()
+            .filter(|v| self.distances[v.index()] == d)
+            .collect()
+    }
+
+    /// Returns `true` if the ball reaches its full radius, i.e. some node is
+    /// at distance exactly `radius` from the centre.  When this is `false`
+    /// the centre already sees the whole connected component.
+    pub fn is_saturated(&self) -> bool {
+        self.distances.iter().any(|&d| d == self.radius)
+    }
+}
+
+impl Graph {
+    /// Extracts the ball `B(v, t)`: the induced subgraph on all nodes within
+    /// distance `radius` of `center`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `center` is out of range; call [`Graph::check_node`] first
+    /// for untrusted input.
+    pub fn ball(&self, center: NodeId, radius: usize) -> Ball {
+        self.try_ball(center, radius)
+            .expect("center node must exist")
+    }
+
+    /// Fallible variant of [`Graph::ball`].
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `center` is out of range.
+    pub fn try_ball(&self, center: NodeId, radius: usize) -> Result<Ball> {
+        let all_distances = self.bfs_distances(center)?;
+        let members = self.nodes_within(center, radius)?;
+        let (graph, mapping) = self.induced_subgraph(&members)?;
+        let distances = mapping
+            .iter()
+            .map(|&orig| all_distances.get(orig).expect("member is reachable"))
+            .collect();
+        let center_local = mapping
+            .iter()
+            .position(|&orig| orig == center)
+            .expect("center is always within its own ball");
+        Ok(Ball {
+            graph,
+            center: NodeId::from(center_local),
+            radius,
+            mapping,
+            distances,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    #[test]
+    fn ball_of_radius_zero_is_the_single_node() {
+        let g = generators::cycle(6);
+        let b = g.ball(NodeId(2), 0);
+        assert_eq!(b.node_count(), 1);
+        assert_eq!(b.center(), NodeId(0));
+        assert_eq!(b.original(NodeId(0)), NodeId(2));
+        assert!(!b.is_saturated() || b.radius() == 0 && b.node_count() == 1);
+    }
+
+    #[test]
+    fn ball_in_cycle_is_a_path() {
+        let g = generators::cycle(10);
+        let b = g.ball(NodeId(0), 3);
+        assert_eq!(b.node_count(), 7);
+        assert_eq!(b.graph().edge_count(), 6);
+        assert!(b.graph().is_tree());
+        assert_eq!(b.distance_from_center(b.center()), 0);
+        assert_eq!(b.sphere(3).len(), 2);
+        assert!(b.is_saturated());
+    }
+
+    #[test]
+    fn ball_larger_than_graph_sees_everything() {
+        let g = generators::cycle(5);
+        let b = g.ball(NodeId(1), 10);
+        assert_eq!(b.node_count(), 5);
+        assert_eq!(b.graph().edge_count(), 5);
+        assert!(!b.is_saturated());
+    }
+
+    #[test]
+    fn ball_wrapping_around_cycle_has_the_cycle_edge() {
+        // In a 5-cycle a radius-2 ball around node 0 contains every node and
+        // hence every edge, unlike in a long cycle where it is a path.
+        let g = generators::cycle(5);
+        let b = g.ball(NodeId(0), 2);
+        assert_eq!(b.graph().edge_count(), 5);
+    }
+
+    #[test]
+    fn ball_distances_match_graph_distances() {
+        let g = generators::grid(5, 5);
+        let center = generators::grid_index(5, 2, 2);
+        let b = g.ball(center, 2);
+        for v in b.graph().nodes() {
+            let orig = b.original(v);
+            let d = g.distance(center, orig).unwrap().unwrap();
+            assert_eq!(d, b.distance_from_center(v));
+            assert!(d <= 2);
+        }
+        // Radius-2 ball in the grid interior is the 13-node diamond.
+        assert_eq!(b.node_count(), 13);
+    }
+
+    #[test]
+    fn try_ball_rejects_bad_center() {
+        let g = generators::path(3);
+        assert!(g.try_ball(NodeId(9), 1).is_err());
+    }
+
+    #[test]
+    fn sphere_partition_covers_ball() {
+        let g = generators::grid(6, 6);
+        let b = g.ball(generators::grid_index(6, 0, 0), 3);
+        let total: usize = (0..=3).map(|d| b.sphere(d).len()).sum();
+        assert_eq!(total, b.node_count());
+    }
+}

@@ -1,0 +1,104 @@
+//! Error type for graph construction and manipulation.
+
+use std::fmt;
+
+/// Errors produced by graph construction and queries.
+///
+/// The graph substrate enforces the paper's input conventions eagerly: graphs
+/// are **simple** (no self-loops, no parallel edges) and all node references
+/// must be in range.  Violations surface as a [`GraphError`] rather than a
+/// panic so that instance generators and property checkers can propagate
+/// malformed-input conditions with `?`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GraphError {
+    /// A node index was used that does not exist in the graph.
+    NodeOutOfRange {
+        /// The offending node index.
+        node: usize,
+        /// Number of nodes in the graph at the time of the call.
+        node_count: usize,
+    },
+    /// A self-loop `(v, v)` was requested; the paper's graphs are simple.
+    SelfLoop {
+        /// The node on which the self-loop was requested.
+        node: usize,
+    },
+    /// A duplicate edge was added where the operation forbids it.
+    DuplicateEdge {
+        /// First endpoint.
+        u: usize,
+        /// Second endpoint.
+        v: usize,
+    },
+    /// A label vector did not match the number of nodes of the graph.
+    LabelCountMismatch {
+        /// Number of nodes in the graph.
+        nodes: usize,
+        /// Number of labels supplied.
+        labels: usize,
+    },
+    /// An operation required a connected graph but the input was disconnected.
+    Disconnected,
+    /// An operation required a non-empty graph.
+    EmptyGraph,
+    /// A generator was asked for an instance with inconsistent parameters.
+    InvalidParameter {
+        /// Human-readable description of the parameter problem.
+        reason: String,
+    },
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::NodeOutOfRange { node, node_count } => {
+                write!(f, "node index {node} out of range for graph with {node_count} nodes")
+            }
+            GraphError::SelfLoop { node } => {
+                write!(f, "self-loop on node {node} is not allowed in a simple graph")
+            }
+            GraphError::DuplicateEdge { u, v } => {
+                write!(f, "edge ({u}, {v}) already present")
+            }
+            GraphError::LabelCountMismatch { nodes, labels } => {
+                write!(f, "label count {labels} does not match node count {nodes}")
+            }
+            GraphError::Disconnected => write!(f, "graph is not connected"),
+            GraphError::EmptyGraph => write!(f, "graph has no nodes"),
+            GraphError::InvalidParameter { reason } => {
+                write!(f, "invalid parameter: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for GraphError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_nonempty_and_lowercase_start() {
+        let errors = vec![
+            GraphError::NodeOutOfRange { node: 3, node_count: 2 },
+            GraphError::SelfLoop { node: 1 },
+            GraphError::DuplicateEdge { u: 0, v: 1 },
+            GraphError::LabelCountMismatch { nodes: 4, labels: 2 },
+            GraphError::Disconnected,
+            GraphError::EmptyGraph,
+            GraphError::InvalidParameter { reason: "depth must be positive".into() },
+        ];
+        for e in errors {
+            let s = e.to_string();
+            assert!(!s.is_empty());
+            assert!(s.chars().next().unwrap().is_lowercase() || s.chars().next().unwrap().is_numeric());
+        }
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<GraphError>();
+    }
+}

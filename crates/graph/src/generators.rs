@@ -1,0 +1,409 @@
+//! Deterministic generators for every graph family used by the paper, plus a
+//! few random generators used in tests and benchmarks.
+//!
+//! The families directly referenced by the paper:
+//!
+//! * **cycles** — both promise problems (Section 2 and Section 3) live on
+//!   `n`-cycles;
+//! * **complete binary trees / layered trees** — the Section 2 separation
+//!   (`T_r`, `H_r`, Figure 1);
+//! * **square grids** — Turing-machine execution tables (Section 3,
+//!   Figure 2);
+//! * **layered quadtree pyramids** — the Appendix A gadget that makes grids
+//!   locally checkable (Figure 3).
+
+use crate::graph::{Graph, NodeId};
+use crate::{GraphError, Result};
+use rand::Rng;
+
+/// Path on `n` nodes `0 - 1 - ... - n-1`.  `path(0)` is the empty graph.
+pub fn path(n: usize) -> Graph {
+    let mut g = Graph::with_nodes(n);
+    for i in 1..n {
+        g.add_edge(NodeId::from(i - 1), NodeId::from(i))
+            .expect("path edges are simple and in range");
+    }
+    g
+}
+
+/// Cycle on `n >= 3` nodes; for `n <= 2` this falls back to a path, which
+/// keeps small-parameter sweeps total.
+pub fn cycle(n: usize) -> Graph {
+    let mut g = path(n);
+    if n >= 3 {
+        g.add_edge(NodeId::from(n - 1), NodeId(0))
+            .expect("closing edge of a cycle is simple");
+    }
+    g
+}
+
+/// Complete graph on `n` nodes.
+pub fn complete(n: usize) -> Graph {
+    let mut g = Graph::with_nodes(n);
+    for u in 0..n {
+        for v in (u + 1)..n {
+            g.add_edge(NodeId::from(u), NodeId::from(v))
+                .expect("complete graph edges are simple");
+        }
+    }
+    g
+}
+
+/// Star with one centre (node 0) and `leaves` leaves.
+pub fn star(leaves: usize) -> Graph {
+    let mut g = Graph::with_nodes(leaves + 1);
+    for leaf in 1..=leaves {
+        g.add_edge(NodeId(0), NodeId::from(leaf))
+            .expect("star edges are simple");
+    }
+    g
+}
+
+/// `width x height` grid graph; node `(x, y)` has index `y * width + x`.
+///
+/// Two nodes are adjacent when their Euclidean distance is 1, exactly as the
+/// paper defines the execution-table grid.
+pub fn grid(width: usize, height: usize) -> Graph {
+    let mut g = Graph::with_nodes(width * height);
+    for y in 0..height {
+        for x in 0..width {
+            let here = y * width + x;
+            if x + 1 < width {
+                g.add_edge(NodeId::from(here), NodeId::from(here + 1))
+                    .expect("grid edges are simple");
+            }
+            if y + 1 < height {
+                g.add_edge(NodeId::from(here), NodeId::from(here + width))
+                    .expect("grid edges are simple");
+            }
+        }
+    }
+    g
+}
+
+/// Index of grid node `(x, y)` in the graph returned by [`grid`].
+pub fn grid_index(width: usize, x: usize, y: usize) -> NodeId {
+    NodeId::from(y * width + x)
+}
+
+/// `width x height` torus: a grid with wrap-around edges in both dimensions.
+/// Locally (for radius below `min(width, height) / 2 - 1`) it is
+/// indistinguishable from a grid interior — the paper uses exactly this fact
+/// to motivate the quadtree gadget of Appendix A.
+pub fn torus(width: usize, height: usize) -> Result<Graph> {
+    if width < 3 || height < 3 {
+        return Err(GraphError::InvalidParameter {
+            reason: format!("torus requires both dimensions >= 3, got {width}x{height}"),
+        });
+    }
+    let mut g = Graph::with_nodes(width * height);
+    for y in 0..height {
+        for x in 0..width {
+            let here = y * width + x;
+            let right = y * width + (x + 1) % width;
+            let down = ((y + 1) % height) * width + x;
+            g.add_edge_idempotent(NodeId::from(here), NodeId::from(right))?;
+            g.add_edge_idempotent(NodeId::from(here), NodeId::from(down))?;
+        }
+    }
+    Ok(g)
+}
+
+/// Complete binary tree of depth `depth` (a single node for depth 0).
+///
+/// Level `y` (`0 <= y <= depth`) holds `2^y` nodes; node `(x, y)` has index
+/// [`binary_tree_index`]`(x, y)`.
+pub fn complete_binary_tree(depth: u32) -> Graph {
+    let n = binary_tree_node_count(depth);
+    let mut g = Graph::with_nodes(n);
+    for y in 1..=depth {
+        for x in 0..(1u64 << y) {
+            let child = binary_tree_index(x, y);
+            let parent = binary_tree_index(x / 2, y - 1);
+            g.add_edge(parent, child).expect("tree edges are simple");
+        }
+    }
+    g
+}
+
+/// Number of nodes of a complete binary tree of depth `depth`.
+pub fn binary_tree_node_count(depth: u32) -> usize {
+    (1usize << (depth + 1)) - 1
+}
+
+/// Index of the node at horizontal position `x` on level `y` of a complete
+/// binary tree (or layered tree): levels are stored consecutively, so the
+/// index is `2^y - 1 + x`.
+pub fn binary_tree_index(x: u64, y: u32) -> NodeId {
+    NodeId::from(((1u64 << y) - 1 + x) as usize)
+}
+
+/// Layered complete binary tree of depth `depth` (Section 2 of the paper):
+/// a complete binary tree where, additionally, the nodes of each level are
+/// connected by a path in the natural left-to-right order.
+pub fn layered_tree(depth: u32) -> Graph {
+    let mut g = complete_binary_tree(depth);
+    for y in 1..=depth {
+        for x in 1..(1u64 << y) {
+            g.add_edge(binary_tree_index(x - 1, y), binary_tree_index(x, y))
+                .expect("level-path edges are simple and new");
+        }
+    }
+    g
+}
+
+/// Coordinates `(x, y)` of every node of [`layered_tree`]`(depth)`, indexed
+/// by node id.  Used by the Section 2 construction, whose labels carry these
+/// coordinates.
+pub fn layered_tree_coordinates(depth: u32) -> Vec<(u64, u32)> {
+    let mut coords = Vec::with_capacity(binary_tree_node_count(depth));
+    for y in 0..=depth {
+        for x in 0..(1u64 << y) {
+            coords.push((x, y));
+        }
+    }
+    coords
+}
+
+/// A layered quadtree pyramid over a `2^h x 2^h` base grid (Appendix A,
+/// Figure 3).
+///
+/// Levels are numbered `z = 0..=h`; level `z` is a square grid on
+/// `2^(h-z) x 2^(h-z)` nodes and every node `(x, y, z)` with `z < h` is also
+/// connected to its quadtree parent `(floor(x/2), floor(y/2), z + 1)`.
+///
+/// Returns the graph together with the `(x, y, z)` coordinate of each node.
+///
+/// The paper indexes nodes from 1 and connects `(x, y, z)` to
+/// `(ceil(x/2), ceil(y/2), z+1)`; with 0-based coordinates the same parent is
+/// `(floor(x/2), floor(y/2), z+1)`.
+pub fn quadtree_pyramid(h: u32) -> (Graph, Vec<(usize, usize, u32)>) {
+    let mut coords = Vec::new();
+    let mut level_offset = Vec::with_capacity(h as usize + 2);
+    let mut total = 0usize;
+    for z in 0..=h {
+        level_offset.push(total);
+        let side = 1usize << (h - z);
+        for y in 0..side {
+            for x in 0..side {
+                coords.push((x, y, z));
+            }
+        }
+        total += side * side;
+    }
+    level_offset.push(total);
+
+    let index = |x: usize, y: usize, z: u32| -> NodeId {
+        let side = 1usize << (h - z);
+        NodeId::from(level_offset[z as usize] + y * side + x)
+    };
+
+    let mut g = Graph::with_nodes(total);
+    for z in 0..=h {
+        let side = 1usize << (h - z);
+        for y in 0..side {
+            for x in 0..side {
+                let here = index(x, y, z);
+                if x + 1 < side {
+                    g.add_edge(here, index(x + 1, y, z)).expect("grid edge");
+                }
+                if y + 1 < side {
+                    g.add_edge(here, index(x, y + 1, z)).expect("grid edge");
+                }
+                if z < h {
+                    g.add_edge_idempotent(here, index(x / 2, y / 2, z + 1))
+                        .expect("parent edge endpoints are in range");
+                }
+            }
+        }
+    }
+    (g, coords)
+}
+
+/// Erdős–Rényi `G(n, p)` random graph.
+pub fn random_gnp<R: Rng + ?Sized>(n: usize, p: f64, rng: &mut R) -> Graph {
+    let mut g = Graph::with_nodes(n);
+    for u in 0..n {
+        for v in (u + 1)..n {
+            if rng.gen_bool(p.clamp(0.0, 1.0)) {
+                g.add_edge(NodeId::from(u), NodeId::from(v))
+                    .expect("gnp edges are generated once");
+            }
+        }
+    }
+    g
+}
+
+/// Uniformly random labelled tree on `n` nodes via a random Prüfer-like
+/// attachment process (each node `i >= 1` attaches to a uniformly random
+/// earlier node).
+pub fn random_attachment_tree<R: Rng + ?Sized>(n: usize, rng: &mut R) -> Graph {
+    let mut g = Graph::with_nodes(n);
+    for i in 1..n {
+        let parent = rng.gen_range(0..i);
+        g.add_edge(NodeId::from(parent), NodeId::from(i))
+            .expect("attachment edges are simple");
+    }
+    g
+}
+
+/// A connected random graph: a random attachment tree plus `extra_edges`
+/// additional uniformly random non-edges (or fewer if the graph saturates).
+pub fn random_connected<R: Rng + ?Sized>(n: usize, extra_edges: usize, rng: &mut R) -> Graph {
+    let mut g = random_attachment_tree(n, rng);
+    if n < 2 {
+        return g;
+    }
+    let mut added = 0;
+    let mut attempts = 0;
+    let max_attempts = extra_edges.saturating_mul(20) + 100;
+    while added < extra_edges && attempts < max_attempts {
+        attempts += 1;
+        let u = rng.gen_range(0..n);
+        let v = rng.gen_range(0..n);
+        if u == v {
+            continue;
+        }
+        if g
+            .add_edge_idempotent(NodeId::from(u), NodeId::from(v))
+            .expect("endpoints are in range and distinct")
+        {
+            added += 1;
+        }
+    }
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn path_counts() {
+        let g = path(6);
+        assert_eq!(g.node_count(), 6);
+        assert_eq!(g.edge_count(), 5);
+        assert!(g.is_tree());
+        assert_eq!(path(0).node_count(), 0);
+        assert_eq!(path(1).edge_count(), 0);
+    }
+
+    #[test]
+    fn cycle_counts_and_regularity() {
+        let g = cycle(7);
+        assert_eq!(g.edge_count(), 7);
+        assert!(g.is_regular(2));
+        assert!(g.is_connected());
+        // Degenerate sizes fall back to paths.
+        assert_eq!(cycle(2).edge_count(), 1);
+        assert_eq!(cycle(1).edge_count(), 0);
+    }
+
+    #[test]
+    fn complete_graph_edge_count() {
+        assert_eq!(complete(5).edge_count(), 10);
+        assert!(complete(5).is_regular(4));
+    }
+
+    #[test]
+    fn star_has_centre_of_full_degree() {
+        let g = star(6);
+        assert_eq!(g.degree(NodeId(0)).unwrap(), 6);
+        assert!(g.is_tree());
+    }
+
+    #[test]
+    fn grid_structure() {
+        let g = grid(4, 3);
+        assert_eq!(g.node_count(), 12);
+        assert_eq!(g.edge_count(), 3 * 3 + 4 * 2);
+        assert_eq!(g.degree(grid_index(4, 0, 0)).unwrap(), 2);
+        assert_eq!(g.degree(grid_index(4, 1, 1)).unwrap(), 4);
+        assert!(g.is_connected());
+    }
+
+    #[test]
+    fn torus_is_4_regular() {
+        let g = torus(4, 5).unwrap();
+        assert!(g.is_regular(4));
+        assert_eq!(g.node_count(), 20);
+        assert!(torus(2, 5).is_err());
+    }
+
+    #[test]
+    fn complete_binary_tree_structure() {
+        let g = complete_binary_tree(3);
+        assert_eq!(g.node_count(), 15);
+        assert!(g.is_tree());
+        assert_eq!(g.degree(binary_tree_index(0, 0)).unwrap(), 2);
+        // Leaves have degree 1.
+        assert_eq!(g.degree(binary_tree_index(5, 3)).unwrap(), 1);
+    }
+
+    #[test]
+    fn layered_tree_adds_level_paths() {
+        let depth = 3;
+        let tree = complete_binary_tree(depth);
+        let layered = layered_tree(depth);
+        // Level y >= 1 contributes 2^y - 1 extra path edges.
+        let extra: usize = (1..=depth).map(|y| (1usize << y) - 1).sum();
+        assert_eq!(layered.edge_count(), tree.edge_count() + extra);
+        // Interior level node: parent + 2 children + 2 level neighbours.
+        assert_eq!(layered.degree(binary_tree_index(1, 2)).unwrap(), 5);
+    }
+
+    #[test]
+    fn layered_tree_coordinates_match_indexing() {
+        let coords = layered_tree_coordinates(3);
+        assert_eq!(coords.len(), binary_tree_node_count(3));
+        for (i, &(x, y)) in coords.iter().enumerate() {
+            assert_eq!(binary_tree_index(x, y).index(), i);
+        }
+    }
+
+    #[test]
+    fn quadtree_pyramid_level_sizes() {
+        let (g, coords) = quadtree_pyramid(2);
+        // Levels: 4x4 + 2x2 + 1x1 = 21 nodes.
+        assert_eq!(g.node_count(), 21);
+        assert_eq!(coords.len(), 21);
+        assert!(g.is_connected());
+        let top_count = coords.iter().filter(|&&(_, _, z)| z == 2).count();
+        assert_eq!(top_count, 1);
+        // Each level-0 node has exactly one parent edge, so total edges are
+        // grid edges (2*4*3 + 2*2*1 + 0) plus 16 + 4 parent edges.
+        assert_eq!(g.edge_count(), 24 + 4 + 0 + 16 + 4);
+    }
+
+    #[test]
+    fn quadtree_pyramid_parents_are_quadrants() {
+        let (g, coords) = quadtree_pyramid(2);
+        // Find node (3, 3, 0) and check it is adjacent to (1, 1, 1).
+        let find = |x, y, z| {
+            NodeId::from(coords.iter().position(|&c| c == (x, y, z)).unwrap())
+        };
+        assert!(g.has_edge(find(3, 3, 0), find(1, 1, 1)));
+        assert!(g.has_edge(find(1, 1, 1), find(0, 0, 2)));
+    }
+
+    #[test]
+    fn random_generators_produce_connected_graphs() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let t = random_attachment_tree(40, &mut rng);
+        assert!(t.is_tree());
+        let c = random_connected(30, 15, &mut rng);
+        assert!(c.is_connected());
+        assert!(c.edge_count() >= 29);
+        let gnp = random_gnp(20, 0.5, &mut rng);
+        assert_eq!(gnp.node_count(), 20);
+    }
+
+    #[test]
+    fn random_gnp_extremes() {
+        let mut rng = StdRng::seed_from_u64(1);
+        assert_eq!(random_gnp(10, 0.0, &mut rng).edge_count(), 0);
+        assert_eq!(random_gnp(10, 1.0, &mut rng).edge_count(), 45);
+    }
+}

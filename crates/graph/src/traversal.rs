@@ -1,0 +1,316 @@
+//! Breadth-first traversal, distances, connectivity and related queries.
+//!
+//! The LOCAL model's radius-`t` view is defined through graph distance, so
+//! everything in the simulator ultimately reduces to the BFS primitives in
+//! this module.
+
+use crate::graph::{Graph, NodeId};
+use crate::{GraphError, Result};
+use std::collections::VecDeque;
+
+/// Distance labelling produced by a breadth-first search.
+///
+/// `dist[v] == None` means `v` is unreachable from the source set.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Distances {
+    dist: Vec<Option<usize>>,
+}
+
+impl Distances {
+    /// Distance to `v`, or `None` if unreachable.
+    pub fn get(&self, v: NodeId) -> Option<usize> {
+        self.dist.get(v.index()).copied().flatten()
+    }
+
+    /// Iterator over `(node, distance)` pairs of reachable nodes in
+    /// increasing node order.
+    pub fn reachable(&self) -> impl Iterator<Item = (NodeId, usize)> + '_ {
+        self.dist
+            .iter()
+            .enumerate()
+            .filter_map(|(i, d)| d.map(|d| (NodeId::from(i), d)))
+    }
+
+    /// Largest finite distance (the eccentricity of the source set), or
+    /// `None` for an empty source set on an empty graph.
+    pub fn eccentricity(&self) -> Option<usize> {
+        self.dist.iter().flatten().copied().max()
+    }
+
+    /// Number of reachable nodes (including the sources themselves).
+    pub fn reachable_count(&self) -> usize {
+        self.dist.iter().flatten().count()
+    }
+}
+
+impl Graph {
+    /// Breadth-first distances from a single source.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `source` is out of range.
+    pub fn bfs_distances(&self, source: NodeId) -> Result<Distances> {
+        self.bfs_distances_multi(&[source])
+    }
+
+    /// Breadth-first distances from a set of sources (distance to the nearest
+    /// source).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if any source is out of range.
+    pub fn bfs_distances_multi(&self, sources: &[NodeId]) -> Result<Distances> {
+        let mut dist = vec![None; self.node_count()];
+        let mut queue = VecDeque::new();
+        for &s in sources {
+            self.check_node(s)?;
+            if dist[s.index()].is_none() {
+                dist[s.index()] = Some(0);
+                queue.push_back(s);
+            }
+        }
+        while let Some(u) = queue.pop_front() {
+            let du = dist[u.index()].expect("queued node has a distance");
+            for v in self.neighbors(u) {
+                if dist[v.index()].is_none() {
+                    dist[v.index()] = Some(du + 1);
+                    queue.push_back(v);
+                }
+            }
+        }
+        Ok(Distances { dist })
+    }
+
+    /// Shortest-path distance between `u` and `v`, or `None` if disconnected.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if either node is out of range.
+    pub fn distance(&self, u: NodeId, v: NodeId) -> Result<Option<usize>> {
+        self.check_node(v)?;
+        Ok(self.bfs_distances(u)?.get(v))
+    }
+
+    /// Returns the nodes within distance `radius` of `center`, sorted by
+    /// (distance, node id).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `center` is out of range.
+    pub fn nodes_within(&self, center: NodeId, radius: usize) -> Result<Vec<NodeId>> {
+        let distances = self.bfs_distances(center)?;
+        let mut nodes: Vec<(usize, NodeId)> = distances
+            .reachable()
+            .filter(|&(_, d)| d <= radius)
+            .map(|(v, d)| (d, v))
+            .collect();
+        nodes.sort_unstable();
+        Ok(nodes.into_iter().map(|(_, v)| v).collect())
+    }
+
+    /// Returns `true` if the graph is connected.  The empty graph is
+    /// considered connected (there is no pair of separated nodes), matching
+    /// the paper's convention that inputs are connected graphs.
+    pub fn is_connected(&self) -> bool {
+        if self.node_count() <= 1 {
+            return true;
+        }
+        let distances = self
+            .bfs_distances(NodeId(0))
+            .expect("node 0 exists in a non-empty graph");
+        distances.reachable_count() == self.node_count()
+    }
+
+    /// Returns the connected components as sorted lists of nodes, ordered by
+    /// their smallest node.
+    pub fn connected_components(&self) -> Vec<Vec<NodeId>> {
+        let mut seen = vec![false; self.node_count()];
+        let mut components = Vec::new();
+        for start in self.nodes() {
+            if seen[start.index()] {
+                continue;
+            }
+            let mut component = Vec::new();
+            let mut queue = VecDeque::from([start]);
+            seen[start.index()] = true;
+            while let Some(u) = queue.pop_front() {
+                component.push(u);
+                for v in self.neighbors(u) {
+                    if !seen[v.index()] {
+                        seen[v.index()] = true;
+                        queue.push_back(v);
+                    }
+                }
+            }
+            component.sort_unstable();
+            components.push(component);
+        }
+        components
+    }
+
+    /// Diameter of a connected graph (the largest pairwise distance).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::EmptyGraph`] for the empty graph and
+    /// [`GraphError::Disconnected`] for disconnected graphs.
+    pub fn diameter(&self) -> Result<usize> {
+        if self.is_empty() {
+            return Err(GraphError::EmptyGraph);
+        }
+        let mut best = 0;
+        for v in self.nodes() {
+            let d = self.bfs_distances(v)?;
+            if d.reachable_count() != self.node_count() {
+                return Err(GraphError::Disconnected);
+            }
+            best = best.max(d.eccentricity().unwrap_or(0));
+        }
+        Ok(best)
+    }
+
+    /// Returns `true` if the graph contains no cycle (i.e. it is a forest).
+    pub fn is_forest(&self) -> bool {
+        // A forest with c components on n nodes has exactly n - c edges.
+        let components = self.connected_components().len();
+        self.edge_count() + components == self.node_count() || self.is_empty()
+    }
+
+    /// Returns `true` if the graph is a tree: connected and acyclic.
+    pub fn is_tree(&self) -> bool {
+        !self.is_empty() && self.is_connected() && self.edge_count() + 1 == self.node_count()
+    }
+
+    /// Returns `true` if every node has degree exactly `d`.
+    pub fn is_regular(&self, d: usize) -> bool {
+        self.nodes().all(|v| self.adjacency_len(v) == d)
+    }
+
+    fn adjacency_len(&self, v: NodeId) -> usize {
+        self.degree(v).expect("node from self.nodes() is in range")
+    }
+
+    /// Returns `true` if `nodes` is an independent set (no two adjacent).
+    pub fn is_independent_set(&self, nodes: &[NodeId]) -> bool {
+        for (i, &u) in nodes.iter().enumerate() {
+            for &v in &nodes[i + 1..] {
+                if self.has_edge(u, v) {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// Returns `true` if `nodes` is a *maximal* independent set: independent
+    /// and every node outside the set has a neighbour inside it.
+    pub fn is_maximal_independent_set(&self, nodes: &[NodeId]) -> bool {
+        if !self.is_independent_set(nodes) {
+            return false;
+        }
+        let in_set: Vec<bool> = {
+            let mut marks = vec![false; self.node_count()];
+            for &v in nodes {
+                if v.index() >= marks.len() {
+                    return false;
+                }
+                marks[v.index()] = true;
+            }
+            marks
+        };
+        self.nodes().all(|v| {
+            in_set[v.index()] || self.neighbors(v).any(|u| in_set[u.index()])
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    #[test]
+    fn bfs_distances_on_a_path() {
+        let g = generators::path(5);
+        let d = g.bfs_distances(NodeId(0)).unwrap();
+        assert_eq!(d.get(NodeId(4)), Some(4));
+        assert_eq!(d.eccentricity(), Some(4));
+        assert_eq!(d.reachable_count(), 5);
+    }
+
+    #[test]
+    fn multi_source_bfs_takes_nearest_source() {
+        let g = generators::path(7);
+        let d = g.bfs_distances_multi(&[NodeId(0), NodeId(6)]).unwrap();
+        assert_eq!(d.get(NodeId(3)), Some(3));
+        assert_eq!(d.get(NodeId(5)), Some(1));
+    }
+
+    #[test]
+    fn distance_none_between_components() {
+        let g = Graph::from_edges(4, [(0, 1), (2, 3)]).unwrap();
+        assert_eq!(g.distance(NodeId(0), NodeId(3)).unwrap(), None);
+        assert!(!g.is_connected());
+        assert_eq!(g.connected_components().len(), 2);
+    }
+
+    #[test]
+    fn nodes_within_radius_on_cycle() {
+        let g = generators::cycle(10);
+        let ball = g.nodes_within(NodeId(0), 2).unwrap();
+        assert_eq!(ball.len(), 5);
+        assert!(ball.contains(&NodeId(8)));
+        assert!(ball.contains(&NodeId(2)));
+    }
+
+    #[test]
+    fn diameter_of_cycle_and_path() {
+        assert_eq!(generators::cycle(8).diameter().unwrap(), 4);
+        assert_eq!(generators::cycle(9).diameter().unwrap(), 4);
+        assert_eq!(generators::path(6).diameter().unwrap(), 5);
+    }
+
+    #[test]
+    fn diameter_errors() {
+        assert_eq!(Graph::new().diameter(), Err(GraphError::EmptyGraph));
+        let disconnected = Graph::from_edges(3, [(0, 1)]).unwrap();
+        assert_eq!(disconnected.diameter(), Err(GraphError::Disconnected));
+    }
+
+    #[test]
+    fn tree_and_forest_classification() {
+        assert!(generators::path(5).is_tree());
+        assert!(generators::path(5).is_forest());
+        assert!(!generators::cycle(5).is_tree());
+        assert!(!generators::cycle(5).is_forest());
+        let forest = Graph::from_edges(4, [(0, 1), (2, 3)]).unwrap();
+        assert!(forest.is_forest());
+        assert!(!forest.is_tree());
+    }
+
+    #[test]
+    fn regularity_check() {
+        assert!(generators::cycle(6).is_regular(2));
+        assert!(!generators::path(6).is_regular(2));
+        assert!(generators::complete(4).is_regular(3));
+    }
+
+    #[test]
+    fn independent_set_checks() {
+        let g = generators::cycle(6);
+        let mis = vec![NodeId(0), NodeId(2), NodeId(4)];
+        assert!(g.is_independent_set(&mis));
+        assert!(g.is_maximal_independent_set(&mis));
+        let not_maximal = vec![NodeId(0), NodeId(2)];
+        assert!(g.is_independent_set(&not_maximal));
+        assert!(!g.is_maximal_independent_set(&not_maximal));
+        let not_independent = vec![NodeId(0), NodeId(1)];
+        assert!(!g.is_independent_set(&not_independent));
+    }
+
+    #[test]
+    fn empty_and_singleton_graphs_are_connected() {
+        assert!(Graph::new().is_connected());
+        assert!(Graph::with_nodes(1).is_connected());
+    }
+}

@@ -1,0 +1,172 @@
+//! Enumeration of local views up to isomorphism.
+//!
+//! Indistinguishability arguments ("every `t`-neighbourhood of the
+//! no-instance already occurs in some yes-instance") become *executable* once
+//! we can enumerate the distinct views of a graph.  This module collects
+//! views, deduplicates them up to centred label-preserving isomorphism
+//! (bucketing by the Weisfeiler–Leman key first), and compares view sets.
+
+use crate::input::Input;
+use crate::view::{ObliviousView, View};
+use ld_graph::LabeledGraph;
+use std::collections::HashMap;
+use std::hash::Hash;
+
+/// Collects the radius-`radius` view (with identifiers) of every node.
+pub fn collect_views<L: Clone>(input: &Input<L>, radius: usize) -> Vec<View<L>> {
+    input
+        .graph()
+        .nodes()
+        .map(|v| input.view(v, radius))
+        .collect()
+}
+
+/// Collects the Id-oblivious radius-`radius` view of every node of a
+/// labelled graph (identifiers are irrelevant, so none are needed).
+pub fn collect_oblivious_views<L: Clone>(
+    labeled: &LabeledGraph<L>,
+    radius: usize,
+) -> Vec<ObliviousView<L>> {
+    labeled
+        .graph()
+        .nodes()
+        .map(|v| {
+            let ball = labeled.graph().ball(v, radius);
+            let labels = ball
+                .mapping()
+                .iter()
+                .map(|&orig| labeled.label(orig).clone())
+                .collect();
+            ObliviousView::from_parts(ball.graph().clone(), ball.center(), radius, labels)
+        })
+        .collect()
+}
+
+/// Deduplicates oblivious views up to centred, label-preserving isomorphism.
+pub fn distinct_oblivious_views<L: Clone + Eq + Hash>(
+    views: Vec<ObliviousView<L>>,
+) -> Vec<ObliviousView<L>> {
+    let mut buckets: HashMap<u64, Vec<ObliviousView<L>>> = HashMap::new();
+    let mut result = Vec::new();
+    for view in views {
+        let key = view.canonical_key();
+        let bucket = buckets.entry(key).or_default();
+        if bucket.iter().all(|seen| !seen.indistinguishable_from(&view)) {
+            bucket.push(view.clone());
+            result.push(view);
+        }
+    }
+    result
+}
+
+/// Convenience: the distinct oblivious views of a labelled graph.
+pub fn distinct_oblivious_views_of<L: Clone + Eq + Hash>(
+    labeled: &LabeledGraph<L>,
+    radius: usize,
+) -> Vec<ObliviousView<L>> {
+    distinct_oblivious_views(collect_oblivious_views(labeled, radius))
+}
+
+/// Returns `true` if `view` is indistinguishable from some view in `family`.
+pub fn view_occurs_in<L: Clone + Eq + Hash>(
+    view: &ObliviousView<L>,
+    family: &[ObliviousView<L>],
+) -> bool {
+    family.iter().any(|candidate| candidate.indistinguishable_from(view))
+}
+
+/// The coverage of `targets` by `family`: the fraction of views in `targets`
+/// that occur (up to isomorphism) in `family`.  Experiment E2 reports this
+/// number for the interior views of `T_r` against the views of the
+/// yes-instances `H_r`: the paper's indistinguishability argument corresponds
+/// to coverage 1.0.
+pub fn coverage<L: Clone + Eq + Hash>(
+    targets: &[ObliviousView<L>],
+    family: &[ObliviousView<L>],
+) -> f64 {
+    if targets.is_empty() {
+        return 1.0;
+    }
+    let covered = targets
+        .iter()
+        .filter(|t| view_occurs_in(t, family))
+        .count();
+    covered as f64 / targets.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::IdAssignment;
+    use ld_graph::generators;
+
+    fn uniform_cycle(n: usize) -> LabeledGraph<u8> {
+        LabeledGraph::uniform(generators::cycle(n), 0u8)
+    }
+
+    #[test]
+    fn long_cycle_has_a_single_distinct_interior_view() {
+        // Every radius-2 view of a 20-cycle is a path of 5 nodes centred in
+        // the middle: exactly one distinct view.
+        let views = distinct_oblivious_views_of(&uniform_cycle(20), 2);
+        assert_eq!(views.len(), 1);
+    }
+
+    #[test]
+    fn path_views_depend_on_distance_to_the_ends() {
+        // In a long path, radius-1 views: end node (degree 1) and interior
+        // node (degree 2) — two distinct views.
+        let path = LabeledGraph::uniform(generators::path(10), 0u8);
+        let views = distinct_oblivious_views_of(&path, 1);
+        assert_eq!(views.len(), 2);
+        // Radius-2: end, next-to-end, interior — three distinct views.
+        let views = distinct_oblivious_views_of(&path, 2);
+        assert_eq!(views.len(), 3);
+    }
+
+    #[test]
+    fn labels_refine_view_classes() {
+        let g = generators::cycle(12);
+        let alternating = LabeledGraph::from_fn(g, |v| (v.index() % 2) as u8);
+        // With alternating labels there are two distinct radius-1 views
+        // (centre labelled 0 or 1).
+        let views = distinct_oblivious_views_of(&alternating, 1);
+        assert_eq!(views.len(), 2);
+    }
+
+    #[test]
+    fn cycle_views_cover_longer_cycle_views() {
+        // The distinct radius-2 views of a 30-cycle are covered by those of a
+        // 10-cycle (and vice versa): the paradigmatic indistinguishability.
+        let small = distinct_oblivious_views_of(&uniform_cycle(10), 2);
+        let large = distinct_oblivious_views_of(&uniform_cycle(30), 2);
+        assert_eq!(coverage(&large, &small), 1.0);
+        assert_eq!(coverage(&small, &large), 1.0);
+        // A 5-cycle's radius-2 view (the whole cycle) is NOT covered by long
+        // cycle views.
+        let tiny = distinct_oblivious_views_of(&uniform_cycle(5), 2);
+        assert_eq!(coverage(&tiny, &large), 0.0);
+    }
+
+    #[test]
+    fn collect_views_with_ids_returns_one_view_per_node() {
+        let lg = uniform_cycle(8);
+        let input = Input::new(lg, IdAssignment::consecutive(8)).unwrap();
+        let views = collect_views(&input, 1);
+        assert_eq!(views.len(), 8);
+        // With distinct identifiers every view is distinguishable from every
+        // other (different centre ids).
+        for (i, a) in views.iter().enumerate() {
+            for (j, b) in views.iter().enumerate() {
+                assert_eq!(i == j, a.indistinguishable_from(b), "views {i} vs {j}");
+            }
+        }
+    }
+
+    #[test]
+    fn coverage_of_empty_target_set_is_total() {
+        let family = distinct_oblivious_views_of(&uniform_cycle(6), 1);
+        assert_eq!(coverage::<u8>(&[], &family), 1.0);
+        assert!(!view_occurs_in(&family[0], &[]));
+    }
+}

@@ -1,0 +1,101 @@
+//! Error type for the LOCAL-model simulator.
+
+use ld_graph::GraphError;
+use std::fmt;
+
+/// Errors produced while building inputs or running local algorithms.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LocalError {
+    /// The identifier assignment is not one-to-one.
+    DuplicateIdentifier {
+        /// The identifier that occurs more than once.
+        id: u64,
+    },
+    /// The identifier assignment does not cover every node.
+    IdentifierCountMismatch {
+        /// Number of nodes in the graph.
+        nodes: usize,
+        /// Number of identifiers supplied.
+        ids: usize,
+    },
+    /// The input graph is not connected (the paper's constructions work
+    /// under the promise of connectivity; see Section 1, "Assumptions").
+    DisconnectedInput,
+    /// An identifier exceeds the bound `f(n)` of assumption (B).
+    IdentifierAboveBound {
+        /// The offending identifier.
+        id: u64,
+        /// The bound `f(n)` it must stay strictly below.
+        bound: u64,
+    },
+    /// Not enough identifiers available below the requested bound.
+    BoundTooSmall {
+        /// The requested strict upper bound.
+        bound: u64,
+        /// Number of identifiers needed.
+        needed: usize,
+    },
+    /// An underlying graph operation failed.
+    Graph(GraphError),
+    /// A parameter to a simulator function was invalid.
+    InvalidParameter {
+        /// Human-readable description of the problem.
+        reason: String,
+    },
+}
+
+impl fmt::Display for LocalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LocalError::DuplicateIdentifier { id } => {
+                write!(f, "identifier {id} is assigned to more than one node")
+            }
+            LocalError::IdentifierCountMismatch { nodes, ids } => {
+                write!(f, "identifier count {ids} does not match node count {nodes}")
+            }
+            LocalError::DisconnectedInput => write!(f, "input graph is not connected"),
+            LocalError::IdentifierAboveBound { id, bound } => {
+                write!(f, "identifier {id} violates the bound f(n) = {bound}")
+            }
+            LocalError::BoundTooSmall { bound, needed } => {
+                write!(f, "cannot draw {needed} distinct identifiers below {bound}")
+            }
+            LocalError::Graph(e) => write!(f, "graph error: {e}"),
+            LocalError::InvalidParameter { reason } => write!(f, "invalid parameter: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for LocalError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            LocalError::Graph(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<GraphError> for LocalError {
+    fn from(value: GraphError) -> Self {
+        LocalError::Graph(value)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e = LocalError::DuplicateIdentifier { id: 7 };
+        assert!(e.to_string().contains('7'));
+        let e: LocalError = GraphError::EmptyGraph.into();
+        assert!(std::error::Error::source(&e).is_some());
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<LocalError>();
+    }
+}

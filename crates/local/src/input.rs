@@ -1,0 +1,209 @@
+//! Inputs `(G, x, Id)` of the local-decision model.
+
+use crate::error::LocalError;
+use crate::ids::IdAssignment;
+use crate::view::{ObliviousView, View};
+use crate::Result;
+use ld_graph::{Graph, LabeledGraph, NodeId};
+
+/// An input `(G, x, Id)`: a connected labelled graph together with a
+/// one-to-one identifier assignment.
+///
+/// The paper works under the promise that inputs are connected (Section 1,
+/// "Assumptions"), because otherwise the distinction between bounded and
+/// unbounded identifiers collapses; [`Input::new`] therefore rejects
+/// disconnected graphs.  Use [`Input::new_unchecked_connectivity`] for
+/// deliberately malformed experiment inputs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Input<L> {
+    labeled: LabeledGraph<L>,
+    ids: IdAssignment,
+}
+
+impl<L> Input<L> {
+    /// Builds an input, checking identifier consistency and connectivity.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the identifier count does not match the node
+    /// count, or the graph is disconnected.
+    pub fn new(labeled: LabeledGraph<L>, ids: IdAssignment) -> Result<Self> {
+        if labeled.node_count() != ids.len() {
+            return Err(LocalError::IdentifierCountMismatch {
+                nodes: labeled.node_count(),
+                ids: ids.len(),
+            });
+        }
+        if !labeled.graph().is_connected() {
+            return Err(LocalError::DisconnectedInput);
+        }
+        Ok(Input { labeled, ids })
+    }
+
+    /// Builds an input without the connectivity check (the identifier count
+    /// is still validated).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the identifier count does not match the node
+    /// count.
+    pub fn new_unchecked_connectivity(labeled: LabeledGraph<L>, ids: IdAssignment) -> Result<Self> {
+        if labeled.node_count() != ids.len() {
+            return Err(LocalError::IdentifierCountMismatch {
+                nodes: labeled.node_count(),
+                ids: ids.len(),
+            });
+        }
+        Ok(Input { labeled, ids })
+    }
+
+    /// Convenience: wraps a labelled graph with consecutive identifiers
+    /// `Id(v) = v`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the graph is disconnected.
+    pub fn with_consecutive_ids(labeled: LabeledGraph<L>) -> Result<Self> {
+        let n = labeled.node_count();
+        Input::new(labeled, IdAssignment::consecutive(n))
+    }
+
+    /// The labelled graph `(G, x)`.
+    pub fn labeled(&self) -> &LabeledGraph<L> {
+        &self.labeled
+    }
+
+    /// The underlying graph `G`.
+    pub fn graph(&self) -> &Graph {
+        self.labeled.graph()
+    }
+
+    /// The identifier assignment `Id`.
+    pub fn ids(&self) -> &IdAssignment {
+        &self.ids
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.labeled.node_count()
+    }
+
+    /// The label `x(v)`.
+    pub fn label(&self, v: NodeId) -> &L {
+        self.labeled.label(v)
+    }
+
+    /// The identifier `Id(v)`.
+    pub fn id(&self, v: NodeId) -> u64 {
+        self.ids.id(v)
+    }
+
+    /// Replaces the identifier assignment, keeping the labelled graph — the
+    /// re-assignment operation at the heart of the Id-oblivious definition.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the new assignment does not cover every node.
+    pub fn with_ids(&self, ids: IdAssignment) -> Result<Self>
+    where
+        L: Clone,
+    {
+        if self.node_count() != ids.len() {
+            return Err(LocalError::IdentifierCountMismatch {
+                nodes: self.node_count(),
+                ids: ids.len(),
+            });
+        }
+        Ok(Input { labeled: self.labeled.clone(), ids })
+    }
+
+    /// Extracts the radius-`radius` view of node `v`, including identifiers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    pub fn view(&self, v: NodeId, radius: usize) -> View<L>
+    where
+        L: Clone,
+    {
+        let ball = self.graph().ball(v, radius);
+        let labels = ball
+            .mapping()
+            .iter()
+            .map(|&orig| self.labeled.label(orig).clone())
+            .collect();
+        let ids = ball.mapping().iter().map(|&orig| self.ids.id(orig)).collect();
+        View::from_ball(ball, labels, ids)
+    }
+
+    /// Extracts the Id-oblivious radius-`radius` view of node `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    pub fn oblivious_view(&self, v: NodeId, radius: usize) -> ObliviousView<L>
+    where
+        L: Clone,
+    {
+        self.view(v, radius).without_ids()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ld_graph::generators;
+
+    fn labeled_cycle(n: usize) -> LabeledGraph<usize> {
+        LabeledGraph::from_fn(generators::cycle(n), |v| v.index())
+    }
+
+    #[test]
+    fn new_validates_count_and_connectivity() {
+        let lg = labeled_cycle(5);
+        assert!(Input::new(lg.clone(), IdAssignment::consecutive(4)).is_err());
+        assert!(Input::new(lg, IdAssignment::consecutive(5)).is_ok());
+
+        let disconnected =
+            LabeledGraph::uniform(ld_graph::Graph::from_edges(4, [(0, 1), (2, 3)]).unwrap(), 0u8);
+        assert!(matches!(
+            Input::new(disconnected.clone(), IdAssignment::consecutive(4)),
+            Err(LocalError::DisconnectedInput)
+        ));
+        assert!(Input::new_unchecked_connectivity(disconnected, IdAssignment::consecutive(4)).is_ok());
+    }
+
+    #[test]
+    fn accessors_expose_labels_and_ids() {
+        let input = Input::new(labeled_cycle(4), IdAssignment::consecutive_from(4, 100)).unwrap();
+        assert_eq!(input.node_count(), 4);
+        assert_eq!(*input.label(NodeId(2)), 2);
+        assert_eq!(input.id(NodeId(2)), 102);
+        assert_eq!(input.graph().edge_count(), 4);
+    }
+
+    #[test]
+    fn with_ids_keeps_labels() {
+        let input = Input::with_consecutive_ids(labeled_cycle(4)).unwrap();
+        let renumbered = input.with_ids(IdAssignment::consecutive_from(4, 50)).unwrap();
+        assert_eq!(*renumbered.label(NodeId(1)), 1);
+        assert_eq!(renumbered.id(NodeId(1)), 51);
+        assert!(input.with_ids(IdAssignment::consecutive(3)).is_err());
+    }
+
+    #[test]
+    fn views_carry_labels_and_ids_from_the_ball() {
+        let input = Input::new(labeled_cycle(8), IdAssignment::consecutive_from(8, 10)).unwrap();
+        let view = input.view(NodeId(0), 2);
+        assert_eq!(view.node_count(), 5);
+        assert_eq!(*view.center_label(), 0);
+        assert_eq!(view.center_id(), 10);
+        // Every node of the view keeps its original label/id pairing.
+        for v in view.graph().nodes() {
+            assert_eq!(*view.label(v) as u64 + 10, view.id(v));
+        }
+        let oblivious = input.oblivious_view(NodeId(0), 2);
+        assert_eq!(oblivious.node_count(), 5);
+        assert_eq!(*oblivious.center_label(), 0);
+    }
+}

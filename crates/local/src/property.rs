@@ -1,0 +1,186 @@
+//! Labelled-graph properties (the objects being decided).
+
+use ld_graph::LabeledGraph;
+use std::fmt;
+
+/// A labelled-graph property `P`: a collection of labelled graphs that is
+/// invariant under isomorphism (Section 1.2).  In code, a property is simply
+/// a membership test on `(G, x)`; isomorphism-invariance is the implementor's
+/// responsibility (and is spot-checked by property-based tests).
+pub trait Property<L> {
+    /// A short human-readable name for reports.
+    fn name(&self) -> &str;
+
+    /// Membership test: is `(G, x)` a yes-instance?
+    fn contains(&self, labeled: &LabeledGraph<L>) -> bool;
+}
+
+/// A [`Property`] defined by a closure.
+#[derive(Clone)]
+pub struct FnProperty<F> {
+    name: String,
+    f: F,
+}
+
+impl<F> FnProperty<F> {
+    /// Wraps a membership closure as a property.
+    pub fn new(name: impl Into<String>, f: F) -> Self {
+        FnProperty { name: name.into(), f }
+    }
+}
+
+impl<F> fmt::Debug for FnProperty<F> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("FnProperty").field("name", &self.name).finish()
+    }
+}
+
+impl<L, F: Fn(&LabeledGraph<L>) -> bool> Property<L> for FnProperty<F> {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn contains(&self, labeled: &LabeledGraph<L>) -> bool {
+        (self.f)(labeled)
+    }
+}
+
+/// The classic "proper c-colouring" property: labels are colours `0..c` and
+/// no edge is monochromatic.  One of the paper's own introductory examples.
+#[derive(Debug, Clone, Copy)]
+pub struct ProperColoring {
+    colors: u32,
+    name: &'static str,
+}
+
+impl ProperColoring {
+    /// Proper colouring with `colors` colours.
+    pub fn new(colors: u32) -> Self {
+        ProperColoring { colors, name: "proper-colouring" }
+    }
+
+    /// Number of admissible colours.
+    pub fn colors(&self) -> u32 {
+        self.colors
+    }
+}
+
+impl Property<u32> for ProperColoring {
+    fn name(&self) -> &str {
+        self.name
+    }
+
+    fn contains(&self, labeled: &LabeledGraph<u32>) -> bool {
+        if labeled.labels().iter().any(|&c| c >= self.colors) {
+            return false;
+        }
+        labeled
+            .graph()
+            .edges()
+            .all(|(u, v)| labeled.label(u) != labeled.label(v))
+    }
+}
+
+/// The "maximal independent set" property: labels are 0/1 and the 1-labelled
+/// nodes form a maximal independent set.  Another of the paper's examples.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct MaximalIndependentSet;
+
+impl Property<u8> for MaximalIndependentSet {
+    fn name(&self) -> &str {
+        "maximal-independent-set"
+    }
+
+    fn contains(&self, labeled: &LabeledGraph<u8>) -> bool {
+        let selected: Vec<_> = labeled
+            .iter()
+            .filter_map(|(v, &l)| (l == 1).then_some(v))
+            .collect();
+        if labeled.labels().iter().any(|&l| l > 1) {
+            return false;
+        }
+        labeled.graph().is_maximal_independent_set(&selected)
+    }
+}
+
+/// The property "all nodes carry the same label" — a minimal example of a
+/// property that is *not* locally decidable without identifiers on cycles of
+/// unknown size, useful in tests.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct AllLabelsEqual;
+
+impl<L: PartialEq> Property<L> for AllLabelsEqual {
+    fn name(&self) -> &str {
+        "all-labels-equal"
+    }
+
+    fn contains(&self, labeled: &LabeledGraph<L>) -> bool {
+        match labeled.labels().split_first() {
+            None => true,
+            Some((first, rest)) => rest.iter().all(|l| l == first),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ld_graph::generators;
+
+    #[test]
+    fn proper_coloring_accepts_and_rejects() {
+        let p = ProperColoring::new(3);
+        assert_eq!(p.colors(), 3);
+        let good = LabeledGraph::new(generators::cycle(4), vec![0u32, 1, 0, 1]).unwrap();
+        assert!(p.contains(&good));
+        let monochromatic = LabeledGraph::new(generators::cycle(4), vec![0u32, 0, 1, 2]).unwrap();
+        assert!(!p.contains(&monochromatic));
+        let out_of_range = LabeledGraph::new(generators::cycle(4), vec![0u32, 7, 0, 1]).unwrap();
+        assert!(!p.contains(&out_of_range));
+    }
+
+    #[test]
+    fn odd_cycle_has_no_proper_2_coloring() {
+        let p = ProperColoring::new(2);
+        // Try all 2^5 labelings of a 5-cycle: none is proper.
+        let g = generators::cycle(5);
+        for mask in 0u32..32 {
+            let labels: Vec<u32> = (0..5).map(|i| (mask >> i) & 1).collect();
+            let lg = LabeledGraph::new(g.clone(), labels).unwrap();
+            assert!(!p.contains(&lg));
+        }
+    }
+
+    #[test]
+    fn mis_property() {
+        let p = MaximalIndependentSet;
+        let good = LabeledGraph::new(generators::cycle(6), vec![1u8, 0, 1, 0, 1, 0]).unwrap();
+        assert!(p.contains(&good));
+        let not_maximal = LabeledGraph::new(generators::cycle(6), vec![1u8, 0, 0, 0, 0, 0]).unwrap();
+        assert!(!p.contains(&not_maximal));
+        let not_independent = LabeledGraph::new(generators::cycle(6), vec![1u8, 1, 0, 0, 0, 0]).unwrap();
+        assert!(!p.contains(&not_independent));
+        let bad_labels = LabeledGraph::new(generators::cycle(6), vec![2u8, 0, 1, 0, 1, 0]).unwrap();
+        assert!(!p.contains(&bad_labels));
+    }
+
+    #[test]
+    fn all_labels_equal() {
+        let p = AllLabelsEqual;
+        let same = LabeledGraph::uniform(generators::path(4), 3u8);
+        assert!(p.contains(&same));
+        let different = LabeledGraph::new(generators::path(2), vec![1u8, 2]).unwrap();
+        assert!(!p.contains(&different));
+        let empty = LabeledGraph::uniform(ld_graph::Graph::new(), 0u8);
+        assert!(p.contains(&empty));
+    }
+
+    #[test]
+    fn fn_property_wraps_closures() {
+        let p = FnProperty::new("even-order", |g: &LabeledGraph<u8>| g.node_count() % 2 == 0);
+        assert_eq!(p.name(), "even-order");
+        assert!(p.contains(&LabeledGraph::uniform(generators::cycle(4), 0)));
+        assert!(!p.contains(&LabeledGraph::uniform(generators::cycle(5), 0)));
+        assert!(format!("{p:?}").contains("even-order"));
+    }
+}

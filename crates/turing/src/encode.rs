@@ -1,0 +1,170 @@
+//! Compact byte encoding of Turing machines.
+//!
+//! The Section 3 construction places the machine description `M` in the
+//! label of **every** node of `G(M, r)`, and the Section 3 promise problem
+//! labels every cycle node with a machine.  Labels must therefore be small,
+//! hashable values that round-trip exactly; this module provides the byte
+//! codec (and a hex rendering for reports).
+
+use crate::error::TuringError;
+use crate::machine::{Direction, State, Symbol, Transition, TuringMachine};
+use crate::Result;
+
+const MAGIC: &[u8; 4] = b"LDTM";
+const VERSION: u8 = 1;
+
+/// Encodes a machine into a self-describing byte string.
+pub fn encode_machine(machine: &TuringMachine) -> Vec<u8> {
+    let name = machine.name().as_bytes();
+    let mut out = Vec::with_capacity(16 + name.len() + 4 * machine.raw_transitions().len());
+    out.extend_from_slice(MAGIC);
+    out.push(VERSION);
+    out.push(machine.num_states());
+    out.push(machine.num_symbols());
+    out.extend_from_slice(&(name.len() as u32).to_le_bytes());
+    out.extend_from_slice(name);
+    for entry in machine.raw_transitions() {
+        match entry {
+            None => out.push(0),
+            Some(t) => {
+                out.push(1);
+                out.push(t.write.0);
+                out.push(match t.direction {
+                    Direction::Left => 0,
+                    Direction::Right => 1,
+                    Direction::Stay => 2,
+                });
+                out.push(t.next_state.0);
+            }
+        }
+    }
+    out
+}
+
+/// Decodes a machine previously produced by [`encode_machine`].
+///
+/// # Errors
+///
+/// Returns [`TuringError::DecodeError`] on any malformed input, and machine
+/// validation errors if the decoded transition table is inconsistent.
+pub fn decode_machine(bytes: &[u8]) -> Result<TuringMachine> {
+    let err = |reason: &str| TuringError::DecodeError { reason: reason.to_string() };
+    if bytes.len() < 11 {
+        return Err(err("input shorter than the fixed header"));
+    }
+    if &bytes[0..4] != MAGIC {
+        return Err(err("missing LDTM magic"));
+    }
+    if bytes[4] != VERSION {
+        return Err(err("unsupported version"));
+    }
+    let num_states = bytes[5];
+    let num_symbols = bytes[6];
+    let name_len = u32::from_le_bytes([bytes[7], bytes[8], bytes[9], bytes[10]]) as usize;
+    let name_end = 11 + name_len;
+    if bytes.len() < name_end {
+        return Err(err("truncated machine name"));
+    }
+    let name = std::str::from_utf8(&bytes[11..name_end])
+        .map_err(|_| err("machine name is not UTF-8"))?
+        .to_string();
+    let entry_count = num_states as usize * num_symbols as usize;
+    let mut transitions = Vec::with_capacity(entry_count);
+    let mut pos = name_end;
+    for _ in 0..entry_count {
+        if pos >= bytes.len() {
+            return Err(err("truncated transition table"));
+        }
+        match bytes[pos] {
+            0 => {
+                transitions.push(None);
+                pos += 1;
+            }
+            1 => {
+                if pos + 3 >= bytes.len() {
+                    return Err(err("truncated transition entry"));
+                }
+                let write = Symbol(bytes[pos + 1]);
+                let direction = match bytes[pos + 2] {
+                    0 => Direction::Left,
+                    1 => Direction::Right,
+                    2 => Direction::Stay,
+                    _ => return Err(err("invalid direction byte")),
+                };
+                let next_state = State(bytes[pos + 3]);
+                transitions.push(Some(Transition { write, direction, next_state }));
+                pos += 4;
+            }
+            _ => return Err(err("invalid transition tag")),
+        }
+    }
+    if pos != bytes.len() {
+        return Err(err("trailing bytes after the transition table"));
+    }
+    TuringMachine::from_parts(name, num_states, num_symbols, transitions)
+}
+
+/// Renders an encoded machine as lowercase hex (for reports and debugging).
+pub fn encode_machine_hex(machine: &TuringMachine) -> String {
+    encode_machine(machine)
+        .iter()
+        .map(|b| format!("{b:02x}"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::zoo;
+
+    #[test]
+    fn roundtrip_every_zoo_machine() {
+        for spec in zoo::full_zoo() {
+            let bytes = encode_machine(&spec.machine);
+            let decoded = decode_machine(&bytes).expect("roundtrip must succeed");
+            assert_eq!(decoded, spec.machine);
+        }
+    }
+
+    #[test]
+    fn hex_rendering_is_stable_and_even_length() {
+        let m = zoo::infinite_loop().machine;
+        let hex = encode_machine_hex(&m);
+        assert_eq!(hex.len() % 2, 0);
+        assert_eq!(hex, encode_machine_hex(&m));
+        assert!(hex.starts_with("4c44544d")); // "LDTM"
+    }
+
+    #[test]
+    fn decode_rejects_garbage() {
+        assert!(decode_machine(&[]).is_err());
+        assert!(decode_machine(b"XXXX\x01\x01\x01\x00\x00\x00\x00").is_err());
+        let m = zoo::ping_pong().machine;
+        let mut bytes = encode_machine(&m);
+        bytes[4] = 99; // bad version
+        assert!(decode_machine(&bytes).is_err());
+    }
+
+    #[test]
+    fn decode_rejects_truncation_and_trailing_bytes() {
+        let m = zoo::busy_beaver_3().machine;
+        let bytes = encode_machine(&m);
+        assert!(decode_machine(&bytes[..bytes.len() - 1]).is_err());
+        let mut extended = bytes.clone();
+        extended.push(7);
+        assert!(decode_machine(&extended).is_err());
+    }
+
+    #[test]
+    fn decode_rejects_invalid_direction() {
+        let m = zoo::infinite_loop().machine;
+        let mut bytes = encode_machine(&m);
+        // The first transition entry starts right after the name; find the
+        // first tag byte equal to 1 and corrupt its direction byte.
+        let tag_pos = (11 + m.name().len())..bytes.len();
+        let first_entry = tag_pos.start;
+        assert_eq!(bytes[first_entry], 1);
+        bytes[first_entry + 2] = 9;
+        assert!(decode_machine(&bytes).is_err());
+    }
+}

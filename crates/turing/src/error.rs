@@ -1,0 +1,79 @@
+//! Error type for machine construction, execution and decoding.
+
+use std::fmt;
+
+/// Errors produced by the Turing-machine substrate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TuringError {
+    /// A transition references a state or symbol outside the declared ranges.
+    InvalidTransition {
+        /// State of the offending transition rule.
+        state: u8,
+        /// Symbol of the offending transition rule.
+        symbol: u8,
+        /// Why the rule is invalid.
+        reason: String,
+    },
+    /// The machine description is structurally invalid (e.g. zero states).
+    InvalidMachine {
+        /// Human-readable description of the problem.
+        reason: String,
+    },
+    /// A byte string could not be decoded into a machine.
+    DecodeError {
+        /// Human-readable description of the problem.
+        reason: String,
+    },
+    /// An execution-table request asked for a machine run that exceeded the
+    /// caller-provided fuel.
+    FuelExhausted {
+        /// The fuel limit that was exceeded.
+        fuel: u64,
+    },
+    /// A table/window query was out of range.
+    IndexOutOfRange {
+        /// The offending row.
+        row: usize,
+        /// The offending column.
+        col: usize,
+    },
+}
+
+impl fmt::Display for TuringError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TuringError::InvalidTransition { state, symbol, reason } => {
+                write!(f, "invalid transition for (state {state}, symbol {symbol}): {reason}")
+            }
+            TuringError::InvalidMachine { reason } => write!(f, "invalid machine: {reason}"),
+            TuringError::DecodeError { reason } => write!(f, "cannot decode machine: {reason}"),
+            TuringError::FuelExhausted { fuel } => {
+                write!(f, "machine did not halt within {fuel} steps")
+            }
+            TuringError::IndexOutOfRange { row, col } => {
+                write!(f, "table index ({row}, {col}) out of range")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TuringError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = TuringError::FuelExhausted { fuel: 42 };
+        assert!(e.to_string().contains("42"));
+        let e = TuringError::IndexOutOfRange { row: 1, col: 2 };
+        assert!(e.to_string().contains("(1, 2)"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<TuringError>();
+    }
+}

@@ -1,0 +1,323 @@
+//! Local window rules for execution tables.
+//!
+//! The paper's construction relies on execution tables being **locally
+//! checkable**: whether a labelled grid is (a window of) a valid run of `M`
+//! can be verified by looking at constant-size windows only.  This module
+//! implements those rules in two strengths:
+//!
+//! * [`row_follows`] — full-context succession: the next row is exactly the
+//!   configuration obtained by one machine step (used to validate complete
+//!   tables whose column 0 really is the leftmost tape cell);
+//! * [`rows_fragment_consistent`] — the permissive check used for the
+//!   fragment collection `C(M, r)`, where the window's borders have unknown
+//!   context and are therefore unconstrained (beyond the constraints already
+//!   implied by the visible cells).
+
+use crate::machine::{Direction, State, Symbol, TuringMachine};
+use crate::table::Cell;
+
+/// Computes the successor row of `row` under one step of `machine`, assuming
+/// `row[0]` is the true leftmost tape cell and cells beyond the right edge
+/// are blank.
+///
+/// If the head is absent (it has wandered beyond the represented columns) or
+/// the machine halts on the scanned pair, the row is returned unchanged.
+/// A head that moves beyond the right edge disappears from the successor.
+pub fn successor_row(machine: &TuringMachine, row: &[Cell]) -> Vec<Cell> {
+    let mut next: Vec<Cell> = row.iter().map(|c| Cell { symbol: c.symbol, head: None }).collect();
+    let Some((col, state)) = row.iter().enumerate().find_map(|(i, c)| c.head.map(|q| (i, q)))
+    else {
+        return row.to_vec();
+    };
+    let scanned = row[col].symbol;
+    let Some(t) = machine.transition(state, scanned) else {
+        // Halted: the configuration repeats.
+        return row.to_vec();
+    };
+    next[col].symbol = t.write;
+    let new_col = match t.direction {
+        Direction::Left => col.saturating_sub(1),
+        Direction::Right => col + 1,
+        Direction::Stay => col,
+    };
+    if new_col < next.len() {
+        next[new_col].head = Some(t.next_state);
+    }
+    next
+}
+
+/// Returns `true` if `next` is exactly the successor of `prev` (full-context
+/// check, see [`successor_row`]).
+pub fn row_follows(machine: &TuringMachine, prev: &[Cell], next: &[Cell]) -> bool {
+    prev.len() == next.len() && successor_row(machine, prev) == next
+}
+
+/// The number of heads present in a row.
+pub fn head_count(row: &[Cell]) -> usize {
+    row.iter().filter(|c| c.head.is_some()).count()
+}
+
+/// Fragment-strength consistency between two consecutive rows of a window
+/// whose left/right context is unknown.
+///
+/// For every column `j`, the cell `next[j]` is checked against the visible
+/// context `prev[j-1], prev[j], prev[j+1]`:
+///
+/// * a cell under the head is rewritten and releases or keeps the head
+///   according to the transition function (a halted head repeats);
+/// * a cell not under the head keeps its symbol;
+/// * a head must arrive exactly where a visible neighbouring head moves to;
+///   heads may also arrive from *outside* the window (unknown context), so a
+///   head appearing at a border column with no visible source is allowed.
+///
+/// This is the relation the paper calls "every 2×2 sub-table of `F` is
+/// consistent with the transition function of `M`", generalised to full-width
+/// rows.
+pub fn rows_fragment_consistent(machine: &TuringMachine, prev: &[Cell], next: &[Cell]) -> bool {
+    if prev.len() != next.len() || prev.is_empty() {
+        return false;
+    }
+    let width = prev.len();
+    for j in 0..width {
+        if !cell_fragment_consistent(machine, prev, next, j, width) {
+            return false;
+        }
+    }
+    true
+}
+
+fn cell_fragment_consistent(
+    machine: &TuringMachine,
+    prev: &[Cell],
+    next: &[Cell],
+    j: usize,
+    width: usize,
+) -> bool {
+    let here = prev[j];
+    let target = next[j];
+    if let Some(state) = here.head {
+        let scanned = here.symbol;
+        match machine.transition(state, scanned) {
+            None => {
+                // Halted head: the configuration repeats (this also covers the
+                // convention used by truncated tables).
+                target == here
+            }
+            Some(t) => {
+                if target.symbol != t.write {
+                    return false;
+                }
+                match t.direction {
+                    Direction::Stay => target.head == Some(t.next_state),
+                    Direction::Right => target.head.is_none(),
+                    Direction::Left => {
+                        if j == 0 {
+                            // Column 0 of a fragment may or may not be the true
+                            // leftmost tape cell; if it is, a left move clamps
+                            // and the head stays here.  Both outcomes are
+                            // syntactically possible.
+                            target.head.is_none() || target.head == Some(t.next_state)
+                        } else {
+                            target.head.is_none()
+                        }
+                    }
+                }
+            }
+        }
+    } else {
+        // No head here: the symbol is copied verbatim.
+        if target.symbol != here.symbol {
+            return false;
+        }
+        // Does a visible neighbour send its head to this column?
+        let from_left = if j > 0 { incoming_head(machine, prev[j - 1], Direction::Right) } else { None };
+        let from_right = if j + 1 < width {
+            incoming_head(machine, prev[j + 1], Direction::Left)
+        } else {
+            None
+        };
+        match (from_left, from_right) {
+            (Some(q), _) | (_, Some(q)) => target.head == Some(q),
+            (None, None) => {
+                // No visible source.  A head may still arrive from outside the
+                // window, but only at a border column (j == 0 from the left,
+                // j == width-1 from the right).
+                match target.head {
+                    None => true,
+                    Some(_) => j == 0 || j + 1 == width,
+                }
+            }
+        }
+    }
+}
+
+/// If `cell` holds a head whose transition moves in `direction`, returns the
+/// state that head will be in after the move.
+fn incoming_head(machine: &TuringMachine, cell: Cell, direction: Direction) -> Option<State> {
+    let state = cell.head?;
+    let t = machine.transition(state, cell.symbol)?;
+    (t.direction == direction).then_some(t.next_state)
+}
+
+/// Enumerates every syntactically possible row of width `width` over the
+/// machine's alphabet with **at most one** head (in any state).
+///
+/// The number of rows is `num_symbols^width * (width * num_states + 1)`, so
+/// callers should keep `width` small (the experiments use `width = 3r` with
+/// `r = 1`); the fragment collection in `ld-constructions` builds on this.
+pub fn enumerate_rows(machine: &TuringMachine, width: usize) -> Vec<Vec<Cell>> {
+    let symbols: Vec<Symbol> = (0..machine.num_symbols()).map(Symbol).collect();
+    let states: Vec<State> = (0..machine.num_states()).map(State).collect();
+    let mut symbol_rows: Vec<Vec<Symbol>> = vec![Vec::new()];
+    for _ in 0..width {
+        let mut extended = Vec::with_capacity(symbol_rows.len() * symbols.len());
+        for row in &symbol_rows {
+            for &s in &symbols {
+                let mut r = row.clone();
+                r.push(s);
+                extended.push(r);
+            }
+        }
+        symbol_rows = extended;
+    }
+    let mut rows = Vec::new();
+    for symbol_row in &symbol_rows {
+        // No head.
+        rows.push(symbol_row.iter().map(|&s| Cell::symbol(s)).collect::<Vec<_>>());
+        // Head at each position, in each state.
+        for head_col in 0..width {
+            for &q in &states {
+                let row: Vec<Cell> = symbol_row
+                    .iter()
+                    .enumerate()
+                    .map(|(i, &s)| {
+                        if i == head_col {
+                            Cell::with_head(s, q)
+                        } else {
+                            Cell::symbol(s)
+                        }
+                    })
+                    .collect();
+                rows.push(row);
+            }
+        }
+    }
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::table::ExecutionTable;
+    use crate::zoo;
+
+    fn simple_machine() -> TuringMachine {
+        zoo::halts_with_output(3, Symbol(0)).machine
+    }
+
+    #[test]
+    fn successor_row_matches_execution_table() {
+        let m = simple_machine();
+        let t = ExecutionTable::of_halting(&m, 100).unwrap();
+        for i in 0..t.height() - 1 {
+            assert_eq!(successor_row(&m, t.row(i)), t.row(i + 1).to_vec());
+            assert!(row_follows(&m, t.row(i), t.row(i + 1)));
+        }
+    }
+
+    #[test]
+    fn successor_of_halted_row_repeats() {
+        let m = simple_machine();
+        let t = ExecutionTable::of_halting(&m, 100).unwrap();
+        let last = t.row(t.height() - 1);
+        assert_eq!(successor_row(&m, last), last.to_vec());
+    }
+
+    #[test]
+    fn head_leaving_the_window_disappears() {
+        let spec = zoo::infinite_loop();
+        let row = vec![Cell::symbol(Symbol(0)), Cell::with_head(Symbol(0), State(0))];
+        let next = successor_row(&spec.machine, &row);
+        assert!(next.iter().all(|c| c.head.is_none()));
+    }
+
+    #[test]
+    fn fragment_consistency_accepts_real_windows() {
+        let m = simple_machine();
+        let t = ExecutionTable::of_halting(&m, 100).unwrap();
+        // Every 3x3 window of the real table is fragment-consistent.
+        let side = 3.min(t.height());
+        for row in 0..=t.height() - side {
+            for col in 0..=t.width() - side {
+                let w = t.window(row, col, side).unwrap();
+                assert!(
+                    w.is_locally_consistent_fragment(&m),
+                    "window at ({row},{col}) should be consistent"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn fragment_consistency_rejects_wrong_rewrite() {
+        let m = simple_machine();
+        // Head in state 0 over blank must write 1 (per the zoo walker); claim
+        // it wrote 0 and kept the head: inconsistent.
+        let prev = vec![Cell::with_head(Symbol(0), State(0)), Cell::blank()];
+        let bad_next = vec![Cell::symbol(Symbol(0)), Cell::blank()];
+        assert!(!rows_fragment_consistent(&m, &prev, &bad_next));
+    }
+
+    #[test]
+    fn fragment_consistency_rejects_teleporting_head() {
+        let m = simple_machine();
+        // No head above, yet a head appears in an interior column.
+        let prev = vec![Cell::blank(), Cell::blank(), Cell::blank()];
+        let bad_next = vec![Cell::blank(), Cell::with_head(Symbol(0), State(1)), Cell::blank()];
+        assert!(!rows_fragment_consistent(&m, &prev, &bad_next));
+        // At a border column it is allowed (the head may come from outside).
+        let ok_next = vec![Cell::with_head(Symbol(0), State(1)), Cell::blank(), Cell::blank()];
+        assert!(rows_fragment_consistent(&m, &prev, &ok_next));
+    }
+
+    #[test]
+    fn fragment_consistency_requires_symbol_copy() {
+        let m = simple_machine();
+        let prev = vec![Cell::blank(), Cell::symbol(Symbol(1))];
+        let bad_next = vec![Cell::blank(), Cell::symbol(Symbol(0))];
+        assert!(!rows_fragment_consistent(&m, &prev, &bad_next));
+    }
+
+    #[test]
+    fn fragment_consistency_requires_visible_head_to_arrive() {
+        let m = zoo::infinite_loop().machine; // always moves right
+        let prev = vec![Cell::with_head(Symbol(0), State(0)), Cell::blank(), Cell::blank()];
+        // The walker writes 1 and moves right: the head must arrive at
+        // column 1; claiming it vanished is wrong.
+        let bad_next = vec![Cell::symbol(Symbol(1)), Cell::blank(), Cell::blank()];
+        assert!(!rows_fragment_consistent(&m, &prev, &bad_next));
+        let good_next = vec![Cell::symbol(Symbol(1)), Cell::with_head(Symbol(0), State(0)), Cell::blank()];
+        assert!(rows_fragment_consistent(&m, &prev, &good_next));
+    }
+
+    #[test]
+    fn mismatched_row_lengths_are_inconsistent() {
+        let m = simple_machine();
+        assert!(!rows_fragment_consistent(&m, &[Cell::blank()], &[Cell::blank(), Cell::blank()]));
+        assert!(!rows_fragment_consistent(&m, &[], &[]));
+    }
+
+    #[test]
+    fn enumerate_rows_counts() {
+        let m = zoo::infinite_loop().machine; // 1 state, 2 symbols
+        let rows = enumerate_rows(&m, 2);
+        // 2^2 symbol rows * (2 positions * 1 state + 1) = 4 * 3 = 12.
+        assert_eq!(rows.len(), 12);
+        assert!(rows.iter().all(|r| head_count(r) <= 1));
+        // All rows distinct.
+        let mut unique = rows.clone();
+        unique.sort_by_key(|r| format!("{r:?}"));
+        unique.dedup();
+        assert_eq!(unique.len(), rows.len());
+    }
+}

@@ -1,0 +1,297 @@
+//! A machine zoo with known ground truth.
+//!
+//! The paper's Section 3 separation argues about the undecidable languages
+//! `L₀ = {M : M halts and outputs 0}` and `L₁ = {M : M halts and outputs 1}`.
+//! Experiments obviously cannot quantify over all machines, so — as recorded
+//! in `DESIGN.md` §2 — they quantify over a *finite family with known ground
+//! truth*: machines constructed to halt after a prescribed number of steps
+//! with a prescribed output, plus machines that provably never halt
+//! (their transition graphs never reach a halting pair).
+
+use crate::machine::{Direction, RunOutcome, State, Symbol, TuringMachine};
+
+/// What we know (by construction or by verified execution) about a machine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GroundTruth {
+    /// The machine halts after exactly `steps` steps with output `output`.
+    Halts {
+        /// Exact running time from the blank tape.
+        steps: u64,
+        /// The symbol under the head at halt time.
+        output: Symbol,
+    },
+    /// The machine provably never halts (by construction).
+    RunsForever,
+}
+
+impl GroundTruth {
+    /// Returns `true` if the machine halts.
+    pub fn halts(&self) -> bool {
+        matches!(self, GroundTruth::Halts { .. })
+    }
+
+    /// The output symbol if the machine halts.
+    pub fn output(&self) -> Option<Symbol> {
+        match self {
+            GroundTruth::Halts { output, .. } => Some(*output),
+            GroundTruth::RunsForever => None,
+        }
+    }
+
+    /// The running time if the machine halts.
+    pub fn steps(&self) -> Option<u64> {
+        match self {
+            GroundTruth::Halts { steps, .. } => Some(*steps),
+            GroundTruth::RunsForever => None,
+        }
+    }
+}
+
+/// A machine bundled with its ground truth.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MachineSpec {
+    /// The machine itself.
+    pub machine: TuringMachine,
+    /// What is known about its behaviour on the blank tape.
+    pub truth: GroundTruth,
+}
+
+impl MachineSpec {
+    /// Wraps a machine whose halting behaviour is verified by running it for
+    /// `fuel` steps.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the machine does not halt within `fuel` steps — this
+    /// constructor is only for machines *known* to halt.
+    pub fn verified_halting(machine: TuringMachine, fuel: u64) -> MachineSpec {
+        match machine.run(fuel) {
+            RunOutcome::Halted(h) => MachineSpec {
+                machine,
+                truth: GroundTruth::Halts { steps: h.steps, output: h.output },
+            },
+            RunOutcome::OutOfFuel(_) => {
+                panic!("machine {} did not halt within {fuel} steps", machine.name())
+            }
+        }
+    }
+
+    /// Wraps a machine that is non-halting by construction.
+    pub fn known_nonhalting(machine: TuringMachine) -> MachineSpec {
+        MachineSpec { machine, truth: GroundTruth::RunsForever }
+    }
+
+    /// Convenience: the machine is in `L₀` (halts with output 0).
+    pub fn in_l0(&self) -> bool {
+        self.truth.output() == Some(Symbol(0))
+    }
+
+    /// Convenience: the machine is in `L₁` (halts with output 1).
+    pub fn in_l1(&self) -> bool {
+        self.truth.output() == Some(Symbol(1))
+    }
+}
+
+/// A machine that walks right for `k` cells writing `1`s, then writes
+/// `output` and halts.  It halts after exactly `k + 1` steps.
+///
+/// # Panics
+///
+/// Panics if `k > 250` (the machine uses `k + 2` control states).
+pub fn halts_with_output(k: u8, output: Symbol) -> MachineSpec {
+    assert!(k <= 250, "halts_with_output supports at most 250 walking steps");
+    let num_states = k as u16 + 2;
+    let mut b = TuringMachine::builder(
+        format!("walk{k}-out{}", output.0),
+        num_states as u8,
+        2.max(output.0 + 1),
+    );
+    for i in 0..k {
+        b.rule(State(i), Symbol(0), Symbol(1), Direction::Right, State(i + 1));
+    }
+    // Write the output, stay, and move to a state with no rules: the machine
+    // halts scanning the output symbol.
+    b.rule(State(k), Symbol(0), output, Direction::Stay, State(k + 1));
+    let machine = b.build().expect("zoo machine is well-formed");
+    MachineSpec::verified_halting(machine, k as u64 + 16)
+}
+
+/// A single-state machine that moves right forever; it never reaches a
+/// halting pair because every `(state, symbol)` has a rule.
+pub fn infinite_loop() -> MachineSpec {
+    let mut b = TuringMachine::builder("right-forever", 1, 2);
+    b.rule(State(0), Symbol(0), Symbol(1), Direction::Right, State(0));
+    b.rule(State(0), Symbol(1), Symbol(1), Direction::Right, State(0));
+    MachineSpec::known_nonhalting(b.build().expect("zoo machine is well-formed"))
+}
+
+/// A two-state machine that bounces between two adjacent cells forever.
+pub fn ping_pong() -> MachineSpec {
+    let mut b = TuringMachine::builder("ping-pong", 2, 2);
+    b.rule(State(0), Symbol(0), Symbol(1), Direction::Right, State(1));
+    b.rule(State(0), Symbol(1), Symbol(1), Direction::Right, State(1));
+    b.rule(State(1), Symbol(0), Symbol(1), Direction::Left, State(0));
+    b.rule(State(1), Symbol(1), Symbol(1), Direction::Left, State(0));
+    MachineSpec::known_nonhalting(b.build().expect("zoo machine is well-formed"))
+}
+
+/// A 3-state, 2-symbol busy-beaver style machine (a long-running halter whose
+/// ground truth is established by running it, not hard-coded).
+pub fn busy_beaver_3() -> MachineSpec {
+    let mut b = TuringMachine::builder("busy-beaver-3", 4, 2);
+    // States: A = 0, B = 1, C = 2, and 3 is the halt state (no rules).
+    b.rule(State(0), Symbol(0), Symbol(1), Direction::Right, State(1));
+    b.rule(State(0), Symbol(1), Symbol(1), Direction::Left, State(2));
+    b.rule(State(1), Symbol(0), Symbol(1), Direction::Left, State(0));
+    b.rule(State(1), Symbol(1), Symbol(1), Direction::Right, State(1));
+    b.rule(State(2), Symbol(0), Symbol(1), Direction::Left, State(1));
+    b.rule(State(2), Symbol(1), Symbol(1), Direction::Stay, State(3));
+    MachineSpec::verified_halting(b.build().expect("zoo machine is well-formed"), 1_000)
+}
+
+/// A machine that writes an alternating `1 0 1 0 ...` pattern over `k` cells
+/// and halts with output 0.  Useful as a structurally different member of
+/// `L₀`.
+///
+/// # Panics
+///
+/// Panics if `k > 120` (two control states are used per written cell).
+pub fn alternating_writer(k: u8) -> MachineSpec {
+    assert!(k <= 120, "alternating_writer supports at most 120 cells");
+    let mut b = TuringMachine::builder(format!("alternate{k}"), 2 * k + 2, 2);
+    for i in 0..k {
+        let write = if i % 2 == 0 { Symbol(1) } else { Symbol(0) };
+        b.rule(State(2 * i), Symbol(0), write, Direction::Right, State(2 * i + 2));
+        // The odd states are deliberately unused spacers; they keep the
+        // state-numbering scheme simple and exercise decoding of sparse
+        // transition tables.
+    }
+    b.rule(State(2 * k), Symbol(0), Symbol(0), Direction::Stay, State(2 * k + 1));
+    let machine = b.build().expect("zoo machine is well-formed");
+    MachineSpec::verified_halting(machine, k as u64 + 16)
+}
+
+/// Halting machines with output 0 (members of `L₀`), in increasing running
+/// time.
+pub fn output_zero_zoo() -> Vec<MachineSpec> {
+    vec![
+        halts_with_output(0, Symbol(0)),
+        halts_with_output(3, Symbol(0)),
+        halts_with_output(8, Symbol(0)),
+        halts_with_output(20, Symbol(0)),
+        alternating_writer(6),
+        alternating_writer(12),
+    ]
+}
+
+/// Halting machines with output 1 (members of `L₁`), in increasing running
+/// time.
+pub fn output_one_zoo() -> Vec<MachineSpec> {
+    vec![
+        halts_with_output(0, Symbol(1)),
+        halts_with_output(4, Symbol(1)),
+        halts_with_output(9, Symbol(1)),
+        halts_with_output(21, Symbol(1)),
+        halts_with_output(30, Symbol(1)),
+    ]
+}
+
+/// Machines that never halt.
+pub fn nonhalting_zoo() -> Vec<MachineSpec> {
+    vec![infinite_loop(), ping_pong()]
+}
+
+/// The full zoo: `L₀` members, `L₁` members and non-halting machines.
+pub fn full_zoo() -> Vec<MachineSpec> {
+    let mut zoo = output_zero_zoo();
+    zoo.extend(output_one_zoo());
+    zoo.extend(nonhalting_zoo());
+    zoo
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn walker_halts_with_requested_output_and_steps() {
+        for k in [0u8, 1, 5, 17] {
+            for out in [Symbol(0), Symbol(1)] {
+                let spec = halts_with_output(k, out);
+                let GroundTruth::Halts { steps, output } = spec.truth else {
+                    panic!("walker must halt");
+                };
+                assert_eq!(steps, k as u64 + 1);
+                assert_eq!(output, out);
+            }
+        }
+    }
+
+    #[test]
+    fn busy_beaver_halts_and_writes_ones() {
+        let spec = busy_beaver_3();
+        let steps = spec.truth.steps().expect("busy beaver halts");
+        assert!(steps >= 3, "a busy-beaver style machine should take several steps");
+        let RunOutcome::Halted(h) = spec.machine.run(steps + 1) else { panic!() };
+        assert!(h.final_configuration.tape.contains(&Symbol(1)));
+        assert_eq!(Some(h.output), spec.truth.output());
+    }
+
+    #[test]
+    fn nonhalting_machines_survive_large_fuel() {
+        for spec in nonhalting_zoo() {
+            assert!(matches!(spec.machine.run(10_000), RunOutcome::OutOfFuel(_)));
+            assert!(!spec.truth.halts());
+        }
+    }
+
+    #[test]
+    fn zoo_partition_is_consistent() {
+        for spec in output_zero_zoo() {
+            assert!(spec.in_l0(), "{} should output 0", spec.machine.name());
+            assert!(!spec.in_l1());
+        }
+        for spec in output_one_zoo() {
+            assert!(spec.in_l1(), "{} should output 1", spec.machine.name());
+            assert!(!spec.in_l0());
+        }
+        assert_eq!(full_zoo().len(), output_zero_zoo().len() + output_one_zoo().len() + 2);
+    }
+
+    #[test]
+    fn ground_truth_matches_direct_execution() {
+        for spec in full_zoo() {
+            match spec.truth {
+                GroundTruth::Halts { steps, output } => {
+                    let RunOutcome::Halted(h) = spec.machine.run(steps + 10) else {
+                        panic!("{} must halt", spec.machine.name());
+                    };
+                    assert_eq!(h.steps, steps);
+                    assert_eq!(h.output, output);
+                }
+                GroundTruth::RunsForever => {
+                    assert!(matches!(spec.machine.run(5_000), RunOutcome::OutOfFuel(_)));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn alternating_writer_output_and_tape_pattern() {
+        let spec = alternating_writer(4);
+        let GroundTruth::Halts { output, .. } = spec.truth else { panic!() };
+        assert_eq!(output, Symbol(0));
+        let RunOutcome::Halted(h) = spec.machine.run(100) else { panic!() };
+        let tape = &h.final_configuration.tape;
+        assert_eq!(tape[0], Symbol(1));
+        assert_eq!(tape[1], Symbol(0));
+        assert_eq!(tape[2], Symbol(1));
+        assert_eq!(tape[3], Symbol(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "at most 250")]
+    fn walker_rejects_oversized_parameter() {
+        let _ = halts_with_output(251, Symbol(0));
+    }
+}

@@ -1,0 +1,79 @@
+//! The Section 2 separation (bounded identifiers), end to end.
+//!
+//! Builds the layered-tree family `T_r` / `H_r` (Figure 1), runs the
+//! Id-oblivious structure verifier (`P' ∈ LD*`), the identifier-reading
+//! decider (`P ∈ LD`), and shows that Id-oblivious candidates cannot decide
+//! `P` (they accept the no-instance `T_r`).
+//!
+//! Run with `cargo run -p ld-examples --bin section2_separation`.
+
+use local_decision::constructions::section2::{SmallInstancesProperty, SmallOrLargeProperty};
+use local_decision::deciders::section2 as s2;
+use local_decision::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let params = Section2Params::new(1, IdBound::identity_plus(2))?;
+    println!("== Section 2: separation under bounded identifiers ==");
+    println!(
+        "r = {}, f(n) = n + 2, R(r) = f(2^(r+1)+1) = {}",
+        params.r(),
+        params.big_depth()
+    );
+    println!(
+        "large instance T_r: {} nodes; small instances H+: {} nodes each; {} anchors",
+        params.large_instance_size(),
+        params.small_instance_size(),
+        params.small_instance_roots().len()
+    );
+
+    let inputs = s2::experiment_inputs(&params, 10)?;
+    let verifier = StructureVerifier::new(params.clone());
+    let id_decider = IdBasedDecider::new(params.clone());
+
+    let p_prime = SmallOrLargeProperty::new(params.clone());
+    let report = decision::check_decides_oblivious(&p_prime, &verifier, &inputs);
+    println!(
+        "\nP' in LD*: Id-oblivious verifier correct on {}/{} instances",
+        report.correct.len(),
+        report.total()
+    );
+
+    let p = SmallInstancesProperty::new(params.clone());
+    let report = decision::check_decides(&p, &id_decider, &inputs);
+    println!(
+        "P  in LD : Id-based decider (reject when Id(v) >= R(r) = {}) correct on {}/{} instances",
+        id_decider.threshold(),
+        report.correct.len(),
+        report.total()
+    );
+
+    let fails = s2::oblivious_candidate_fails(&params, &verifier, 10)?;
+    println!("P  not in LD*: the Id-oblivious verifier, used as a decider for P, fails: {fails}");
+
+    for radius in [0usize, 1] {
+        let coverage = s2::large_instance_view_coverage(&params, radius, 64)?;
+        println!(
+            "Figure 1 indistinguishability: {:.1}% of radius-{radius} views of T_r already occur in H_r",
+            100.0 * coverage
+        );
+    }
+
+    println!("\nPromise problem (n-cycle labelled r, n in {{r, f(r)}}, f(r) = 3r):");
+    let bound = IdBound::linear(3, 0);
+    let decider = s2::PromiseIdDecider::new(bound.clone());
+    for r in [5u64, 9, 15] {
+        let yes = local_decision::constructions::section2::promise::yes_instance(r)?;
+        let no = local_decision::constructions::section2::promise::no_instance(r, &bound, 100_000)?;
+        let yes_n = yes.node_count();
+        let no_n = no.node_count();
+        let yes_input = Input::new(yes, IdAssignment::consecutive_from(yes_n, 1))?;
+        let no_input = Input::new(no, IdAssignment::consecutive_from(no_n, 1))?;
+        println!(
+            "  r = {r:>2}: accepts the {yes_n}-cycle: {}, rejects the {no_n}-cycle: {}, radius-2 views indistinguishable: {}",
+            decision::run_local(&yes_input, &decider).accepted(),
+            !decision::run_local(&no_input, &decider).accepted(),
+            s2::promise_views_indistinguishable(r, &bound, 2, 100_000)?
+        );
+    }
+    Ok(())
+}

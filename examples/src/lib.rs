@@ -1,0 +1,1 @@
+//! Examples crate (binaries live under `examples/bin`).

@@ -1,0 +1,145 @@
+//! Cross-crate integration tests: the paper's two separations and the
+//! randomised corollary, exercised end to end through the facade crate.
+
+use local_decision::constructions::section2::{SmallInstancesProperty, SmallOrLargeProperty};
+use local_decision::deciders::randomized::RandomizedGmrDecider;
+use local_decision::deciders::section2 as s2;
+use local_decision::deciders::section3 as s3;
+use local_decision::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const SOURCE: FragmentSource = FragmentSource::WindowsAndDecoys;
+
+fn section2_params() -> Section2Params {
+    Section2Params::new(1, IdBound::identity_plus(2)).unwrap()
+}
+
+#[test]
+fn theorem1_bounded_identifiers_separation_end_to_end() {
+    let params = section2_params();
+    let inputs = s2::experiment_inputs(&params, 10).unwrap();
+
+    // P' is decided Id-obliviously.
+    let verifier = StructureVerifier::new(params.clone());
+    let p_prime = SmallOrLargeProperty::new(params.clone());
+    assert!(decision::check_decides_oblivious(&p_prime, &verifier, &inputs).all_correct());
+
+    // P is decided with identifiers.
+    let id_decider = IdBasedDecider::new(params.clone());
+    let p = SmallInstancesProperty::new(params.clone());
+    assert!(decision::check_decides(&p, &id_decider, &inputs).all_correct());
+
+    // The Id-oblivious candidates in the harness cannot decide P.
+    assert!(s2::oblivious_candidate_fails(&params, &verifier, 10).unwrap());
+
+    // The Id-based decider is itself Id-dependent: wrapping it in the
+    // truncated oblivious simulation (small universe) changes its verdict on
+    // the large instance.
+    let simulated = local_decision::local::simulation::ObliviousSimulation::new(
+        IdBasedDecider::new(params.clone()),
+        6,
+    );
+    let large_input = inputs.last().unwrap();
+    assert!(!decision::run_local(large_input, &id_decider).accepted());
+    assert!(decision::run_oblivious(large_input, &simulated).accepted());
+}
+
+#[test]
+fn theorem2_computability_separation_end_to_end() {
+    let machines = vec![
+        zoo::halts_with_output(1, Symbol(0)),
+        zoo::halts_with_output(4, Symbol(0)),
+        zoo::halts_with_output(4, Symbol(1)),
+        zoo::halts_with_output(9, Symbol(1)),
+    ];
+    let (id_ok, failing) =
+        s3::theorem2_experiment(&machines, 1, 10_000, SOURCE, &[2, 5]).unwrap();
+    assert!(id_ok, "the two-stage Id decider must be correct on the zoo");
+    assert!(
+        failing.contains(&2) && failing.contains(&5),
+        "fuel-bounded oblivious candidates must fail, got {failing:?}"
+    );
+
+    // The separation algorithm R halts on non-halting machines (P3) and the
+    // candidate-driven separator errs somewhere on the zoo (Lemma 1).
+    let candidate = s3::FuelBoundedObliviousCandidate::new(5);
+    assert!(s3::separation_algorithm(&candidate, &zoo::infinite_loop().machine, 1, SOURCE).unwrap());
+    let report = s3::separation_harness(&candidate, &machines, 1, SOURCE).unwrap();
+    assert!(report.candidate_fails());
+}
+
+#[test]
+fn oblivious_verdicts_are_invariant_under_id_reassignment() {
+    // The defining property of LD*: rerunning any Id-oblivious algorithm
+    // after an arbitrary renumbering gives identical per-node verdicts,
+    // while the Id-based deciders may (and here do) change their verdicts.
+    let params = section2_params();
+    let large = params.large_instance().unwrap();
+    let n = large.node_count();
+    let small_ids = Input::new(large.clone(), IdAssignment::consecutive(n)).unwrap();
+    let mut rng = StdRng::seed_from_u64(99);
+    let shuffled = Input::new(large, IdAssignment::shuffled(n, &mut rng)).unwrap();
+
+    let verifier = StructureVerifier::new(params.clone());
+    let a = decision::run_oblivious(&small_ids, &verifier);
+    let b = decision::run_oblivious(&shuffled, &verifier);
+    assert_eq!(a.verdicts(), b.verdicts());
+
+    let id_decider = IdBasedDecider::new(params);
+    let a = decision::run_local(&small_ids, &id_decider);
+    let b = decision::run_local(&shuffled, &id_decider);
+    // Both reject T_r (it is a no-instance) but the set of rejecting nodes
+    // moves with the identifiers.
+    assert!(!a.accepted() && !b.accepted());
+    assert_ne!(a.rejecting_nodes(), b.rejecting_nodes());
+}
+
+#[test]
+fn corollary1_randomised_decider_has_one_sided_error() {
+    let decider = RandomizedGmrDecider::new(1 << 20);
+    let mut rng = StdRng::seed_from_u64(5);
+
+    let yes = zoo::halts_with_output(3, Symbol(0));
+    let yes_input = s3::gmr_input(&yes.machine, 1, 10_000, SOURCE).unwrap();
+    assert_eq!(
+        decision::estimate_acceptance(&yes_input, &decider, 25, &mut rng),
+        1.0,
+        "yes-instances must always be accepted"
+    );
+
+    let no = zoo::halts_with_output(3, Symbol(1));
+    let no_input = s3::gmr_input(&no.machine, 1, 10_000, SOURCE).unwrap();
+    let acceptance = decision::estimate_acceptance(&no_input, &decider, 50, &mut rng);
+    assert!(acceptance < 0.1, "no-instances must be rejected w.h.p., acceptance = {acceptance}");
+}
+
+#[test]
+fn promise_problems_behave_as_in_the_paper() {
+    // Section 2 promise problem.
+    let bound = IdBound::linear(3, 0);
+    let decider = s2::PromiseIdDecider::new(bound.clone());
+    // r must exceed 2 * radius + 1 for the radius-2 views of the two cycles
+    // to coincide (otherwise the short cycle's views wrap around).
+    for r in [7u64, 9] {
+        let yes = local_decision::constructions::section2::promise::yes_instance(r).unwrap();
+        let no = local_decision::constructions::section2::promise::no_instance(r, &bound, 10_000)
+            .unwrap();
+        let yes_n = yes.node_count();
+        let no_n = no.node_count();
+        let yes_input = Input::new(yes, IdAssignment::consecutive_from(yes_n, 1)).unwrap();
+        let no_input = Input::new(no, IdAssignment::consecutive_from(no_n, 1)).unwrap();
+        assert!(decision::run_local(&yes_input, &decider).accepted());
+        assert!(!decision::run_local(&no_input, &decider).accepted());
+        assert!(s2::promise_views_indistinguishable(r, &bound, 2, 10_000).unwrap());
+    }
+
+    // Section 3 promise problem.
+    let decider = s3::PromiseHaltingDecider::new(100_000);
+    let halting = zoo::halts_with_output(6, Symbol(1));
+    let forever = zoo::infinite_loop();
+    let no = local_decision::constructions::section3::promise::instance(&halting.machine, 12).unwrap();
+    let yes = local_decision::constructions::section3::promise::instance(&forever.machine, 12).unwrap();
+    assert!(!decision::run_local(&Input::with_consecutive_ids(no).unwrap(), &decider).accepted());
+    assert!(decision::run_local(&Input::with_consecutive_ids(yes).unwrap(), &decider).accepted());
+}
