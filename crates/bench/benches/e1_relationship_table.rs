@@ -28,10 +28,7 @@ fn cell_b(params: &Section2Params) -> bool {
     id_ok && oblivious_fails
 }
 
-fn ld_section2_inputs(
-    params: &Section2Params,
-    max_small: usize,
-) -> Vec<Input<Section2Label>> {
+fn ld_section2_inputs(params: &Section2Params, max_small: usize) -> Vec<Input<Section2Label>> {
     local_decision::deciders::section2::experiment_inputs(params, max_small).unwrap()
 }
 

@@ -33,9 +33,8 @@ fn print_promise_series() {
     for r in [5u64, 7, 9, 15] {
         let decider = s2::PromiseIdDecider::new(bound.clone());
         let yes = local_decision::constructions::section2::promise::yes_instance(r).unwrap();
-        let no =
-            local_decision::constructions::section2::promise::no_instance(r, &bound, 100_000)
-                .unwrap();
+        let no = local_decision::constructions::section2::promise::no_instance(r, &bound, 100_000)
+            .unwrap();
         let yes_n = yes.node_count();
         let no_n = no.node_count();
         let yes_input = Input::new(yes, IdAssignment::consecutive_from(yes_n, 1)).unwrap();
@@ -48,7 +47,10 @@ fn print_promise_series() {
 }
 
 fn print_theorem1_series(params: &Section2Params) {
-    eprintln!("E4: Theorem 1 under (B) — who decides what (r = {})", params.r());
+    eprintln!(
+        "E4: Theorem 1 under (B) — who decides what (r = {})",
+        params.r()
+    );
     let property_p =
         local_decision::constructions::section2::SmallInstancesProperty::new(params.clone());
     let property_p_prime =
@@ -58,8 +60,7 @@ fn print_theorem1_series(params: &Section2Params) {
     let id_decider = IdBasedDecider::new(params.clone());
     let p_prime_ok = decision::check_decides_oblivious(&property_p_prime, &verifier, &inputs);
     let p_ok = decision::check_decides(&property_p, &id_decider, &inputs);
-    let oblivious_fails =
-        s2::oblivious_candidate_fails(params, &verifier, 8).unwrap();
+    let oblivious_fails = s2::oblivious_candidate_fails(params, &verifier, 8).unwrap();
     eprintln!(
         "  P' in LD*: {} ({} / {} instances correct)",
         p_prime_ok.all_correct(),

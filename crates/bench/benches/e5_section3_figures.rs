@@ -62,7 +62,9 @@ fn print_theorem2_series() {
     let (id_ok, failing) =
         s3::theorem2_experiment(&zoo_machines, 1, 10_000, SOURCE, &[2, 5, 8, 50]).unwrap();
     eprintln!("  Id-based decider correct on the zoo: {id_ok}");
-    eprintln!("  fuel-bounded oblivious candidates that fail: {failing:?} (fuels tried: [2, 5, 8, 50])");
+    eprintln!(
+        "  fuel-bounded oblivious candidates that fail: {failing:?} (fuels tried: [2, 5, 8, 50])"
+    );
     let candidate = s3::FuelBoundedObliviousCandidate::new(5);
     let report = s3::separation_harness(&candidate, &zoo_machines, 1, SOURCE).unwrap();
     eprintln!(
@@ -81,7 +83,8 @@ fn print_promise_series() {
         (zoo::halts_with_output(6, Symbol(0)), 12),
         (zoo::halts_with_output(10, Symbol(1)), 16),
     ] {
-        let instance = local_decision::constructions::section3::promise::instance(&spec.machine, n).unwrap();
+        let instance =
+            local_decision::constructions::section3::promise::instance(&spec.machine, n).unwrap();
         let input = Input::new(instance, IdAssignment::consecutive(n)).unwrap();
         let accepted = decision::run_local(&input, &decider).accepted();
         eprintln!(

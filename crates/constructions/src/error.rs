@@ -91,7 +91,9 @@ mod tests {
         assert!(e.to_string().contains('3'));
         let e: ConstructionError = ld_local::LocalError::DisconnectedInput.into();
         assert!(std::error::Error::source(&e).is_some());
-        let e = ConstructionError::InstanceTooLarge { reason: "depth 40".into() };
+        let e = ConstructionError::InstanceTooLarge {
+            reason: "depth 40".into(),
+        };
         assert!(e.to_string().contains("depth 40"));
     }
 }

@@ -26,7 +26,7 @@ use ld_turing::window::enumerate_rows;
 use ld_turing::{Cell, ExecutionTable, State, Symbol, TuringMachine};
 
 /// Which fragments to include in `C(M, r)`.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum FragmentSource {
     /// The paper's exhaustive enumeration of all locally consistent
     /// `side x side` fragments, aborting with an error beyond `cap`
@@ -40,13 +40,8 @@ pub enum FragmentSource {
     TableWindows,
     /// Real windows plus halted-head decoy fragments for every possible
     /// output symbol (the default).
+    #[default]
     WindowsAndDecoys,
-}
-
-impl Default for FragmentSource {
-    fn default() -> Self {
-        FragmentSource::WindowsAndDecoys
-    }
 }
 
 /// The fragment collection `C(M, r)`.
@@ -228,15 +223,19 @@ mod tests {
                 .unwrap();
             assert_eq!(c.side(), 3);
             assert!(!c.is_empty());
-            assert!(c.all_consistent(&spec.machine), "machine {}", spec.machine.name());
+            assert!(
+                c.all_consistent(&spec.machine),
+                "machine {}",
+                spec.machine.name()
+            );
         }
     }
 
     #[test]
     fn decoys_cover_every_halting_output() {
         let spec = zoo::halts_with_output(3, Symbol(0));
-        let c = FragmentCollection::build(&spec.machine, 1, FragmentSource::WindowsAndDecoys)
-            .unwrap();
+        let c =
+            FragmentCollection::build(&spec.machine, 1, FragmentSource::WindowsAndDecoys).unwrap();
         // Some fragment must contain a halted head scanning 0 and another a
         // halted head scanning 1 — regardless of what the machine outputs.
         let mut saw_output = [false, false];
@@ -258,8 +257,7 @@ mod tests {
     #[test]
     fn table_windows_contain_the_initial_window() {
         let spec = zoo::halts_with_output(5, Symbol(0));
-        let c =
-            FragmentCollection::build(&spec.machine, 1, FragmentSource::TableWindows).unwrap();
+        let c = FragmentCollection::build(&spec.machine, 1, FragmentSource::TableWindows).unwrap();
         let table = ExecutionTable::of_halting(&spec.machine, 100).unwrap();
         let initial = table.window(0, 0, 3).unwrap();
         assert!(c.fragments().contains(&initial));
@@ -268,12 +266,12 @@ mod tests {
     #[test]
     fn exhaustive_enumeration_respects_cap_and_consistency() {
         let spec = zoo::infinite_loop(); // 1 state, 2 symbols: small row space
-        let too_small = FragmentCollection::build(
-            &spec.machine,
-            1,
-            FragmentSource::Exhaustive { cap: 10 },
-        );
-        assert!(matches!(too_small, Err(ConstructionError::InstanceTooLarge { .. })));
+        let too_small =
+            FragmentCollection::build(&spec.machine, 1, FragmentSource::Exhaustive { cap: 10 });
+        assert!(matches!(
+            too_small,
+            Err(ConstructionError::InstanceTooLarge { .. })
+        ));
 
         let c = FragmentCollection::build(
             &spec.machine,
@@ -281,7 +279,11 @@ mod tests {
             FragmentSource::Exhaustive { cap: 200_000 },
         )
         .unwrap();
-        assert!(c.len() > 100, "exhaustive enumeration should be large, got {}", c.len());
+        assert!(
+            c.len() > 100,
+            "exhaustive enumeration should be large, got {}",
+            c.len()
+        );
         assert!(c.all_consistent(&spec.machine));
     }
 
@@ -295,8 +297,7 @@ mod tests {
     #[test]
     fn nonhalting_machines_use_truncated_tables_for_windows() {
         let spec = zoo::infinite_loop();
-        let c =
-            FragmentCollection::build(&spec.machine, 1, FragmentSource::TableWindows).unwrap();
+        let c = FragmentCollection::build(&spec.machine, 1, FragmentSource::TableWindows).unwrap();
         assert!(!c.is_empty());
         assert!(c.all_consistent(&spec.machine));
     }

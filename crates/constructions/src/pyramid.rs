@@ -49,7 +49,11 @@ impl Pyramid {
         let (graph, coords) = generators::quadtree_pyramid(h);
         let labeled = LabeledGraph::from_fn(graph, |v| {
             let (x, y, z) = coords[v.index()];
-            PyramidLabel { x: x as u32, y: y as u32, z }
+            PyramidLabel {
+                x: x as u32,
+                y: y as u32,
+                z,
+            }
         });
         Ok(Pyramid { labeled, height: h })
     }
@@ -127,9 +131,7 @@ impl Pyramid {
     pub fn corner_distance(&self) -> usize {
         let side = 1u32 << self.height;
         let a = self.base_node(0, 0).expect("corner exists");
-        let b = self
-            .base_node(side - 1, side - 1)
-            .expect("corner exists");
+        let b = self.base_node(side - 1, side - 1).expect("corner exists");
         self.labeled
             .graph()
             .distance(a, b)

@@ -95,7 +95,11 @@ impl Section2Params {
     ///
     /// See [`Section2Params::new`].
     pub fn with_max_depth(r: u32, bound: IdBound, max_depth: u32) -> Result<Self> {
-        let params = Section2Params { r, bound, max_depth };
+        let params = Section2Params {
+            r,
+            bound,
+            max_depth,
+        };
         let depth = params.big_depth_unchecked();
         if depth > u64::from(max_depth) {
             return Err(ConstructionError::InstanceTooLarge {
@@ -256,8 +260,12 @@ impl Section2Params {
             });
         }
         let coords = self.subtree_coords(root);
-        let index: HashMap<Coord, usize> =
-            coords.iter().copied().enumerate().map(|(i, c)| (c, i)).collect();
+        let index: HashMap<Coord, usize> = coords
+            .iter()
+            .copied()
+            .enumerate()
+            .map(|(i, c)| (c, i))
+            .collect();
         let mut graph = Graph::with_nodes(coords.len() + 1);
         let pivot = NodeId::from(coords.len());
         for (i, &c) in coords.iter().enumerate() {
@@ -370,11 +378,7 @@ impl Section2Params {
         let Some(&min_y) = coord_of.keys().map(|c| &c.y).min() else {
             return InstanceClass::Invalid;
         };
-        let roots: Vec<Coord> = coord_of
-            .keys()
-            .copied()
-            .filter(|c| c.y == min_y)
-            .collect();
+        let roots: Vec<Coord> = coord_of.keys().copied().filter(|c| c.y == min_y).collect();
         let [root] = roots.as_slice() else {
             return InstanceClass::Invalid;
         };
@@ -501,7 +505,10 @@ pub mod promise {
                 reason: format!("a cycle needs at least 3 nodes, got r = {r}"),
             });
         }
-        Ok(LabeledGraph::uniform(generators::cycle(r as usize), CycleParamLabel { r }))
+        Ok(LabeledGraph::uniform(
+            generators::cycle(r as usize),
+            CycleParamLabel { r },
+        ))
     }
 
     /// Builds the no-instance: an `f(r)`-cycle labelled `r`.
@@ -510,7 +517,11 @@ pub mod promise {
     ///
     /// Returns an error if `f(r) < 3`, if `f(r) = r` (the bound must grow),
     /// or if `f(r)` exceeds `max_nodes`.
-    pub fn no_instance(r: u64, bound: &IdBound, max_nodes: u64) -> Result<LabeledGraph<CycleParamLabel>> {
+    pub fn no_instance(
+        r: u64,
+        bound: &IdBound,
+        max_nodes: u64,
+    ) -> Result<LabeledGraph<CycleParamLabel>> {
         let n = bound.apply(r);
         if n < 3 || n == r {
             return Err(ConstructionError::InvalidParameter {
@@ -522,7 +533,10 @@ pub mod promise {
                 reason: format!("f(r) = {n} exceeds the cap of {max_nodes} nodes"),
             });
         }
-        Ok(LabeledGraph::uniform(generators::cycle(n as usize), CycleParamLabel { r }))
+        Ok(LabeledGraph::uniform(
+            generators::cycle(n as usize),
+            CycleParamLabel { r },
+        ))
     }
 
     /// The promise-problem property: the graph is a cycle whose length
@@ -591,7 +605,12 @@ mod tests {
     #[test]
     fn small_instances_classify_small() {
         let p = params();
-        for root in [Coord::new(0, 0), Coord::new(0, 3), Coord::new(5, 4), Coord::new(63, 6)] {
+        for root in [
+            Coord::new(0, 0),
+            Coord::new(0, 3),
+            Coord::new(5, 4),
+            Coord::new(63, 6),
+        ] {
             let h = p.small_instance(root).unwrap();
             assert_eq!(h.node_count(), 4, "depth-1 subtree plus pivot");
             assert!(h.graph().is_connected());
@@ -650,7 +669,10 @@ mod tests {
         // Duplicate coordinate.
         let mut h = p.small_instance(Coord::new(0, 2)).unwrap();
         let first_coord = h.label(NodeId(0)).coord;
-        *h.label_mut(NodeId(1)) = Section2Label { r: 1, coord: first_coord };
+        *h.label_mut(NodeId(1)) = Section2Label {
+            r: 1,
+            coord: first_coord,
+        };
         assert_eq!(p.classify(&h), InstanceClass::Invalid);
 
         // Two pivots.
@@ -672,10 +694,7 @@ mod tests {
         assert_eq!(p.classify(&tampered), InstanceClass::Invalid);
 
         // A plain path is invalid.
-        let path = LabeledGraph::uniform(
-            generators::path(4),
-            Section2Label { r: 1, coord: None },
-        );
+        let path = LabeledGraph::uniform(generators::path(4), Section2Label { r: 1, coord: None });
         assert_eq!(p.classify(&path), InstanceClass::Invalid);
     }
 

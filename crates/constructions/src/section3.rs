@@ -159,7 +159,13 @@ fn assemble(
     }
     let labeled = LabeledGraph::new(graph, labels)?;
     let _ = exact;
-    Ok(GmrInstance { labeled, pivot, table_side: side, table_nodes, fragment_count })
+    Ok(GmrInstance {
+        labeled,
+        pivot,
+        table_side: side,
+        table_nodes,
+        fragment_count,
+    })
 }
 
 /// Which borders of a fragment are treated as non-natural (and hence glued to
@@ -219,8 +225,14 @@ pub fn border_variants(machine: &TuringMachine, fragment: &ExecutionTable) -> Ve
     if choice.bottom && !choice.left && !choice.right && fragment.height() > 2 {
         // Connectivity fix from the paper: split into two variants.
         vec![
-            BorderChoice { left: true, ..choice },
-            BorderChoice { right: true, ..choice },
+            BorderChoice {
+                left: true,
+                ..choice
+            },
+            BorderChoice {
+                right: true,
+                ..choice
+            },
         ]
     } else {
         vec![choice]
@@ -235,8 +247,7 @@ fn column_is_natural(machine: &TuringMachine, fragment: &ExecutionTable, col: us
             // the column cannot be the tape boundary / an untouched edge.
             if let Some(t) = machine.transition(state, cell.symbol) {
                 let moves_out = (col == 0 && t.direction == ld_turing::Direction::Left)
-                    || (col + 1 == fragment.width()
-                        && t.direction == ld_turing::Direction::Right);
+                    || (col + 1 == fragment.width() && t.direction == ld_turing::Direction::Right);
                 if moves_out {
                     return false;
                 }
@@ -246,7 +257,9 @@ fn column_is_natural(machine: &TuringMachine, fragment: &ExecutionTable, col: us
             if row > 0 {
                 let above = fragment.cell(row - 1, col).expect("row-1 is in range");
                 let inner_col = if col == 0 { 1 } else { col - 1 };
-                let inner = fragment.cell(row - 1, inner_col).expect("inner column in range");
+                let inner = fragment
+                    .cell(row - 1, inner_col)
+                    .expect("inner column in range");
                 let fed_from_above = above.head.is_some();
                 let fed_from_inner = inner.head.is_some();
                 if !fed_from_above && !fed_from_inner {
@@ -293,7 +306,9 @@ pub fn neighborhood_generator(
     let fragments = FragmentCollection::build(machine, r, source)?;
     let instance = assemble(machine, r, &table, &fragments, false)?;
     let bottom_row_start = (extent - 1) * extent;
-    let bottom_row: Vec<NodeId> = (bottom_row_start..extent * extent).map(NodeId::from).collect();
+    let bottom_row: Vec<NodeId> = (bottom_row_start..extent * extent)
+        .map(NodeId::from)
+        .collect();
     let radius = r as usize;
     let views = collect_oblivious_views(instance.labeled(), radius);
     let filtered: Vec<ObliviousView<Section3Label>> = instance
@@ -400,7 +415,9 @@ pub mod promise {
         }
         Ok(LabeledGraph::uniform(
             generators::cycle(n),
-            MachineLabel { machine: machine.clone() },
+            MachineLabel {
+                machine: machine.clone(),
+            },
         ))
     }
 
@@ -459,11 +476,7 @@ mod tests {
     fn gmr_pivot_is_the_high_degree_top_left_corner() {
         let spec = zoo::halts_with_output(2, Symbol(1));
         let instance = build_gmr(&spec.machine, 1, 100, FragmentSource::WindowsAndDecoys).unwrap();
-        let pivot_degree = instance
-            .labeled()
-            .graph()
-            .degree(instance.pivot())
-            .unwrap();
+        let pivot_degree = instance.labeled().graph().degree(instance.pivot()).unwrap();
         // The pivot is adjacent to its two grid neighbours plus at least one
         // non-natural border node per glued fragment variant.
         assert!(pivot_degree > 2 + instance.fragment_count() / 2);
@@ -487,7 +500,10 @@ mod tests {
         let variants = border_variants(&spec.machine, &blank);
         assert_eq!(variants.len(), 1);
         assert!(!variants[0].left && !variants[0].right && !variants[0].bottom);
-        assert_eq!(variants[0].non_natural_nodes(3, 3), vec![(0, 0), (1, 0), (2, 0)]);
+        assert_eq!(
+            variants[0].non_natural_nodes(3, 3),
+            vec![(0, 0), (1, 0), (2, 0)]
+        );
 
         // A fragment whose bottom row holds a running head but whose side
         // columns are untouched: the bottom is non-natural while left and
@@ -496,7 +512,11 @@ mod tests {
         let running_head_bottom = ExecutionTable::from_rows(vec![
             vec![Cell::blank(), Cell::blank(), Cell::blank()],
             vec![Cell::blank(), Cell::blank(), Cell::blank()],
-            vec![Cell::blank(), Cell::with_head(Symbol(0), ld_turing::State(0)), Cell::blank()],
+            vec![
+                Cell::blank(),
+                Cell::with_head(Symbol(0), ld_turing::State(0)),
+                Cell::blank(),
+            ],
         ])
         .unwrap();
         let variants = border_variants(&spec.machine, &running_head_bottom);
@@ -508,8 +528,8 @@ mod tests {
     #[test]
     fn neighborhood_generator_halts_on_nonhalting_machines() {
         let spec = zoo::infinite_loop();
-        let views = neighborhood_generator(&spec.machine, 1, FragmentSource::WindowsAndDecoys)
-            .unwrap();
+        let views =
+            neighborhood_generator(&spec.machine, 1, FragmentSource::WindowsAndDecoys).unwrap();
         assert!(!views.is_empty());
     }
 

@@ -59,8 +59,8 @@ pub mod prelude {
     pub use ld_deciders::section3::{FuelBoundedObliviousCandidate, TwoStageIdDecider};
     pub use ld_graph::{generators, Graph, LabeledGraph, NodeId};
     pub use ld_local::{
-        decision, enumeration, FnLocal, FnOblivious, IdAssignment, IdBound, Input,
-        LocalAlgorithm, ObliviousAlgorithm, ObliviousView, Property, Verdict, View,
+        decision, enumeration, FnLocal, FnOblivious, IdAssignment, IdBound, Input, LocalAlgorithm,
+        ObliviousAlgorithm, ObliviousView, Property, Verdict, View,
     };
     pub use ld_turing::{zoo, Symbol, TuringMachine};
 }

@@ -149,7 +149,10 @@ impl IdBasedDecider {
     /// Wraps the construction parameters.
     pub fn new(params: Section2Params) -> Self {
         let threshold = u64::from(params.big_depth());
-        IdBasedDecider { verifier: StructureVerifier::new(params), threshold }
+        IdBasedDecider {
+            verifier: StructureVerifier::new(params),
+            threshold,
+        }
     }
 
     /// The rejection threshold `R(r)`.
@@ -190,11 +193,17 @@ pub fn experiment_inputs(
     let mut inputs = Vec::new();
     for small in params.sample_small_instances(max_small)? {
         let n = small.node_count();
-        inputs.push(Input::new(small, IdAssignment::consecutive(n)).map_err(ld_constructions::ConstructionError::from)?);
+        inputs.push(
+            Input::new(small, IdAssignment::consecutive(n))
+                .map_err(ld_constructions::ConstructionError::from)?,
+        );
     }
     let large = params.large_instance()?;
     let n = large.node_count();
-    inputs.push(Input::new(large, IdAssignment::consecutive(n)).map_err(ld_constructions::ConstructionError::from)?);
+    inputs.push(
+        Input::new(large, IdAssignment::consecutive(n))
+            .map_err(ld_constructions::ConstructionError::from)?,
+    );
     Ok(inputs)
 }
 
@@ -308,11 +317,11 @@ pub fn promise_views_indistinguishable(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use ld_constructions::section2::{SmallInstancesProperty, SmallOrLargeProperty};
     use ld_graph::NodeId;
     use ld_local::algorithm::AlwaysYes;
     use ld_local::decision::{check_decides, check_decides_oblivious};
     use ld_local::property::Property;
-    use ld_constructions::section2::{SmallInstancesProperty, SmallOrLargeProperty};
 
     fn params() -> Section2Params {
         Section2Params::new(1, IdBound::identity_plus(2)).unwrap()
@@ -334,7 +343,10 @@ mod tests {
         let verifier = StructureVerifier::new(params.clone());
         // Corrupt a small instance by changing a coordinate.
         let mut small = params.small_instance(Coord::new(0, 2)).unwrap();
-        *small.label_mut(NodeId(1)) = Section2Label { r: 1, coord: Some(Coord::new(3, 6)) };
+        *small.label_mut(NodeId(1)) = Section2Label {
+            r: 1,
+            coord: Some(Coord::new(3, 6)),
+        };
         let n = small.node_count();
         let input = Input::new(small, IdAssignment::consecutive(n)).unwrap();
         assert!(!decision::run_oblivious(&input, &verifier).accepted());
@@ -406,8 +418,7 @@ mod tests {
         assert!(!property.contains(&no));
 
         // Identifiers start at 1 so that the f(r)-cycle contains an id >= f(r).
-        let yes_input =
-            Input::new(yes, IdAssignment::consecutive_from(r as usize, 1)).unwrap();
+        let yes_input = Input::new(yes, IdAssignment::consecutive_from(r as usize, 1)).unwrap();
         let no_input = Input::new(
             no,
             IdAssignment::consecutive_from(bound.apply(r) as usize, 1),

@@ -5,8 +5,8 @@ use ld_constructions::section3::{
     build_gmr, neighborhood_generator, promise::MachineLabel, Section3Label,
 };
 
-use ld_local::{decision, IdAssignment, Input, LocalAlgorithm, ObliviousAlgorithm, Verdict, View};
 use ld_local::ObliviousView;
+use ld_local::{decision, IdAssignment, Input, LocalAlgorithm, ObliviousAlgorithm, Verdict, View};
 use ld_turing::{zoo::MachineSpec, RunOutcome, Symbol, TuringMachine};
 
 /// The two-stage identifier-reading decider of Theorem 2 (`P ∈ LD` under
@@ -83,7 +83,10 @@ pub struct FuelBoundedObliviousCandidate {
 impl FuelBoundedObliviousCandidate {
     /// Creates the candidate with the given fixed simulation fuel.
     pub fn new(fuel: u64) -> Self {
-        FuelBoundedObliviousCandidate { name: format!("oblivious-fuel-{fuel}"), fuel }
+        FuelBoundedObliviousCandidate {
+            name: format!("oblivious-fuel-{fuel}"),
+            fuel,
+        }
     }
 
     /// The fixed fuel budget.
@@ -309,7 +312,11 @@ mod tests {
         assert!(!decision.accepted());
         let steps = spec.truth.steps().unwrap();
         for v in decision.rejecting_nodes() {
-            assert!(input.id(v) >= steps, "node {v} rejected with id {}", input.id(v));
+            assert!(
+                input.id(v) >= steps,
+                "node {v} rejected with id {}",
+                input.id(v)
+            );
         }
     }
 
@@ -351,7 +358,9 @@ mod tests {
         let candidate = FuelBoundedObliviousCandidate::new(5);
         let report = separation_harness(&candidate, &zoo_machines, 1, SOURCE).unwrap();
         assert!(report.candidate_fails());
-        assert!(report.accepted_l1.contains(&zoo_machines[1].machine.name().to_string()));
+        assert!(report
+            .accepted_l1
+            .contains(&zoo_machines[1].machine.name().to_string()));
     }
 
     #[test]

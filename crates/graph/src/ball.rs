@@ -79,7 +79,7 @@ impl Ball {
     /// at distance exactly `radius` from the centre.  When this is `false`
     /// the centre already sees the whole connected component.
     pub fn is_saturated(&self) -> bool {
-        self.distances.iter().any(|&d| d == self.radius)
+        self.distances.contains(&self.radius)
     }
 }
 

@@ -52,10 +52,16 @@ impl fmt::Display for GraphError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             GraphError::NodeOutOfRange { node, node_count } => {
-                write!(f, "node index {node} out of range for graph with {node_count} nodes")
+                write!(
+                    f,
+                    "node index {node} out of range for graph with {node_count} nodes"
+                )
             }
             GraphError::SelfLoop { node } => {
-                write!(f, "self-loop on node {node} is not allowed in a simple graph")
+                write!(
+                    f,
+                    "self-loop on node {node} is not allowed in a simple graph"
+                )
             }
             GraphError::DuplicateEdge { u, v } => {
                 write!(f, "edge ({u}, {v}) already present")
@@ -81,18 +87,28 @@ mod tests {
     #[test]
     fn display_is_nonempty_and_lowercase_start() {
         let errors = vec![
-            GraphError::NodeOutOfRange { node: 3, node_count: 2 },
+            GraphError::NodeOutOfRange {
+                node: 3,
+                node_count: 2,
+            },
             GraphError::SelfLoop { node: 1 },
             GraphError::DuplicateEdge { u: 0, v: 1 },
-            GraphError::LabelCountMismatch { nodes: 4, labels: 2 },
+            GraphError::LabelCountMismatch {
+                nodes: 4,
+                labels: 2,
+            },
             GraphError::Disconnected,
             GraphError::EmptyGraph,
-            GraphError::InvalidParameter { reason: "depth must be positive".into() },
+            GraphError::InvalidParameter {
+                reason: "depth must be positive".into(),
+            },
         ];
         for e in errors {
             let s = e.to_string();
             assert!(!s.is_empty());
-            assert!(s.chars().next().unwrap().is_lowercase() || s.chars().next().unwrap().is_numeric());
+            assert!(
+                s.chars().next().unwrap().is_lowercase() || s.chars().next().unwrap().is_numeric()
+            );
         }
     }
 

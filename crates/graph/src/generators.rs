@@ -264,8 +264,7 @@ pub fn random_connected<R: Rng + ?Sized>(n: usize, extra_edges: usize, rng: &mut
         if u == v {
             continue;
         }
-        if g
-            .add_edge_idempotent(NodeId::from(u), NodeId::from(v))
+        if g.add_edge_idempotent(NodeId::from(u), NodeId::from(v))
             .expect("endpoints are in range and distinct")
         {
             added += 1;
@@ -373,17 +372,16 @@ mod tests {
         let top_count = coords.iter().filter(|&&(_, _, z)| z == 2).count();
         assert_eq!(top_count, 1);
         // Each level-0 node has exactly one parent edge, so total edges are
-        // grid edges (2*4*3 + 2*2*1 + 0) plus 16 + 4 parent edges.
-        assert_eq!(g.edge_count(), 24 + 4 + 0 + 16 + 4);
+        // grid edges (2*4*3 at level 0, 2*2*1 at level 1, none at the apex)
+        // plus 16 + 4 parent edges.
+        assert_eq!(g.edge_count(), 24 + 4 + 16 + 4);
     }
 
     #[test]
     fn quadtree_pyramid_parents_are_quadrants() {
         let (g, coords) = quadtree_pyramid(2);
         // Find node (3, 3, 0) and check it is adjacent to (1, 1, 1).
-        let find = |x, y, z| {
-            NodeId::from(coords.iter().position(|&c| c == (x, y, z)).unwrap())
-        };
+        let find = |x, y, z| NodeId::from(coords.iter().position(|&c| c == (x, y, z)).unwrap());
         assert!(g.has_edge(find(3, 3, 0), find(1, 1, 1)));
         assert!(g.has_edge(find(1, 1, 1), find(0, 0, 2)));
     }

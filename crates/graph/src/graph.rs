@@ -11,7 +11,9 @@ use std::fmt;
 /// identifier `Id(v)` of the LOCAL model — those are assigned separately by
 /// the `ld-local` crate precisely because the paper studies what happens when
 /// they are reassigned.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 pub struct NodeId(pub u32);
 
 impl NodeId {
@@ -72,17 +74,26 @@ pub struct Graph {
 impl Graph {
     /// Creates an empty graph with no nodes.
     pub fn new() -> Self {
-        Graph { adjacency: Vec::new(), edge_count: 0 }
+        Graph {
+            adjacency: Vec::new(),
+            edge_count: 0,
+        }
     }
 
     /// Creates an empty graph with capacity reserved for `nodes` nodes.
     pub fn with_capacity(nodes: usize) -> Self {
-        Graph { adjacency: Vec::with_capacity(nodes), edge_count: 0 }
+        Graph {
+            adjacency: Vec::with_capacity(nodes),
+            edge_count: 0,
+        }
     }
 
     /// Creates a graph with `n` isolated nodes.
     pub fn with_nodes(n: usize) -> Self {
-        Graph { adjacency: vec![Vec::new(); n], edge_count: 0 }
+        Graph {
+            adjacency: vec![Vec::new(); n],
+            edge_count: 0,
+        }
     }
 
     /// Builds a graph with `n` nodes from an edge list.
@@ -140,7 +151,10 @@ impl Graph {
         if v.index() < self.node_count() {
             Ok(())
         } else {
-            Err(GraphError::NodeOutOfRange { node: v.index(), node_count: self.node_count() })
+            Err(GraphError::NodeOutOfRange {
+                node: v.index(),
+                node_count: self.node_count(),
+            })
         }
     }
 
@@ -157,7 +171,10 @@ impl Graph {
             return Err(GraphError::SelfLoop { node: u.index() });
         }
         if self.has_edge(u, v) {
-            return Err(GraphError::DuplicateEdge { u: u.index(), v: v.index() });
+            return Err(GraphError::DuplicateEdge {
+                u: u.index(),
+                v: v.index(),
+            });
         }
         let pos_u = self.adjacency[u.index()].binary_search(&v).unwrap_err();
         self.adjacency[u.index()].insert(pos_u, v);
@@ -210,7 +227,9 @@ impl Graph {
     /// Panics if `v` is out of range; use [`Graph::check_node`] first when the
     /// node id comes from untrusted input.
     pub fn neighbors(&self, v: NodeId) -> NeighborIter<'_> {
-        NeighborIter { inner: self.adjacency[v.index()].iter() }
+        NeighborIter {
+            inner: self.adjacency[v.index()].iter(),
+        }
     }
 
     /// Iterator over all nodes.
@@ -220,7 +239,11 @@ impl Graph {
 
     /// Iterator over all edges `{u, v}` with `u < v`.
     pub fn edges(&self) -> EdgeIter<'_> {
-        EdgeIter { graph: self, u: 0, pos: 0 }
+        EdgeIter {
+            graph: self,
+            u: 0,
+            pos: 0,
+        }
     }
 
     /// Maximum degree of the graph (0 for the empty graph).
@@ -270,7 +293,9 @@ impl Graph {
         let offset = self.node_count();
         let mut g = self.clone();
         g.adjacency.extend(other.adjacency.iter().map(|list| {
-            list.iter().map(|v| NodeId::from(v.index() + offset)).collect::<Vec<_>>()
+            list.iter()
+                .map(|v| NodeId::from(v.index() + offset))
+                .collect::<Vec<_>>()
         }));
         g.edge_count += other.edge_count;
         (g, offset)
@@ -293,7 +318,11 @@ impl Graph {
         let n = self.node_count();
         if perm.len() != n {
             return Err(GraphError::InvalidParameter {
-                reason: format!("permutation length {} does not match node count {}", perm.len(), n),
+                reason: format!(
+                    "permutation length {} does not match node count {}",
+                    perm.len(),
+                    n
+                ),
             });
         }
         let mut seen = vec![false; n];
@@ -414,7 +443,10 @@ mod tests {
         let mut g = Graph::with_nodes(2);
         assert!(matches!(
             g.add_edge(NodeId(0), NodeId(5)),
-            Err(GraphError::NodeOutOfRange { node: 5, node_count: 2 })
+            Err(GraphError::NodeOutOfRange {
+                node: 5,
+                node_count: 2
+            })
         ));
     }
 
@@ -429,17 +461,22 @@ mod tests {
     fn edges_iterate_each_edge_once() {
         let g = triangle();
         let edges: Vec<_> = g.edges().collect();
-        assert_eq!(edges, vec![
-            (NodeId(0), NodeId(1)),
-            (NodeId(0), NodeId(2)),
-            (NodeId(1), NodeId(2)),
-        ]);
+        assert_eq!(
+            edges,
+            vec![
+                (NodeId(0), NodeId(1)),
+                (NodeId(0), NodeId(2)),
+                (NodeId(1), NodeId(2)),
+            ]
+        );
     }
 
     #[test]
     fn induced_subgraph_keeps_internal_edges_only() {
         let g = Graph::from_edges(5, [(0, 1), (1, 2), (2, 3), (3, 4), (4, 0)]).unwrap();
-        let (sub, mapping) = g.induced_subgraph(&[NodeId(0), NodeId(1), NodeId(3)]).unwrap();
+        let (sub, mapping) = g
+            .induced_subgraph(&[NodeId(0), NodeId(1), NodeId(3)])
+            .unwrap();
         assert_eq!(sub.node_count(), 3);
         assert_eq!(sub.edge_count(), 1);
         assert!(sub.has_edge(NodeId(0), NodeId(1)));

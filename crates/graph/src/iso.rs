@@ -22,12 +22,7 @@ pub fn are_isomorphic(a: &Graph, b: &Graph) -> bool {
 /// Decides whether two labelled graphs are isomorphic by a label-preserving
 /// isomorphism.
 pub fn are_labeled_isomorphic<L: Eq>(a: &LabeledGraph<L>, b: &LabeledGraph<L>) -> bool {
-    are_compatible_isomorphic(
-        a.graph(),
-        b.graph(),
-        |u, v| a.label(u) == b.label(v),
-        &[],
-    )
+    are_compatible_isomorphic(a.graph(), b.graph(), |u, v| a.label(u) == b.label(v), &[])
 }
 
 /// Decides whether two graphs are isomorphic by an isomorphism mapping
@@ -292,7 +287,10 @@ mod tests {
 
     #[test]
     fn different_sizes_fail_fast() {
-        assert!(!are_isomorphic(&generators::cycle(6), &generators::cycle(7)));
+        assert!(!are_isomorphic(
+            &generators::cycle(6),
+            &generators::cycle(7)
+        ));
     }
 
     #[test]
@@ -330,9 +328,19 @@ mod tests {
         let p = generators::path(3);
         let a = LabeledGraph::new(p.clone(), vec!['x', 'y', 'x']).unwrap();
         let b = LabeledGraph::new(p.clone(), vec!['x', 'y', 'x']).unwrap();
-        assert!(are_centered_labeled_isomorphic(&a, NodeId(0), &b, NodeId(2)));
+        assert!(are_centered_labeled_isomorphic(
+            &a,
+            NodeId(0),
+            &b,
+            NodeId(2)
+        ));
         let c = LabeledGraph::new(p, vec!['x', 'y', 'z']).unwrap();
-        assert!(!are_centered_labeled_isomorphic(&a, NodeId(0), &c, NodeId(2)));
+        assert!(!are_centered_labeled_isomorphic(
+            &a,
+            NodeId(0),
+            &c,
+            NodeId(2)
+        ));
     }
 
     #[test]

@@ -101,7 +101,9 @@ impl<L> LabeledGraph<L> {
 
     /// Iterator over `(node, label)` pairs.
     pub fn iter(&self) -> impl Iterator<Item = (NodeId, &L)> {
-        self.graph.nodes().map(move |v| (v, &self.labels[v.index()]))
+        self.graph
+            .nodes()
+            .map(move |v| (v, &self.labels[v.index()]))
     }
 
     /// Applies `f` to every label, producing a relabelled copy of the same
@@ -133,7 +135,10 @@ impl<L> LabeledGraph<L> {
         L: Clone,
     {
         let (sub, mapping) = self.graph.induced_subgraph(nodes)?;
-        let labels = mapping.iter().map(|&v| self.labels[v.index()].clone()).collect();
+        let labels = mapping
+            .iter()
+            .map(|&v| self.labels[v.index()].clone())
+            .collect();
         Ok((LabeledGraph { graph: sub, labels }, mapping))
     }
 
@@ -166,7 +171,10 @@ mod tests {
         let g = generators::cycle(4);
         assert!(matches!(
             LabeledGraph::new(g, vec![1u8, 2]),
-            Err(GraphError::LabelCountMismatch { nodes: 4, labels: 2 })
+            Err(GraphError::LabelCountMismatch {
+                nodes: 4,
+                labels: 2
+            })
         ));
     }
 

@@ -52,7 +52,9 @@ impl PortNumbering {
             got.sort_unstable();
             if expected != got {
                 return Err(GraphError::InvalidParameter {
-                    reason: format!("ordering of node {v} is not a permutation of its neighbourhood"),
+                    reason: format!(
+                        "ordering of node {v} is not a permutation of its neighbourhood"
+                    ),
                 });
             }
         }
@@ -100,11 +102,7 @@ impl Orientation {
     pub fn from_arcs(graph: &Graph, arcs: Vec<(NodeId, NodeId)>) -> Result<Self> {
         if arcs.len() != graph.edge_count() {
             return Err(GraphError::InvalidParameter {
-                reason: format!(
-                    "expected {} arcs, got {}",
-                    graph.edge_count(),
-                    arcs.len()
-                ),
+                reason: format!("expected {} arcs, got {}", graph.edge_count(), arcs.len()),
             });
         }
         let mut seen: Vec<(NodeId, NodeId)> = Vec::with_capacity(arcs.len());
@@ -162,19 +160,17 @@ mod tests {
     #[test]
     fn from_orderings_validates_permutations() {
         let g = generators::path(3);
-        let ok = PortNumbering::from_orderings(&g, vec![
-            vec![NodeId(1)],
-            vec![NodeId(2), NodeId(0)],
-            vec![NodeId(1)],
-        ]);
+        let ok = PortNumbering::from_orderings(
+            &g,
+            vec![vec![NodeId(1)], vec![NodeId(2), NodeId(0)], vec![NodeId(1)]],
+        );
         assert!(ok.is_ok());
         assert_eq!(ok.unwrap().neighbor(NodeId(1), 0), Some(NodeId(2)));
 
-        let bad = PortNumbering::from_orderings(&g, vec![
-            vec![NodeId(1)],
-            vec![NodeId(0)],
-            vec![NodeId(1)],
-        ]);
+        let bad = PortNumbering::from_orderings(
+            &g,
+            vec![vec![NodeId(1)], vec![NodeId(0)], vec![NodeId(1)]],
+        );
         assert!(bad.is_err());
         let wrong_len = PortNumbering::from_orderings(&g, vec![vec![NodeId(1)]]);
         assert!(wrong_len.is_err());
@@ -197,9 +193,11 @@ mod tests {
         assert!(ok.is_ok());
         assert_eq!(ok.unwrap().out_degree(NodeId(1)), 2);
 
-        let not_edge = Orientation::from_arcs(&g, vec![(NodeId(0), NodeId(2)), (NodeId(1), NodeId(2))]);
+        let not_edge =
+            Orientation::from_arcs(&g, vec![(NodeId(0), NodeId(2)), (NodeId(1), NodeId(2))]);
         assert!(not_edge.is_err());
-        let doubled = Orientation::from_arcs(&g, vec![(NodeId(0), NodeId(1)), (NodeId(1), NodeId(0))]);
+        let doubled =
+            Orientation::from_arcs(&g, vec![(NodeId(0), NodeId(1)), (NodeId(1), NodeId(0))]);
         assert!(doubled.is_err());
         let wrong_count = Orientation::from_arcs(&g, vec![(NodeId(0), NodeId(1))]);
         assert!(wrong_count.is_err());

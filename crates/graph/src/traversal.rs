@@ -218,9 +218,8 @@ impl Graph {
             }
             marks
         };
-        self.nodes().all(|v| {
-            in_set[v.index()] || self.neighbors(v).any(|u| in_set[u.index()])
-        })
+        self.nodes()
+            .all(|v| in_set[v.index()] || self.neighbors(v).any(|u| in_set[u.index()]))
     }
 }
 

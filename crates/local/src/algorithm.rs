@@ -167,7 +167,11 @@ pub struct FnLocal<F> {
 impl<F> FnLocal<F> {
     /// Wraps `f` as a local algorithm with the given name and horizon.
     pub fn new(name: impl Into<String>, radius: usize, f: F) -> Self {
-        FnLocal { name: name.into(), radius, f }
+        FnLocal {
+            name: name.into(),
+            radius,
+            f,
+        }
     }
 }
 
@@ -206,7 +210,11 @@ impl<F> FnOblivious<F> {
     /// Wraps `f` as an Id-oblivious algorithm with the given name and
     /// horizon.
     pub fn new(name: impl Into<String>, radius: usize, f: F) -> Self {
-        FnOblivious { name: name.into(), radius, f }
+        FnOblivious {
+            name: name.into(),
+            radius,
+            f,
+        }
     }
 }
 
@@ -351,8 +359,14 @@ mod tests {
     fn constant_baselines() {
         let input = input_with_ids(vec![0, 1]);
         let v = input.oblivious_view(NodeId(0), 0);
-        assert_eq!(ObliviousAlgorithm::<u8>::evaluate(&AlwaysYes, &v), Verdict::Yes);
-        assert_eq!(ObliviousAlgorithm::<u8>::evaluate(&AlwaysNo, &v), Verdict::No);
+        assert_eq!(
+            ObliviousAlgorithm::<u8>::evaluate(&AlwaysYes, &v),
+            Verdict::Yes
+        );
+        assert_eq!(
+            ObliviousAlgorithm::<u8>::evaluate(&AlwaysNo, &v),
+            Verdict::No
+        );
         assert_eq!(ObliviousAlgorithm::<u8>::radius(&AlwaysYes), 0);
         assert_eq!(ObliviousAlgorithm::<u8>::name(&AlwaysNo), "always-no");
     }

@@ -2,9 +2,7 @@
 //! and aggregating the per-node verdicts, plus correctness checking against a
 //! property and Monte-Carlo estimation for randomised deciders.
 
-use crate::algorithm::{
-    LocalAlgorithm, ObliviousAlgorithm, RandomizedObliviousAlgorithm, Verdict,
-};
+use crate::algorithm::{LocalAlgorithm, ObliviousAlgorithm, RandomizedObliviousAlgorithm, Verdict};
 use crate::input::Input;
 use crate::property::Property;
 use ld_graph::NodeId;
@@ -30,7 +28,10 @@ pub struct Decision {
 impl Decision {
     /// Assembles a decision from per-node verdicts.
     pub fn new(algorithm: impl Into<String>, verdicts: Vec<Verdict>) -> Self {
-        Decision { algorithm: algorithm.into(), verdicts }
+        Decision {
+            algorithm: algorithm.into(),
+            verdicts,
+        }
     }
 
     /// Name of the algorithm that produced this decision.
@@ -68,7 +69,10 @@ impl Decision {
 }
 
 /// Runs a (possibly identifier-reading) local algorithm on every node.
-pub fn run_local<L: Clone, A: LocalAlgorithm<L> + ?Sized>(input: &Input<L>, algorithm: &A) -> Decision {
+pub fn run_local<L: Clone, A: LocalAlgorithm<L> + ?Sized>(
+    input: &Input<L>,
+    algorithm: &A,
+) -> Decision {
     let radius = algorithm.radius();
     let verdicts = input
         .graph()
@@ -168,9 +172,11 @@ where
     P: Property<L> + ?Sized,
     A: LocalAlgorithm<L> + ?Sized,
 {
-    check_with(inputs, |input| property.contains(input.labeled()), |input| {
-        run_local(input, algorithm).accepted()
-    })
+    check_with(
+        inputs,
+        |input| property.contains(input.labeled()),
+        |input| run_local(input, algorithm).accepted(),
+    )
 }
 
 /// Checks an Id-oblivious algorithm against a property on a finite family of
@@ -184,9 +190,11 @@ where
     P: Property<L> + ?Sized,
     A: ObliviousAlgorithm<L> + ?Sized,
 {
-    check_with(inputs, |input| property.contains(input.labeled()), |input| {
-        run_oblivious(input, algorithm).accepted()
-    })
+    check_with(
+        inputs,
+        |input| property.contains(input.labeled()),
+        |input| run_oblivious(input, algorithm).accepted(),
+    )
 }
 
 fn check_with<L>(
@@ -383,7 +391,10 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(1);
         let acceptance = estimate_acceptance(&input, &CoinFlip, 400, &mut rng);
         // Three fair coins must all come up heads: probability 1/8.
-        assert!(acceptance > 0.04 && acceptance < 0.25, "acceptance = {acceptance}");
+        assert!(
+            acceptance > 0.04 && acceptance < 0.25,
+            "acceptance = {acceptance}"
+        );
         assert_eq!(estimate_acceptance(&input, &CoinFlip, 0, &mut rng), 0.0);
     }
 
@@ -397,7 +408,11 @@ mod tests {
             fn radius(&self) -> usize {
                 0
             }
-            fn evaluate(&self, _view: &ObliviousView<u32>, _rng: &mut dyn rand::RngCore) -> Verdict {
+            fn evaluate(
+                &self,
+                _view: &ObliviousView<u32>,
+                _rng: &mut dyn rand::RngCore,
+            ) -> Verdict {
                 Verdict::Yes
             }
         }

@@ -89,7 +89,10 @@ pub fn view_from_flooding<L: Clone>(
         .graph()
         .induced_subgraph(&members)
         .expect("known nodes are valid");
-    let labels = mapping.iter().map(|&orig| input.label(orig).clone()).collect();
+    let labels = mapping
+        .iter()
+        .map(|&orig| input.label(orig).clone())
+        .collect();
     let ids = mapping.iter().map(|&orig| input.id(orig)).collect();
     let center = mapping
         .iter()

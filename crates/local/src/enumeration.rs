@@ -51,7 +51,10 @@ pub fn distinct_oblivious_views<L: Clone + Eq + Hash>(
     for view in views {
         let key = view.canonical_key();
         let bucket = buckets.entry(key).or_default();
-        if bucket.iter().all(|seen| !seen.indistinguishable_from(&view)) {
+        if bucket
+            .iter()
+            .all(|seen| !seen.indistinguishable_from(&view))
+        {
             bucket.push(view.clone());
             result.push(view);
         }
@@ -72,7 +75,9 @@ pub fn view_occurs_in<L: Clone + Eq + Hash>(
     view: &ObliviousView<L>,
     family: &[ObliviousView<L>],
 ) -> bool {
-    family.iter().any(|candidate| candidate.indistinguishable_from(view))
+    family
+        .iter()
+        .any(|candidate| candidate.indistinguishable_from(view))
 }
 
 /// The coverage of `targets` by `family`: the fraction of views in `targets`
@@ -87,10 +92,7 @@ pub fn coverage<L: Clone + Eq + Hash>(
     if targets.is_empty() {
         return 1.0;
     }
-    let covered = targets
-        .iter()
-        .filter(|t| view_occurs_in(t, family))
-        .count();
+    let covered = targets.iter().filter(|t| view_occurs_in(t, family)).count();
     covered as f64 / targets.len() as f64
 }
 

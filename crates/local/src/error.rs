@@ -51,7 +51,10 @@ impl fmt::Display for LocalError {
                 write!(f, "identifier {id} is assigned to more than one node")
             }
             LocalError::IdentifierCountMismatch { nodes, ids } => {
-                write!(f, "identifier count {ids} does not match node count {nodes}")
+                write!(
+                    f,
+                    "identifier count {ids} does not match node count {nodes}"
+                )
             }
             LocalError::DisconnectedInput => write!(f, "input graph is not connected"),
             LocalError::IdentifierAboveBound { id, bound } => {

@@ -41,12 +41,16 @@ impl IdAssignment {
 
     /// The consecutive assignment `Id(v) = v` on `n` nodes.
     pub fn consecutive(n: usize) -> Self {
-        IdAssignment { ids: (0..n as u64).collect() }
+        IdAssignment {
+            ids: (0..n as u64).collect(),
+        }
     }
 
     /// The consecutive assignment starting at `start`.
     pub fn consecutive_from(n: usize, start: u64) -> Self {
-        IdAssignment { ids: (start..start + n as u64).collect() }
+        IdAssignment {
+            ids: (start..start + n as u64).collect(),
+        }
     }
 
     /// A uniformly random permutation of `0..n` (bounded by `n`, the smallest
@@ -202,7 +206,10 @@ impl IdBound {
     /// Wraps an arbitrary monotone function.  Monotonicity is the caller's
     /// responsibility; [`IdBound::inverse`] assumes it.
     pub fn new(name: impl Into<String>, f: impl Fn(u64) -> u64 + Send + Sync + 'static) -> Self {
-        IdBound { name: name.into(), f: Arc::new(f) }
+        IdBound {
+            name: name.into(),
+            f: Arc::new(f),
+        }
     }
 
     /// The identity-plus-`c` bound `f(n) = n + c` (the tightest useful bound).
@@ -212,7 +219,9 @@ impl IdBound {
 
     /// The linear bound `f(n) = a * n + b`.
     pub fn linear(a: u64, b: u64) -> Self {
-        IdBound::new(format!("{a}n+{b}"), move |n| n.saturating_mul(a).saturating_add(b))
+        IdBound::new(format!("{a}n+{b}"), move |n| {
+            n.saturating_mul(a).saturating_add(b)
+        })
     }
 
     /// The polynomial bound `f(n) = n^k` (saturating).
@@ -222,7 +231,9 @@ impl IdBound {
 
     /// The exponential bound `f(n) = 2^n` (saturating at `u64::MAX`).
     pub fn exponential() -> Self {
-        IdBound::new("2^n", |n| 1u64.checked_shl(n.min(63) as u32).unwrap_or(u64::MAX))
+        IdBound::new("2^n", |n| {
+            1u64.checked_shl(n.min(63) as u32).unwrap_or(u64::MAX)
+        })
     }
 
     /// A lookup-table bound: `f(n) = table[min(n, len-1)]`, playing the role
@@ -231,7 +242,9 @@ impl IdBound {
     /// The table must be non-decreasing; this is checked eagerly.
     pub fn from_table(name: impl Into<String>, table: Vec<u64>) -> Result<Self> {
         if table.is_empty() {
-            return Err(LocalError::InvalidParameter { reason: "empty bound table".to_string() });
+            return Err(LocalError::InvalidParameter {
+                reason: "empty bound table".to_string(),
+            });
         }
         if table.windows(2).any(|w| w[0] > w[1]) {
             return Err(LocalError::InvalidParameter {

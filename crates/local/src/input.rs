@@ -114,7 +114,10 @@ impl<L> Input<L> {
                 ids: ids.len(),
             });
         }
-        Ok(Input { labeled: self.labeled.clone(), ids })
+        Ok(Input {
+            labeled: self.labeled.clone(),
+            ids,
+        })
     }
 
     /// Extracts the radius-`radius` view of node `v`, including identifiers.
@@ -132,7 +135,11 @@ impl<L> Input<L> {
             .iter()
             .map(|&orig| self.labeled.label(orig).clone())
             .collect();
-        let ids = ball.mapping().iter().map(|&orig| self.ids.id(orig)).collect();
+        let ids = ball
+            .mapping()
+            .iter()
+            .map(|&orig| self.ids.id(orig))
+            .collect();
         View::from_ball(ball, labels, ids)
     }
 
@@ -164,13 +171,17 @@ mod tests {
         assert!(Input::new(lg.clone(), IdAssignment::consecutive(4)).is_err());
         assert!(Input::new(lg, IdAssignment::consecutive(5)).is_ok());
 
-        let disconnected =
-            LabeledGraph::uniform(ld_graph::Graph::from_edges(4, [(0, 1), (2, 3)]).unwrap(), 0u8);
+        let disconnected = LabeledGraph::uniform(
+            ld_graph::Graph::from_edges(4, [(0, 1), (2, 3)]).unwrap(),
+            0u8,
+        );
         assert!(matches!(
             Input::new(disconnected.clone(), IdAssignment::consecutive(4)),
             Err(LocalError::DisconnectedInput)
         ));
-        assert!(Input::new_unchecked_connectivity(disconnected, IdAssignment::consecutive(4)).is_ok());
+        assert!(
+            Input::new_unchecked_connectivity(disconnected, IdAssignment::consecutive(4)).is_ok()
+        );
     }
 
     #[test]
@@ -185,7 +196,9 @@ mod tests {
     #[test]
     fn with_ids_keeps_labels() {
         let input = Input::with_consecutive_ids(labeled_cycle(4)).unwrap();
-        let renumbered = input.with_ids(IdAssignment::consecutive_from(4, 50)).unwrap();
+        let renumbered = input
+            .with_ids(IdAssignment::consecutive_from(4, 50))
+            .unwrap();
         assert_eq!(*renumbered.label(NodeId(1)), 1);
         assert_eq!(renumbered.id(NodeId(1)), 51);
         assert!(input.with_ids(IdAssignment::consecutive(3)).is_err());

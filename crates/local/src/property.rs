@@ -25,13 +25,18 @@ pub struct FnProperty<F> {
 impl<F> FnProperty<F> {
     /// Wraps a membership closure as a property.
     pub fn new(name: impl Into<String>, f: F) -> Self {
-        FnProperty { name: name.into(), f }
+        FnProperty {
+            name: name.into(),
+            f,
+        }
     }
 }
 
 impl<F> fmt::Debug for FnProperty<F> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.debug_struct("FnProperty").field("name", &self.name).finish()
+        f.debug_struct("FnProperty")
+            .field("name", &self.name)
+            .finish()
     }
 }
 
@@ -56,7 +61,10 @@ pub struct ProperColoring {
 impl ProperColoring {
     /// Proper colouring with `colors` colours.
     pub fn new(colors: u32) -> Self {
-        ProperColoring { colors, name: "proper-colouring" }
+        ProperColoring {
+            colors,
+            name: "proper-colouring",
+        }
     }
 
     /// Number of admissible colours.
@@ -156,9 +164,11 @@ mod tests {
         let p = MaximalIndependentSet;
         let good = LabeledGraph::new(generators::cycle(6), vec![1u8, 0, 1, 0, 1, 0]).unwrap();
         assert!(p.contains(&good));
-        let not_maximal = LabeledGraph::new(generators::cycle(6), vec![1u8, 0, 0, 0, 0, 0]).unwrap();
+        let not_maximal =
+            LabeledGraph::new(generators::cycle(6), vec![1u8, 0, 0, 0, 0, 0]).unwrap();
         assert!(!p.contains(&not_maximal));
-        let not_independent = LabeledGraph::new(generators::cycle(6), vec![1u8, 1, 0, 0, 0, 0]).unwrap();
+        let not_independent =
+            LabeledGraph::new(generators::cycle(6), vec![1u8, 1, 0, 0, 0, 0]).unwrap();
         assert!(!p.contains(&not_independent));
         let bad_labels = LabeledGraph::new(generators::cycle(6), vec![2u8, 0, 1, 0, 1, 0]).unwrap();
         assert!(!p.contains(&bad_labels));

@@ -36,7 +36,11 @@ impl<A> ObliviousSimulation<A> {
     /// `0..universe`.
     pub fn new(inner: A, universe: u64) -> Self {
         let name = format!("oblivious-simulation[universe {universe}]");
-        ObliviousSimulation { name, inner, universe }
+        ObliviousSimulation {
+            name,
+            inner,
+            universe,
+        }
     }
 
     /// The identifier universe bound used by the search.

@@ -56,7 +56,14 @@ impl<L> View<L> {
                 acc[v.index()] = d;
                 acc
             });
-        View { graph, center, radius, distances, labels, ids }
+        View {
+            graph,
+            center,
+            radius,
+            distances,
+            labels,
+            ids,
+        }
     }
 
     /// The view's graph (the induced subgraph on the ball).
@@ -162,7 +169,10 @@ impl<L: Eq + Hash> View<L> {
         are_compatible_isomorphic(
             &self.graph,
             &other.graph,
-            |u, v| self.labels[u.index()] == other.labels[v.index()] && self.ids[u.index()] == other.ids[v.index()],
+            |u, v| {
+                self.labels[u.index()] == other.labels[v.index()]
+                    && self.ids[u.index()] == other.ids[v.index()]
+            },
             &[(self.center, other.center)],
         )
     }
@@ -202,7 +212,13 @@ impl<L> ObliviousView<L> {
                 acc[v.index()] = d;
                 acc
             });
-        ObliviousView { graph, center, radius, distances, labels }
+        ObliviousView {
+            graph,
+            center,
+            radius,
+            distances,
+            labels,
+        }
     }
 
     /// The view's graph.

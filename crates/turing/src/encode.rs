@@ -48,7 +48,9 @@ pub fn encode_machine(machine: &TuringMachine) -> Vec<u8> {
 /// Returns [`TuringError::DecodeError`] on any malformed input, and machine
 /// validation errors if the decoded transition table is inconsistent.
 pub fn decode_machine(bytes: &[u8]) -> Result<TuringMachine> {
-    let err = |reason: &str| TuringError::DecodeError { reason: reason.to_string() };
+    let err = |reason: &str| TuringError::DecodeError {
+        reason: reason.to_string(),
+    };
     if bytes.len() < 11 {
         return Err(err("input shorter than the fixed header"));
     }
@@ -92,7 +94,11 @@ pub fn decode_machine(bytes: &[u8]) -> Result<TuringMachine> {
                     _ => return Err(err("invalid direction byte")),
                 };
                 let next_state = State(bytes[pos + 3]);
-                transitions.push(Some(Transition { write, direction, next_state }));
+                transitions.push(Some(Transition {
+                    write,
+                    direction,
+                    next_state,
+                }));
                 pos += 4;
             }
             _ => return Err(err("invalid transition tag")),

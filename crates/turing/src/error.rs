@@ -42,8 +42,15 @@ pub enum TuringError {
 impl fmt::Display for TuringError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            TuringError::InvalidTransition { state, symbol, reason } => {
-                write!(f, "invalid transition for (state {state}, symbol {symbol}): {reason}")
+            TuringError::InvalidTransition {
+                state,
+                symbol,
+                reason,
+            } => {
+                write!(
+                    f,
+                    "invalid transition for (state {state}, symbol {symbol}): {reason}"
+                )
             }
             TuringError::InvalidMachine { reason } => write!(f, "invalid machine: {reason}"),
             TuringError::DecodeError { reason } => write!(f, "cannot decode machine: {reason}"),

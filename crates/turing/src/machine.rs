@@ -6,7 +6,9 @@ use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// A tape symbol.  `Symbol(0)` is the blank symbol.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 pub struct Symbol(pub u8);
 
 impl Symbol {
@@ -21,7 +23,9 @@ impl fmt::Display for Symbol {
 }
 
 /// A control state.  `State(0)` is the start state.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 pub struct State(pub u8);
 
 impl State {
@@ -83,7 +87,11 @@ pub struct TuringMachine {
 impl TuringMachine {
     /// Starts building a machine with the given numbers of states and
     /// symbols.
-    pub fn builder(name: impl Into<String>, num_states: u8, num_symbols: u8) -> TuringMachineBuilder {
+    pub fn builder(
+        name: impl Into<String>,
+        num_states: u8,
+        num_symbols: u8,
+    ) -> TuringMachineBuilder {
         TuringMachineBuilder {
             name: name.into(),
             num_states,
@@ -155,12 +163,18 @@ impl TuringMachine {
                     return Err(TuringError::InvalidTransition {
                         state: (i / num_symbols as usize) as u8,
                         symbol: (i % num_symbols as usize) as u8,
-                        reason: "writes an out-of-range symbol or enters an out-of-range state".into(),
+                        reason: "writes an out-of-range symbol or enters an out-of-range state"
+                            .into(),
                     });
                 }
             }
         }
-        Ok(TuringMachine { name, num_states, num_symbols, transitions })
+        Ok(TuringMachine {
+            name,
+            num_states,
+            num_symbols,
+            transitions,
+        })
     }
 
     /// The initial configuration on a blank tape.
@@ -295,7 +309,11 @@ impl TuringMachineBuilder {
             return self;
         }
         let idx = state.0 as usize * self.num_symbols as usize + read.0 as usize;
-        self.transitions[idx] = Some(Transition { write, direction, next_state: next });
+        self.transitions[idx] = Some(Transition {
+            write,
+            direction,
+            next_state: next,
+        });
         self
     }
 
@@ -390,7 +408,10 @@ mod tests {
     fn builder_rejects_out_of_range_rules() {
         let mut b = TuringMachine::builder("bad", 1, 2);
         b.rule(State(5), Symbol(0), Symbol(0), Direction::Right, State(0));
-        assert!(matches!(b.build(), Err(TuringError::InvalidTransition { .. })));
+        assert!(matches!(
+            b.build(),
+            Err(TuringError::InvalidTransition { .. })
+        ));
 
         let mut b = TuringMachine::builder("bad2", 2, 2);
         b.rule(State(0), Symbol(0), Symbol(7), Direction::Right, State(0));
@@ -439,7 +460,9 @@ mod tests {
         let mut b = TuringMachine::builder("leftstuck", 2, 2);
         b.rule(State(0), Symbol(0), Symbol(1), Direction::Left, State(1));
         let m = b.build().unwrap();
-        let RunOutcome::Halted(h) = m.run(10) else { panic!() };
+        let RunOutcome::Halted(h) = m.run(10) else {
+            panic!()
+        };
         assert_eq!(h.final_configuration.head, 0);
         assert_eq!(h.output, Symbol(1));
     }
@@ -448,7 +471,9 @@ mod tests {
     fn halting_detection_without_consuming_fuel() {
         // A machine with no rules halts in 0 steps even with 0 fuel.
         let m = TuringMachine::builder("empty", 1, 1).build().unwrap();
-        let RunOutcome::Halted(h) = m.run(0) else { panic!() };
+        let RunOutcome::Halted(h) = m.run(0) else {
+            panic!()
+        };
         assert_eq!(h.steps, 0);
         assert_eq!(h.output, Symbol::BLANK);
     }

@@ -21,7 +21,10 @@ pub struct Cell {
 impl Cell {
     /// A blank cell with no head.
     pub const fn blank() -> Cell {
-        Cell { symbol: Symbol::BLANK, head: None }
+        Cell {
+            symbol: Symbol::BLANK,
+            head: None,
+        }
     }
 
     /// A cell with the given symbol and no head.
@@ -31,7 +34,10 @@ impl Cell {
 
     /// A cell with the given symbol and the head in the given state.
     pub const fn with_head(symbol: Symbol, state: State) -> Cell {
-        Cell { symbol, head: Some(state) }
+        Cell {
+            symbol,
+            head: Some(state),
+        }
     }
 }
 
@@ -89,7 +95,11 @@ impl ExecutionTable {
             let mut row = Vec::with_capacity(cols);
             for col in 0..cols {
                 let symbol = config.cell(col);
-                let head = if config.head == col { Some(config.state) } else { None };
+                let head = if config.head == col {
+                    Some(config.state)
+                } else {
+                    None
+                };
                 row.push(Cell { symbol, head });
             }
             table.push(row);
@@ -173,7 +183,10 @@ impl ExecutionTable {
     /// Returns an error if the window does not fit inside the table.
     pub fn window(&self, row: usize, col: usize, side: usize) -> Result<ExecutionTable> {
         if row + side > self.height() || col + side > self.width() {
-            return Err(TuringError::IndexOutOfRange { row: row + side, col: col + side });
+            return Err(TuringError::IndexOutOfRange {
+                row: row + side,
+                col: col + side,
+            });
         }
         let rows = (row..row + side)
             .map(|r| self.rows[r][col..col + side].to_vec())
@@ -336,7 +349,10 @@ mod tests {
     fn two_heads_in_a_row_is_invalid() {
         let m = bounce_machine();
         let rows = vec![
-            vec![Cell::with_head(Symbol(0), State(0)), Cell::with_head(Symbol(0), State(0))],
+            vec![
+                Cell::with_head(Symbol(0), State(0)),
+                Cell::with_head(Symbol(0), State(0)),
+            ],
             vec![Cell::blank(), Cell::blank()],
         ];
         let t = ExecutionTable::from_rows(rows).unwrap();

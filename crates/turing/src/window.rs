@@ -24,8 +24,17 @@ use crate::table::Cell;
 /// the machine halts on the scanned pair, the row is returned unchanged.
 /// A head that moves beyond the right edge disappears from the successor.
 pub fn successor_row(machine: &TuringMachine, row: &[Cell]) -> Vec<Cell> {
-    let mut next: Vec<Cell> = row.iter().map(|c| Cell { symbol: c.symbol, head: None }).collect();
-    let Some((col, state)) = row.iter().enumerate().find_map(|(i, c)| c.head.map(|q| (i, q)))
+    let mut next: Vec<Cell> = row
+        .iter()
+        .map(|c| Cell {
+            symbol: c.symbol,
+            head: None,
+        })
+        .collect();
+    let Some((col, state)) = row
+        .iter()
+        .enumerate()
+        .find_map(|(i, c)| c.head.map(|q| (i, q)))
     else {
         return row.to_vec();
     };
@@ -130,7 +139,11 @@ fn cell_fragment_consistent(
             return false;
         }
         // Does a visible neighbour send its head to this column?
-        let from_left = if j > 0 { incoming_head(machine, prev[j - 1], Direction::Right) } else { None };
+        let from_left = if j > 0 {
+            incoming_head(machine, prev[j - 1], Direction::Right)
+        } else {
+            None
+        };
         let from_right = if j + 1 < width {
             incoming_head(machine, prev[j + 1], Direction::Left)
         } else {
@@ -183,7 +196,12 @@ pub fn enumerate_rows(machine: &TuringMachine, width: usize) -> Vec<Vec<Cell>> {
     let mut rows = Vec::new();
     for symbol_row in &symbol_rows {
         // No head.
-        rows.push(symbol_row.iter().map(|&s| Cell::symbol(s)).collect::<Vec<_>>());
+        rows.push(
+            symbol_row
+                .iter()
+                .map(|&s| Cell::symbol(s))
+                .collect::<Vec<_>>(),
+        );
         // Head at each position, in each state.
         for head_col in 0..width {
             for &q in &states {
@@ -236,7 +254,10 @@ mod tests {
     #[test]
     fn head_leaving_the_window_disappears() {
         let spec = zoo::infinite_loop();
-        let row = vec![Cell::symbol(Symbol(0)), Cell::with_head(Symbol(0), State(0))];
+        let row = vec![
+            Cell::symbol(Symbol(0)),
+            Cell::with_head(Symbol(0), State(0)),
+        ];
         let next = successor_row(&spec.machine, &row);
         assert!(next.iter().all(|c| c.head.is_none()));
     }
@@ -273,10 +294,18 @@ mod tests {
         let m = simple_machine();
         // No head above, yet a head appears in an interior column.
         let prev = vec![Cell::blank(), Cell::blank(), Cell::blank()];
-        let bad_next = vec![Cell::blank(), Cell::with_head(Symbol(0), State(1)), Cell::blank()];
+        let bad_next = vec![
+            Cell::blank(),
+            Cell::with_head(Symbol(0), State(1)),
+            Cell::blank(),
+        ];
         assert!(!rows_fragment_consistent(&m, &prev, &bad_next));
         // At a border column it is allowed (the head may come from outside).
-        let ok_next = vec![Cell::with_head(Symbol(0), State(1)), Cell::blank(), Cell::blank()];
+        let ok_next = vec![
+            Cell::with_head(Symbol(0), State(1)),
+            Cell::blank(),
+            Cell::blank(),
+        ];
         assert!(rows_fragment_consistent(&m, &prev, &ok_next));
     }
 
@@ -291,19 +320,31 @@ mod tests {
     #[test]
     fn fragment_consistency_requires_visible_head_to_arrive() {
         let m = zoo::infinite_loop().machine; // always moves right
-        let prev = vec![Cell::with_head(Symbol(0), State(0)), Cell::blank(), Cell::blank()];
+        let prev = vec![
+            Cell::with_head(Symbol(0), State(0)),
+            Cell::blank(),
+            Cell::blank(),
+        ];
         // The walker writes 1 and moves right: the head must arrive at
         // column 1; claiming it vanished is wrong.
         let bad_next = vec![Cell::symbol(Symbol(1)), Cell::blank(), Cell::blank()];
         assert!(!rows_fragment_consistent(&m, &prev, &bad_next));
-        let good_next = vec![Cell::symbol(Symbol(1)), Cell::with_head(Symbol(0), State(0)), Cell::blank()];
+        let good_next = vec![
+            Cell::symbol(Symbol(1)),
+            Cell::with_head(Symbol(0), State(0)),
+            Cell::blank(),
+        ];
         assert!(rows_fragment_consistent(&m, &prev, &good_next));
     }
 
     #[test]
     fn mismatched_row_lengths_are_inconsistent() {
         let m = simple_machine();
-        assert!(!rows_fragment_consistent(&m, &[Cell::blank()], &[Cell::blank(), Cell::blank()]));
+        assert!(!rows_fragment_consistent(
+            &m,
+            &[Cell::blank()],
+            &[Cell::blank(), Cell::blank()]
+        ));
         assert!(!rows_fragment_consistent(&m, &[], &[]));
     }
 

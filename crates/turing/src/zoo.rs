@@ -68,17 +68,26 @@ impl MachineSpec {
         match machine.run(fuel) {
             RunOutcome::Halted(h) => MachineSpec {
                 machine,
-                truth: GroundTruth::Halts { steps: h.steps, output: h.output },
+                truth: GroundTruth::Halts {
+                    steps: h.steps,
+                    output: h.output,
+                },
             },
             RunOutcome::OutOfFuel(_) => {
-                panic!("machine {} did not halt within {fuel} steps", machine.name())
+                panic!(
+                    "machine {} did not halt within {fuel} steps",
+                    machine.name()
+                )
             }
         }
     }
 
     /// Wraps a machine that is non-halting by construction.
     pub fn known_nonhalting(machine: TuringMachine) -> MachineSpec {
-        MachineSpec { machine, truth: GroundTruth::RunsForever }
+        MachineSpec {
+            machine,
+            truth: GroundTruth::RunsForever,
+        }
     }
 
     /// Convenience: the machine is in `L₀` (halts with output 0).
@@ -99,7 +108,10 @@ impl MachineSpec {
 ///
 /// Panics if `k > 250` (the machine uses `k + 2` control states).
 pub fn halts_with_output(k: u8, output: Symbol) -> MachineSpec {
-    assert!(k <= 250, "halts_with_output supports at most 250 walking steps");
+    assert!(
+        k <= 250,
+        "halts_with_output supports at most 250 walking steps"
+    );
     let num_states = k as u16 + 2;
     let mut b = TuringMachine::builder(
         format!("walk{k}-out{}", output.0),
@@ -107,7 +119,13 @@ pub fn halts_with_output(k: u8, output: Symbol) -> MachineSpec {
         2.max(output.0 + 1),
     );
     for i in 0..k {
-        b.rule(State(i), Symbol(0), Symbol(1), Direction::Right, State(i + 1));
+        b.rule(
+            State(i),
+            Symbol(0),
+            Symbol(1),
+            Direction::Right,
+            State(i + 1),
+        );
     }
     // Write the output, stay, and move to a state with no rules: the machine
     // halts scanning the output symbol.
@@ -161,12 +179,24 @@ pub fn alternating_writer(k: u8) -> MachineSpec {
     let mut b = TuringMachine::builder(format!("alternate{k}"), 2 * k + 2, 2);
     for i in 0..k {
         let write = if i % 2 == 0 { Symbol(1) } else { Symbol(0) };
-        b.rule(State(2 * i), Symbol(0), write, Direction::Right, State(2 * i + 2));
+        b.rule(
+            State(2 * i),
+            Symbol(0),
+            write,
+            Direction::Right,
+            State(2 * i + 2),
+        );
         // The odd states are deliberately unused spacers; they keep the
         // state-numbering scheme simple and exercise decoding of sparse
         // transition tables.
     }
-    b.rule(State(2 * k), Symbol(0), Symbol(0), Direction::Stay, State(2 * k + 1));
+    b.rule(
+        State(2 * k),
+        Symbol(0),
+        Symbol(0),
+        Direction::Stay,
+        State(2 * k + 1),
+    );
     let machine = b.build().expect("zoo machine is well-formed");
     MachineSpec::verified_halting(machine, k as u64 + 16)
 }
@@ -231,8 +261,13 @@ mod tests {
     fn busy_beaver_halts_and_writes_ones() {
         let spec = busy_beaver_3();
         let steps = spec.truth.steps().expect("busy beaver halts");
-        assert!(steps >= 3, "a busy-beaver style machine should take several steps");
-        let RunOutcome::Halted(h) = spec.machine.run(steps + 1) else { panic!() };
+        assert!(
+            steps >= 3,
+            "a busy-beaver style machine should take several steps"
+        );
+        let RunOutcome::Halted(h) = spec.machine.run(steps + 1) else {
+            panic!()
+        };
         assert!(h.final_configuration.tape.contains(&Symbol(1)));
         assert_eq!(Some(h.output), spec.truth.output());
     }
@@ -255,7 +290,10 @@ mod tests {
             assert!(spec.in_l1(), "{} should output 1", spec.machine.name());
             assert!(!spec.in_l0());
         }
-        assert_eq!(full_zoo().len(), output_zero_zoo().len() + output_one_zoo().len() + 2);
+        assert_eq!(
+            full_zoo().len(),
+            output_zero_zoo().len() + output_one_zoo().len() + 2
+        );
     }
 
     #[test]
@@ -279,9 +317,13 @@ mod tests {
     #[test]
     fn alternating_writer_output_and_tape_pattern() {
         let spec = alternating_writer(4);
-        let GroundTruth::Halts { output, .. } = spec.truth else { panic!() };
+        let GroundTruth::Halts { output, .. } = spec.truth else {
+            panic!()
+        };
         assert_eq!(output, Symbol(0));
-        let RunOutcome::Halted(h) = spec.machine.run(100) else { panic!() };
+        let RunOutcome::Halted(h) = spec.machine.run(100) else {
+            panic!()
+        };
         let tape = &h.final_configuration.tape;
         assert_eq!(tape[0], Symbol(1));
         assert_eq!(tape[1], Symbol(0));

@@ -30,13 +30,8 @@ fn section3_cell() -> Result<bool, Box<dyn std::error::Error>> {
         zoo::halts_with_output(1, Symbol(0)),
         zoo::halts_with_output(6, Symbol(1)),
     ];
-    let (id_ok, failing) = s3::theorem2_experiment(
-        &machines,
-        1,
-        10_000,
-        FragmentSource::WindowsAndDecoys,
-        &[2],
-    )?;
+    let (id_ok, failing) =
+        s3::theorem2_experiment(&machines, 1, 10_000, FragmentSource::WindowsAndDecoys, &[2])?;
     Ok(id_ok && !failing.is_empty())
 }
 
@@ -63,7 +58,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("            (C) computable      (~C) arbitrary");
     println!(
         "  (B)       LD* {} LD           LD* {} LD",
-        if b_separates && c_separates { "!=" } else { "??" },
+        if b_separates && c_separates {
+            "!="
+        } else {
+            "??"
+        },
         if b_separates { "!=" } else { "??" }
     );
     println!(

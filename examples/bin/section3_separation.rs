@@ -49,7 +49,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         );
     }
 
-    println!("\nFuel-bounded Id-oblivious candidates (no identifier means no handle on the run time):");
+    println!(
+        "\nFuel-bounded Id-oblivious candidates (no identifier means no handle on the run time):"
+    );
     for fuel in [2u64, 5, 50] {
         let candidate = s3::FuelBoundedObliviousCandidate::new(fuel);
         let mut wrong = Vec::new();

@@ -53,8 +53,7 @@ fn theorem2_computability_separation_end_to_end() {
         zoo::halts_with_output(4, Symbol(1)),
         zoo::halts_with_output(9, Symbol(1)),
     ];
-    let (id_ok, failing) =
-        s3::theorem2_experiment(&machines, 1, 10_000, SOURCE, &[2, 5]).unwrap();
+    let (id_ok, failing) = s3::theorem2_experiment(&machines, 1, 10_000, SOURCE, &[2, 5]).unwrap();
     assert!(id_ok, "the two-stage Id decider must be correct on the zoo");
     assert!(
         failing.contains(&2) && failing.contains(&5),
@@ -64,7 +63,9 @@ fn theorem2_computability_separation_end_to_end() {
     // The separation algorithm R halts on non-halting machines (P3) and the
     // candidate-driven separator errs somewhere on the zoo (Lemma 1).
     let candidate = s3::FuelBoundedObliviousCandidate::new(5);
-    assert!(s3::separation_algorithm(&candidate, &zoo::infinite_loop().machine, 1, SOURCE).unwrap());
+    assert!(
+        s3::separation_algorithm(&candidate, &zoo::infinite_loop().machine, 1, SOURCE).unwrap()
+    );
     let report = s3::separation_harness(&candidate, &machines, 1, SOURCE).unwrap();
     assert!(report.candidate_fails());
 }
@@ -111,7 +112,10 @@ fn corollary1_randomised_decider_has_one_sided_error() {
     let no = zoo::halts_with_output(3, Symbol(1));
     let no_input = s3::gmr_input(&no.machine, 1, 10_000, SOURCE).unwrap();
     let acceptance = decision::estimate_acceptance(&no_input, &decider, 50, &mut rng);
-    assert!(acceptance < 0.1, "no-instances must be rejected w.h.p., acceptance = {acceptance}");
+    assert!(
+        acceptance < 0.1,
+        "no-instances must be rejected w.h.p., acceptance = {acceptance}"
+    );
 }
 
 #[test]
@@ -138,8 +142,10 @@ fn promise_problems_behave_as_in_the_paper() {
     let decider = s3::PromiseHaltingDecider::new(100_000);
     let halting = zoo::halts_with_output(6, Symbol(1));
     let forever = zoo::infinite_loop();
-    let no = local_decision::constructions::section3::promise::instance(&halting.machine, 12).unwrap();
-    let yes = local_decision::constructions::section3::promise::instance(&forever.machine, 12).unwrap();
+    let no =
+        local_decision::constructions::section3::promise::instance(&halting.machine, 12).unwrap();
+    let yes =
+        local_decision::constructions::section3::promise::instance(&forever.machine, 12).unwrap();
     assert!(!decision::run_local(&Input::with_consecutive_ids(no).unwrap(), &decider).accepted());
     assert!(decision::run_local(&Input::with_consecutive_ids(yes).unwrap(), &decider).accepted());
 }

@@ -1,0 +1,273 @@
+//! Offline stand-in for the subset of the `criterion` 0.5 API this
+//! workspace's benches use.
+//!
+//! It keeps the same shape — [`Criterion`], [`criterion_group!`],
+//! [`criterion_main!`], benchmark groups with `sample_size` /
+//! `warm_up_time` / `measurement_time`, [`Bencher::iter`],
+//! [`BenchmarkId`], [`black_box`] — but replaces the statistical engine
+//! with a simple wall-clock loop: each benchmark is warmed up briefly, then
+//! timed for roughly the configured measurement window, and the mean
+//! iteration time is printed to stderr.  Good enough to compare runs by
+//! eye; not a statistics suite.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Prevents the compiler from optimising a value away (same contract as
+/// `criterion::black_box`).
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Entry point mirroring `criterion::Criterion`.
+pub struct Criterion {
+    defaults: Settings,
+}
+
+#[derive(Clone, Copy)]
+struct Settings {
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            defaults: Settings {
+                sample_size: 10,
+                warm_up_time: Duration::from_millis(100),
+                measurement_time: Duration::from_millis(500),
+            },
+        }
+    }
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        eprintln!("group {name}");
+        let settings = self.defaults;
+        BenchmarkGroup {
+            _criterion: self,
+            name,
+            settings,
+        }
+    }
+
+    /// Benchmarks `f` outside of any group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_benchmark(&id.into().label, self.defaults, &mut f);
+        self
+    }
+}
+
+/// A group of benchmarks sharing settings, mirroring
+/// `criterion::BenchmarkGroup`.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    settings: Settings,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.settings.sample_size = n.max(1);
+        self
+    }
+
+    /// Sets how long to run the routine before timing starts.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.settings.warm_up_time = d;
+        self
+    }
+
+    /// Sets the target duration of the timed phase.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.settings.measurement_time = d;
+        self
+    }
+
+    /// Benchmarks `f` under `id` within this group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = format!("{}/{}", self.name, id.into().label);
+        run_benchmark(&label, self.settings, &mut f);
+        self
+    }
+
+    /// Benchmarks `f` with an explicit input value.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}", self.name, id.into().label);
+        run_benchmark(&label, self.settings, &mut |b: &mut Bencher| {
+            b_input(b, input, &mut f)
+        });
+        self
+    }
+
+    /// Ends the group (upstream writes reports here; this prints nothing).
+    pub fn finish(self) {}
+}
+
+fn b_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(b: &mut Bencher, input: &I, f: &mut F) {
+    f(b, input)
+}
+
+/// Identifies one benchmark, optionally parameterised.
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// A benchmark id `"{name}/{parameter}"`.
+    pub fn new(name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            label: format!("{}/{}", name.into(), parameter),
+        }
+    }
+
+    /// A benchmark id carrying only a parameter value.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId {
+            label: s.to_owned(),
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(label: String) -> Self {
+        BenchmarkId { label }
+    }
+}
+
+/// Passed to benchmark closures; [`Bencher::iter`] times the routine.
+pub struct Bencher {
+    settings: Settings,
+    mean: Option<Duration>,
+}
+
+impl Bencher {
+    /// Runs `routine` in a warm-up phase and then a timed phase, recording
+    /// the mean wall-clock time per iteration.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        let warm_up_until = Instant::now() + self.settings.warm_up_time;
+        let mut warm_iters: u64 = 0;
+        while Instant::now() < warm_up_until {
+            black_box(routine());
+            warm_iters += 1;
+        }
+
+        // Budget the timed phase across the configured sample count: the
+        // warm-up measured `warm_iters` iterations per `warm_up_time`, so
+        // scale that rate up to fill `measurement_time`.
+        let target_iters = if self.settings.warm_up_time.is_zero() {
+            warm_iters
+        } else {
+            let ratio = self.settings.measurement_time.as_secs_f64()
+                / self.settings.warm_up_time.as_secs_f64();
+            (warm_iters as f64 * ratio) as u64
+        };
+        let per_sample = (target_iters / self.settings.sample_size as u64).max(1);
+        let mut total = Duration::ZERO;
+        let mut iters: u64 = 0;
+        let deadline = Instant::now() + self.settings.measurement_time;
+        for _ in 0..self.settings.sample_size {
+            let start = Instant::now();
+            for _ in 0..per_sample {
+                black_box(routine());
+            }
+            total += start.elapsed();
+            iters += per_sample;
+            if Instant::now() >= deadline {
+                break;
+            }
+        }
+        // Divide in u128 nanoseconds: `Duration / u32` would truncate the
+        // iteration count for fast routines with long measurement windows.
+        let mean_nanos = total.as_nanos() / u128::from(iters.max(1));
+        self.mean = Some(Duration::from_nanos(mean_nanos as u64));
+    }
+}
+
+fn run_benchmark<F: FnMut(&mut Bencher)>(label: &str, settings: Settings, f: &mut F) {
+    let mut bencher = Bencher {
+        settings,
+        mean: None,
+    };
+    f(&mut bencher);
+    match bencher.mean {
+        Some(mean) => eprintln!("  {label}: {mean:?} per iteration"),
+        None => eprintln!("  {label}: no measurement recorded"),
+    }
+}
+
+/// Declares a function that runs the listed benchmark targets, mirroring
+/// `criterion::criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares `main` for a `harness = false` bench target, mirroring
+/// `criterion::criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_records_a_mean() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("smoke");
+        group.sample_size(2).warm_up_time(Duration::from_millis(1));
+        group.measurement_time(Duration::from_millis(5));
+        group.bench_function("noop", |b| b.iter(|| 1 + 1));
+        group.bench_with_input(BenchmarkId::new("param", 3), &3, |b, &x| b.iter(|| x * 2));
+        group.finish();
+    }
+}

@@ -1,0 +1,124 @@
+//! Offline stand-in for the subset of the `proptest` 1.x API this
+//! workspace's property tests use.
+//!
+//! Supported surface: the [`proptest!`] macro (with an optional
+//! `#![proptest_config(...)]` header), [`Strategy`] with `prop_map`,
+//! range and tuple strategies, [`any`] for primitives, `ProptestConfig::
+//! with_cases`, and the `prop_assert!` / `prop_assert_eq!` /
+//! `prop_assert_ne!` macros.
+//!
+//! Differences from upstream: inputs are drawn from a per-case seeded
+//! [`rand::rngs::StdRng`] (deterministic across runs), and failing cases
+//! are reported with their case index and seed but are **not shrunk**.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod strategy;
+pub mod test_runner;
+
+/// The glob import used by property tests: `use proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::strategy::{any, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+/// Asserts a condition inside a [`proptest!`] body, failing the current
+/// case (with an optional formatted message) instead of panicking.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::std::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)*)),
+            );
+        }
+    };
+}
+
+/// Asserts two values are equal inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let left = $left;
+        let right = $right;
+        $crate::prop_assert!(
+            left == right,
+            "assertion failed: `{} == {}` (left: `{:?}`, right: `{:?}`)",
+            stringify!($left),
+            stringify!($right),
+            left,
+            right
+        );
+    }};
+}
+
+/// Asserts two values are unequal inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let left = $left;
+        let right = $right;
+        $crate::prop_assert!(
+            left != right,
+            "assertion failed: `{} != {}` (both: `{:?}`)",
+            stringify!($left),
+            stringify!($right),
+            left
+        );
+    }};
+}
+
+/// Declares property tests.  Each `arg in strategy` binding is sampled
+/// freshly for every case; the body runs once per case.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { ($config); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { ($crate::test_runner::ProptestConfig::default()); $($rest)* }
+    };
+}
+
+/// Implementation detail of [`proptest!`]; do not invoke directly.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    ( ($config:expr); $( $(#[$meta:meta])* fn $name:ident ( $($arg:ident in $strategy:expr),+ $(,)? ) $body:block )* ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::ProptestConfig = $config;
+                for case in 0..config.cases {
+                    // Derive a distinct, stable seed per (test, case).
+                    let seed = $crate::test_runner::case_seed(stringify!($name), case);
+                    let mut __rng = $crate::test_runner::rng_for_seed(seed);
+                    $(
+                        let $arg = $crate::strategy::Strategy::sample(
+                            &($strategy),
+                            &mut __rng,
+                        );
+                    )+
+                    let outcome = (|| -> ::std::result::Result<(), $crate::test_runner::TestCaseError> {
+                        $body
+                        ::std::result::Result::Ok(())
+                    })();
+                    if let ::std::result::Result::Err(err) = outcome {
+                        panic!(
+                            "proptest case {}/{} (seed {:#x}) failed: {}",
+                            case + 1,
+                            config.cases,
+                            seed,
+                            err
+                        );
+                    }
+                }
+            }
+        )*
+    };
+}

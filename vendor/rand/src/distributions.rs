@@ -1,0 +1,179 @@
+//! The [`Standard`] distribution and uniform range sampling.
+
+use crate::RngCore;
+
+/// A distribution that can produce values of type `T` from raw random bits.
+pub trait Distribution<T> {
+    /// Samples one value from `rng`.
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T;
+}
+
+/// The "natural" distribution for primitive types: uniform over the full
+/// domain for integers and `bool`, uniform in `[0, 1)` for floats.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Standard;
+
+macro_rules! impl_standard_int {
+    ($($t:ty),*) => {$(
+        impl Distribution<$t> for Standard {
+            fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+impl_standard_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Distribution<bool> for Standard {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Distribution<f64> for Standard {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Distribution<f32> for Standard {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f32 {
+        (rng.next_u32() >> 8) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+/// Uniform range sampling, mirroring `rand::distributions::uniform`.
+pub mod uniform {
+    use crate::RngCore;
+    use std::ops::{Range, RangeInclusive};
+
+    /// A range that uniform values can be drawn from.
+    pub trait SampleRange<T> {
+        /// Samples one value uniformly from `self`.
+        ///
+        /// # Panics
+        ///
+        /// Panics if the range is empty.
+        fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+    }
+
+    /// Integers that support uniform sampling over a sub-range.
+    pub trait SampleUniform: Copy {
+        /// Uniform sample from `[low, high]`, both ends inclusive.
+        fn sample_inclusive<R: RngCore + ?Sized>(low: Self, high: Self, rng: &mut R) -> Self;
+    }
+
+    /// Draws uniformly from `[0, span]` (inclusive) without modulo bias,
+    /// by rejection sampling on the top of the `u64` stream.
+    fn uniform_u64_inclusive<R: RngCore + ?Sized>(span: u64, rng: &mut R) -> u64 {
+        if span == u64::MAX {
+            return rng.next_u64();
+        }
+        let buckets = span + 1;
+        // Largest multiple of `buckets` that fits in u64: values at or above
+        // it would bias the low residues, so reject and redraw.
+        let zone = u64::MAX - (u64::MAX % buckets);
+        loop {
+            let v = rng.next_u64();
+            if v < zone {
+                return v % buckets;
+            }
+        }
+    }
+
+    macro_rules! impl_sample_uniform_unsigned {
+        ($($t:ty),*) => {$(
+            impl SampleUniform for $t {
+                fn sample_inclusive<R: RngCore + ?Sized>(low: Self, high: Self, rng: &mut R) -> Self {
+                    debug_assert!(low <= high);
+                    let span = (high as u64).wrapping_sub(low as u64);
+                    low.wrapping_add(uniform_u64_inclusive(span, rng) as $t)
+                }
+            }
+        )*};
+    }
+
+    macro_rules! impl_sample_uniform_signed {
+        ($($t:ty => $u:ty),*) => {$(
+            impl SampleUniform for $t {
+                fn sample_inclusive<R: RngCore + ?Sized>(low: Self, high: Self, rng: &mut R) -> Self {
+                    debug_assert!(low <= high);
+                    let span = (high as $u).wrapping_sub(low as $u) as u64;
+                    low.wrapping_add(uniform_u64_inclusive(span, rng) as $t)
+                }
+            }
+        )*};
+    }
+
+    impl_sample_uniform_unsigned!(u8, u16, u32, u64, usize);
+    impl_sample_uniform_signed!(i8 => u8, i16 => u16, i32 => u32, i64 => u64, isize => usize);
+
+    impl<T: SampleUniform + PartialOrd + One> SampleRange<T> for Range<T> {
+        fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+            assert!(self.start < self.end, "cannot sample from empty range");
+            T::sample_inclusive(self.start, self.end.minus_one(), rng)
+        }
+    }
+
+    impl<T: SampleUniform + PartialOrd + One> SampleRange<T> for RangeInclusive<T> {
+        fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+            let (start, end) = self.into_inner();
+            assert!(start <= end, "cannot sample from empty range");
+            T::sample_inclusive(start, end, rng)
+        }
+    }
+
+    /// Decrement helper so `a..b` can reuse the inclusive sampler.
+    pub trait One {
+        /// `self - 1`; only called on values known to exceed the range start.
+        fn minus_one(self) -> Self;
+    }
+
+    macro_rules! impl_one {
+        ($($t:ty),*) => {$(
+            impl One for $t {
+                fn minus_one(self) -> Self {
+                    self - 1
+                }
+            }
+        )*};
+    }
+
+    impl_one!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::uniform::SampleRange;
+    use crate::rngs::StdRng;
+    use crate::{Rng, SeedableRng};
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let a = rng.gen_range(3usize..10);
+            assert!((3..10).contains(&a));
+            let b = rng.gen_range(0u64..=5);
+            assert!(b <= 5);
+            let c = rng.gen_range(-4i64..=4);
+            assert!((-4..=4).contains(&c));
+        }
+    }
+
+    #[test]
+    fn full_u64_range_does_not_loop_forever() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let _ = (0u64..=u64::MAX).sample_single(&mut rng);
+    }
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.gen::<u64>(), b.gen::<u64>());
+        }
+    }
+}

@@ -1,0 +1,26 @@
+//! Offline stand-in for the subset of the `serde` 1.x API this workspace
+//! uses: the [`Serialize`] / [`Deserialize`] traits as *markers* plus the
+//! matching derive macros.
+//!
+//! Nothing in the workspace performs real serialization or bounds on these
+//! traits — the library crates only annotate types with the derives — so
+//! the derive macros here accept any input and emit **no code at all**:
+//! annotated types do *not* implement the marker traits.  Code that needs
+//! `T: Serialize` bounds, or actual wire formats, must replace this crate
+//! with real `serde` (the manifests already route through
+//! `[workspace.dependencies]`, so only the path entry changes).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker for types that can be serialized.
+///
+/// The real trait's `serialize` method is absent: no codec backend exists in
+/// this offline build, and a marker keeps `#[derive(Serialize)]` compiling
+/// without dragging in a full `Serializer` object model.
+pub trait Serialize {}
+
+/// Marker for types that can be deserialized.
+pub trait Deserialize<'de>: Sized {}

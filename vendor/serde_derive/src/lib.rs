@@ -1,0 +1,19 @@
+//! No-op derive macros backing the offline `serde` stand-in.
+//!
+//! The sibling `serde` crate defines `Serialize` / `Deserialize` as marker
+//! traits and nothing in the workspace bounds on them, so the derives can
+//! accept any input (including `#[serde(...)]` attributes) and emit nothing.
+
+use proc_macro::TokenStream;
+
+/// Accepts `#[derive(Serialize)]` and emits no code.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Accepts `#[derive(Deserialize)]` and emits no code.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
