@@ -43,9 +43,60 @@ fn print_engine_equivalence() {
     );
 }
 
+/// Machine-readable counterpart of the Criterion output: measures the same
+/// hot paths with a plain timed loop and writes `BENCH_e11_scaling.json` at
+/// the repo root, so the perf trajectory is tracked in-tree.
+fn write_perf_snapshot() {
+    use ld_bench::perf;
+    let mut records = Vec::new();
+
+    for &n in &[64usize, 256, 1024] {
+        let labeled = LabeledGraph::uniform(generators::cycle(n), 0u8);
+        let input = Input::with_consecutive_ids(labeled).unwrap();
+        records.push(perf::measure(
+            format!("ball_extraction_cycle/{n}"),
+            20,
+            || input.view(NodeId(0), 3),
+        ));
+    }
+
+    for &side in &[6usize, 10] {
+        let labeled = LabeledGraph::uniform(generators::grid(side, side), 0u8);
+        records.push(perf::measure(
+            format!("distinct_views_grid_radius1/{side}"),
+            3,
+            || enumeration::distinct_oblivious_views_of(&labeled, 1).len(),
+        ));
+        let cache = local_decision::local::cache::ViewCache::new();
+        records.push(perf::measure(
+            format!("distinct_views_grid_radius1_cached/{side}"),
+            3,
+            || enumeration::distinct_oblivious_views_of_cached(&labeled, 1, &cache).len(),
+        ));
+    }
+
+    let labeled = LabeledGraph::from_fn(generators::grid(16, 16), |v| (v.index() % 5) as u8);
+    let input = Input::with_consecutive_ids(labeled).unwrap();
+    let algorithm = FnLocal::new("label-sum-even", 2, |view: &View<u8>| {
+        Verdict::from_bool(view.labels().iter().map(|&l| l as u32).sum::<u32>() % 2 == 0)
+    });
+    records.push(perf::measure("engine_view_function_grid16", 3, || {
+        decision::run_local(&input, &algorithm).accepted()
+    }));
+    records.push(perf::measure("engine_parallel4_grid16", 3, || {
+        decision::run_local_parallel(&input, &algorithm, 4).accepted()
+    }));
+
+    match perf::write_bench_json("e11_scaling", &records) {
+        Ok(path) => eprintln!("E11: perf snapshot written to {}", path.display()),
+        Err(e) => eprintln!("E11: could not write perf snapshot: {e}"),
+    }
+}
+
 fn bench(c: &mut Criterion) {
     print_fragment_growth();
     print_engine_equivalence();
+    write_perf_snapshot();
 
     let mut group = c.benchmark_group("e11_scaling");
     group

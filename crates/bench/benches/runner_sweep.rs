@@ -1,0 +1,63 @@
+//! Benchmark of the `ld-runner` sweep executor: sequential versus parallel
+//! execution of the Section 2 sweep, plus the canonical-view cache's effect,
+//! with a machine-readable snapshot written to `BENCH_runner_sweep.json`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ld_bench::perf;
+use ld_runner::{executor, scenarios, SweepConfig};
+use std::time::Duration;
+
+fn config(threads: usize) -> SweepConfig {
+    SweepConfig {
+        max_n: 48,
+        threads,
+        seed: 7,
+    }
+}
+
+fn write_perf_snapshot() {
+    let mut records = Vec::new();
+    for threads in [1usize, 2, 4, 8] {
+        records.push(perf::measure(
+            format!("section2_sweep_threads/{threads}"),
+            2,
+            || {
+                executor::execute(&scenarios::Section2Sweep, &config(threads))
+                    .unwrap()
+                    .passed()
+            },
+        ));
+    }
+    records.push(perf::measure("pyramid_sweep_threads/2", 2, || {
+        executor::execute(&scenarios::PyramidSweep, &config(2))
+            .unwrap()
+            .passed()
+    }));
+    match perf::write_bench_json("runner_sweep", &records) {
+        Ok(path) => eprintln!("runner: perf snapshot written to {}", path.display()),
+        Err(e) => eprintln!("runner: could not write perf snapshot: {e}"),
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    write_perf_snapshot();
+
+    let mut group = c.benchmark_group("runner_sweep");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(800));
+    for threads in [1usize, 4] {
+        group.bench_function(format!("section2_sweep_threads_{threads}"), |b| {
+            b.iter(|| {
+                executor::execute(&scenarios::Section2Sweep, &config(threads))
+                    .unwrap()
+                    .passed()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,2 +1,157 @@
-//! Shared helpers for the benchmark and experiment harnesses (populated
-//! alongside the Criterion benches).
+//! Shared helpers for the benchmark and experiment harnesses.
+//!
+//! Besides the Criterion benches (which print human-readable means), the
+//! harnesses record machine-readable perf snapshots: [`perf`] measures
+//! routines with a plain warm-up + timed loop and writes `BENCH_<name>.json`
+//! files at the repository root, so the perf trajectory of the project is
+//! versioned alongside its sources.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod perf {
+    //! Wall-clock measurement and `BENCH_*.json` emission.
+
+    use std::path::{Path, PathBuf};
+    use std::time::{Duration, Instant};
+
+    /// One measured routine: a label and its mean wall-clock time.
+    #[derive(Debug, Clone)]
+    pub struct BenchRecord {
+        /// What was measured (e.g. `"ball_extraction_cycle/1024"`).
+        pub name: String,
+        /// Mean time per iteration, in nanoseconds.
+        pub mean_nanos: u128,
+        /// Number of timed iterations behind the mean.
+        pub iterations: u64,
+    }
+
+    /// Measures `routine` with a short warm-up followed by a timed loop of
+    /// at least `min_iters` iterations (and at least ~100ms of samples for
+    /// fast routines).
+    pub fn measure<O>(
+        name: impl Into<String>,
+        min_iters: u64,
+        mut routine: impl FnMut() -> O,
+    ) -> BenchRecord {
+        let warm_deadline = Instant::now() + Duration::from_millis(30);
+        loop {
+            std::hint::black_box(routine());
+            if Instant::now() >= warm_deadline {
+                break;
+            }
+        }
+        let deadline = Instant::now() + Duration::from_millis(100);
+        let mut iterations = 0u64;
+        let started = Instant::now();
+        while iterations < min_iters.max(1) || (Instant::now() < deadline) {
+            std::hint::black_box(routine());
+            iterations += 1;
+            if iterations >= 10_000 {
+                break;
+            }
+        }
+        let total = started.elapsed();
+        BenchRecord {
+            name: name.into(),
+            mean_nanos: total.as_nanos() / u128::from(iterations.max(1)),
+            iterations,
+        }
+    }
+
+    /// The workspace root, resolved from this crate's manifest directory.
+    pub fn repo_root() -> PathBuf {
+        PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+            .join("..")
+            .join("..")
+    }
+
+    /// Renders records as a flat JSON document (via the runner's
+    /// deterministic JSON builder, so escaping is correct).
+    pub fn render_json(bench: &str, records: &[BenchRecord]) -> String {
+        use local_decision::runner::json::Json;
+        Json::object()
+            .set("bench", bench)
+            .set(
+                "records",
+                Json::Arr(
+                    records
+                        .iter()
+                        .map(|r| {
+                            Json::object()
+                                .set("name", r.name.as_str())
+                                .set(
+                                    "mean_nanos",
+                                    u64::try_from(r.mean_nanos).unwrap_or(u64::MAX),
+                                )
+                                .set("iterations", r.iterations)
+                        })
+                        .collect(),
+                ),
+            )
+            .render()
+    }
+
+    /// Writes `BENCH_<stem>.json` at the repository root and returns its
+    /// path.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors.
+    pub fn write_bench_json(stem: &str, records: &[BenchRecord]) -> std::io::Result<PathBuf> {
+        let path = repo_root().join(format!("BENCH_{stem}.json"));
+        write_bench_json_at(&path, stem, records)?;
+        Ok(path)
+    }
+
+    /// Writes the snapshot to an explicit path (used by tests).
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors.
+    pub fn write_bench_json_at(
+        path: &Path,
+        stem: &str,
+        records: &[BenchRecord],
+    ) -> std::io::Result<()> {
+        std::fs::write(path, render_json(stem, records))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::perf;
+
+    #[test]
+    fn measure_returns_positive_means() {
+        let record = perf::measure("spin", 5, || (0..100u32).sum::<u32>());
+        assert!(record.iterations >= 5);
+        assert!(record.mean_nanos > 0);
+    }
+
+    #[test]
+    fn render_json_is_wellformed() {
+        let records = vec![
+            perf::BenchRecord {
+                name: "a".to_string(),
+                mean_nanos: 10,
+                iterations: 3,
+            },
+            perf::BenchRecord {
+                name: "b\"x".to_string(),
+                mean_nanos: 20,
+                iterations: 4,
+            },
+        ];
+        let json = perf::render_json("unit", &records);
+        assert!(json.contains("\"bench\": \"unit\""));
+        assert!(json.contains("\"mean_nanos\": 10"));
+        assert!(json.contains(r#"b\"x"#));
+        assert!(json.trim_end().ends_with('}'));
+    }
+
+    #[test]
+    fn repo_root_contains_workspace_manifest() {
+        assert!(perf::repo_root().join("Cargo.toml").exists());
+    }
+}

@@ -22,6 +22,7 @@
 //! | [`local`] | the LOCAL model: inputs `(G,x,Id)`, views, algorithm traits, decision semantics, the Id-oblivious simulation `A*` |
 //! | [`constructions`] | the paper's witness families: Section 2 layered trees, Section 3 `G(M,r)`, pyramids, promise problems |
 //! | [`deciders`] | the paper's algorithms: Id-based deciders, Id-oblivious verifiers, the separation harness, the randomised decider |
+//! | [`runner`] | experiment orchestration: scenario specs, the parallel sweep executor, the shared canonical-view cache, JSON/CSV reports, the `ldx` CLI |
 //!
 //! # Quickstart
 //!
@@ -39,6 +40,26 @@
 //! assert!(decision::run_oblivious(&input, &checker).accepted());
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
+//!
+//! # Running whole sweeps
+//!
+//! Experiments at scale go through the runner: pick a scenario, set the
+//! budget, and execute on as many threads as you like — reports are
+//! byte-identical whatever the thread count, and repeated ball
+//! canonicalisation is served by the shared view cache.
+//!
+//! ```
+//! use local_decision::runner::{executor, scenarios, SweepConfig};
+//!
+//! let config = SweepConfig { max_n: 16, threads: 2, seed: 1 };
+//! let report = executor::execute(&scenarios::PyramidSweep, &config)?;
+//! assert_eq!(report.failed() + report.panicked(), 0);
+//! println!("{}", report.to_json());
+//! # Ok::<(), String>(())
+//! ```
+//!
+//! The same sweeps are available from the command line via the `ldx` binary
+//! (`cargo run --release -p ld-runner --bin ldx -- list`).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -47,6 +68,7 @@ pub use ld_constructions as constructions;
 pub use ld_deciders as deciders;
 pub use ld_graph as graph;
 pub use ld_local as local;
+pub use ld_runner as runner;
 pub use ld_turing as turing;
 
 /// The most commonly used items, re-exported flat for convenience.
@@ -59,9 +81,10 @@ pub mod prelude {
     pub use ld_deciders::section3::{FuelBoundedObliviousCandidate, TwoStageIdDecider};
     pub use ld_graph::{generators, Graph, LabeledGraph, NodeId};
     pub use ld_local::{
-        decision, enumeration, FnLocal, FnOblivious, IdAssignment, IdBound, Input, LocalAlgorithm,
-        ObliviousAlgorithm, ObliviousView, Property, Verdict, View,
+        decision, enumeration, CacheStats, FnLocal, FnOblivious, IdAssignment, IdBound, Input,
+        LocalAlgorithm, ObliviousAlgorithm, ObliviousView, Property, Verdict, View, ViewCache,
     };
+    pub use ld_runner::{executor as sweep_executor, scenarios, SweepConfig};
     pub use ld_turing::{zoo, Symbol, TuringMachine};
 }
 

@@ -179,9 +179,11 @@ impl LocalAlgorithm<Section2Label> for IdBasedDecider {
 }
 
 /// Builds inputs for the Section 2 experiment: every sampled small instance
-/// plus the large instance, each with identifiers respecting assumption (B)
-/// (consecutive identifiers, which always satisfy `Id(v) < f(n)` for the
-/// monotone bounds used here).
+/// followed by the large instance `T_r` **as the last element** (callers
+/// such as the runner's relationship-table scenario rely on this ordering),
+/// each with identifiers respecting assumption (B) (consecutive
+/// identifiers, which always satisfy `Id(v) < f(n)` for the monotone bounds
+/// used here).
 ///
 /// # Errors
 ///

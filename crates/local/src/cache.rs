@@ -1,0 +1,421 @@
+//! A shared, lock-sharded cache of canonical view data.
+//!
+//! Every indistinguishability harness in this workspace spends its time
+//! canonicalising balls: [`ObliviousView::canonical_key`] runs a
+//! Weisfeiler–Leman refinement over the view graph, and verdict evaluation
+//! re-derives the same answer for structurally identical views over and over
+//! (all interior nodes of a long cycle, all coordinate nodes of a layered
+//! tree, …).  A [`ViewCache`] computes each of these once per structural
+//! class and serves every subsequent occurrence from memory.
+//!
+//! # Soundness
+//!
+//! The cache is keyed by a cheap structural fingerprint of the view (graph
+//! shape in ball-local order, centre, radius, hashed labels) and **verified
+//! by exact equality** before a stored value is reused: a fingerprint
+//! collision degrades to a scan of the colliding bucket, never to a wrong
+//! answer.  Cached runs are therefore bit-identical to uncached runs for any
+//! deterministic algorithm.
+//!
+//! # Concurrency
+//!
+//! Entries live in a fixed set of mutex-protected shards selected by
+//! fingerprint, so concurrent sweep workers hitting different isomorphism
+//! classes rarely contend on the same lock.  Hit/miss counters are plain
+//! atomics and may be read at any time via [`ViewCache::stats`].
+
+use crate::algorithm::Verdict;
+use crate::view::ObliviousView;
+use ld_graph::iso::color_of;
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// Number of independent shards.  A power of two so the shard index is a
+/// mask; 64 keeps contention negligible for any realistic thread count.
+const SHARDS: usize = 64;
+
+/// A snapshot of cache effectiveness counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheStats {
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Lookups that had to compute and insert.
+    pub misses: u64,
+    /// Number of stored entries (canonical keys plus memoized verdicts).
+    pub entries: u64,
+}
+
+impl CacheStats {
+    /// The fraction of lookups served from the cache (`0.0` when idle).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+
+    /// The counter-wise difference `self - earlier` (for per-run deltas;
+    /// `entries` deltas to the number of classes inserted in the window).
+    #[must_use]
+    pub fn since(&self, earlier: &CacheStats) -> CacheStats {
+        CacheStats {
+            hits: self.hits.saturating_sub(earlier.hits),
+            misses: self.misses.saturating_sub(earlier.misses),
+            entries: self.entries.saturating_sub(earlier.entries),
+        }
+    }
+
+    /// The counter-wise sum of two snapshots (for multi-cache sweeps).
+    #[must_use]
+    pub fn merged(&self, other: &CacheStats) -> CacheStats {
+        CacheStats {
+            hits: self.hits + other.hits,
+            misses: self.misses + other.misses,
+            entries: self.entries + other.entries,
+        }
+    }
+}
+
+/// One memoized structural class: the representative view plus everything
+/// derived from it so far.
+struct ClassEntry<L> {
+    view: ObliviousView<L>,
+    canonical_key: Option<u64>,
+    /// Verdicts memoized per algorithm name (hashed), verified by name.
+    verdicts: Vec<(String, Verdict)>,
+}
+
+/// A shared canonical-view cache, safe to use from many threads at once.
+///
+/// One cache serves one label type `L`; a sweep touching several label
+/// families keeps one cache per family and merges their [`CacheStats`].
+pub struct ViewCache<L> {
+    shards: Vec<Mutex<HashMap<u64, Vec<ClassEntry<L>>>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    entries: AtomicU64,
+}
+
+impl<L> Default for ViewCache<L> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<L> ViewCache<L> {
+    /// Creates an empty cache.
+    pub fn new() -> Self {
+        ViewCache {
+            shards: (0..SHARDS).map(|_| Mutex::new(HashMap::new())).collect(),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            entries: AtomicU64::new(0),
+        }
+    }
+
+    /// A snapshot of the hit/miss/entry counters.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            entries: self.entries.load(Ordering::Relaxed),
+        }
+    }
+}
+
+impl<L: Clone + Eq + Hash> ViewCache<L> {
+    /// The exact structural fingerprint used to address the cache: identical
+    /// views (same ball-local graph, centre, radius and labels) always agree
+    /// on it.  It is *not* isomorphism-invariant — it addresses the cache,
+    /// the stored [`ObliviousView::canonical_key`] provides invariance.
+    fn fingerprint(view: &ObliviousView<L>) -> u64 {
+        let mut hasher = DefaultHasher::new();
+        let graph = view.graph();
+        graph.node_count().hash(&mut hasher);
+        graph.edge_count().hash(&mut hasher);
+        for (u, v) in graph.edges() {
+            (u.index(), v.index()).hash(&mut hasher);
+        }
+        view.center().index().hash(&mut hasher);
+        view.radius().hash(&mut hasher);
+        for label in view.labels() {
+            color_of(label).hash(&mut hasher);
+        }
+        hasher.finish()
+    }
+
+    /// Locks the shard for `fp`, recovering from poison: the shard holds
+    /// plain data whose updates are complete-or-absent, so a panic elsewhere
+    /// (e.g. a panicking sweep cell) must not cascade into unrelated
+    /// lookups — that would break the executor's panic-isolation contract.
+    fn lock_shard(&self, fp: u64) -> std::sync::MutexGuard<'_, HashMap<u64, Vec<ClassEntry<L>>>> {
+        self.shards[(fp as usize) & (SHARDS - 1)]
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    /// Looks `view` up under the shard lock and extracts with `read`; on a
+    /// stored `None`/absent entry returns `None`.  Never runs user code.
+    fn lookup<T>(
+        &self,
+        fp: u64,
+        view: &ObliviousView<L>,
+        read: impl Fn(&ClassEntry<L>) -> Option<T>,
+    ) -> Option<T> {
+        let map = self.lock_shard(fp);
+        map.get(&fp)?
+            .iter()
+            .find(|e| &e.view == view)
+            .and_then(read)
+    }
+
+    /// Stores a computed value with `write` into the class entry for `view`,
+    /// creating the entry on first sight.  Never runs user code under the
+    /// lock.
+    fn store(&self, fp: u64, view: &ObliviousView<L>, write: impl FnOnce(&mut ClassEntry<L>)) {
+        let mut map = self.lock_shard(fp);
+        let bucket = map.entry(fp).or_default();
+        let entry = match bucket.iter().position(|e| &e.view == view) {
+            Some(pos) => &mut bucket[pos],
+            None => {
+                self.entries.fetch_add(1, Ordering::Relaxed);
+                bucket.push(ClassEntry {
+                    view: view.clone(),
+                    canonical_key: None,
+                    verdicts: Vec::new(),
+                });
+                bucket.last_mut().expect("bucket is nonempty after push")
+            }
+        };
+        write(entry);
+    }
+
+    /// [`ObliviousView::canonical_key`], computed once per structural class.
+    ///
+    /// The expensive Weisfeiler–Leman refinement runs *outside* the shard
+    /// lock, so concurrent workers never serialize on it; two workers
+    /// racing on the same fresh class both compute the (identical) key and
+    /// one insert wins.
+    pub fn canonical_key(&self, view: &ObliviousView<L>) -> u64 {
+        let fp = Self::fingerprint(view);
+        if let Some(key) = self.lookup(fp, view, |e| e.canonical_key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return key;
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let key = view.canonical_key();
+        self.store(fp, view, |entry| entry.canonical_key = Some(key));
+        key
+    }
+
+    /// The verdict of the named deterministic algorithm on `view`, computed
+    /// once per structural class and served from memory afterwards.
+    ///
+    /// `evaluate` must be a pure function of the view value (the defining
+    /// property of an Id-oblivious algorithm), and `algorithm` must uniquely
+    /// determine that function for this cache's lifetime: the memo is keyed
+    /// on the *name*, so two differently parameterised algorithms sharing a
+    /// name would silently serve each other's verdicts.  Scenarios that
+    /// sweep an algorithm's parameters must fold the parameters into the
+    /// name or use one cache per parameterisation.
+    ///
+    /// `evaluate` runs outside the shard lock: a panicking algorithm
+    /// poisons nothing, and concurrent workers never serialize on slow
+    /// evaluations.
+    pub fn verdict(
+        &self,
+        algorithm: &str,
+        view: &ObliviousView<L>,
+        evaluate: impl FnOnce(&ObliviousView<L>) -> Verdict,
+    ) -> Verdict {
+        let fp = Self::fingerprint(view);
+        let memoized = self.lookup(fp, view, |e| {
+            e.verdicts
+                .iter()
+                .find(|(name, _)| name == algorithm)
+                .map(|(_, verdict)| *verdict)
+        });
+        if let Some(verdict) = memoized {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return verdict;
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let verdict = evaluate(view);
+        self.store(fp, view, |entry| {
+            if !entry.verdicts.iter().any(|(name, _)| name == algorithm) {
+                entry.verdicts.push((algorithm.to_string(), verdict));
+            }
+        });
+        verdict
+    }
+
+    /// Drops every entry and resets the counters.
+    pub fn clear(&self) {
+        for shard in &self.shards {
+            shard
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
+                .clear();
+        }
+        self.hits.store(0, Ordering::Relaxed);
+        self.misses.store(0, Ordering::Relaxed);
+        self.entries.store(0, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algorithm::Verdict;
+    use ld_graph::{generators, LabeledGraph};
+
+    fn cycle_views(n: usize, radius: usize) -> Vec<ObliviousView<u8>> {
+        let labeled = LabeledGraph::uniform(generators::cycle(n), 0u8);
+        crate::enumeration::collect_oblivious_views(&labeled, radius)
+    }
+
+    #[test]
+    fn canonical_key_matches_uncached_and_hits_on_repeats() {
+        let cache = ViewCache::new();
+        let views = cycle_views(16, 2);
+        for view in &views {
+            assert_eq!(cache.canonical_key(view), view.canonical_key());
+        }
+        let stats = cache.stats();
+        // The 16 interior views of a cycle fall into at most two ball-local
+        // layouts (the wrap-around edge flips the BFS neighbour order), so
+        // nearly every lookup is a hit.
+        assert_eq!(stats.hits + stats.misses, 16);
+        assert!(stats.entries <= 2, "entries = {}", stats.entries);
+        assert!(stats.hit_rate() > 0.8, "hit rate {}", stats.hit_rate());
+    }
+
+    #[test]
+    fn verdict_memoization_evaluates_once_per_class() {
+        let cache = ViewCache::new();
+        let views = cycle_views(12, 1);
+        let mut evaluations = 0usize;
+        for view in &views {
+            let verdict = cache.verdict("even-degree", view, |v| {
+                evaluations += 1;
+                Verdict::from_bool(v.neighbors_of_center().count() % 2 == 0)
+            });
+            assert_eq!(verdict, Verdict::Yes);
+        }
+        assert_eq!(evaluations, 1);
+        // A different algorithm name is a fresh memo slot.
+        let verdict = cache.verdict("always-no", &views[0], |_| Verdict::No);
+        assert_eq!(verdict, Verdict::No);
+        assert_eq!(
+            cache.verdict("even-degree", &views[0], |_| Verdict::No),
+            Verdict::Yes
+        );
+    }
+
+    #[test]
+    fn distinct_structures_do_not_collide() {
+        let cache = ViewCache::new();
+        let path = LabeledGraph::uniform(generators::path(9), 0u8);
+        let views = crate::enumeration::collect_oblivious_views(&path, 2);
+        for view in &views {
+            assert_eq!(cache.canonical_key(view), view.canonical_key());
+        }
+        // End, next-to-end and interior views are distinct isomorphism
+        // classes; mirror-image layouts may double a class structurally, but
+        // the cache must still collapse far below one entry per node.
+        let entries = cache.stats().entries;
+        assert!((3..=5).contains(&entries), "entries = {entries}");
+    }
+
+    #[test]
+    fn labels_refine_the_fingerprint() {
+        let cache = ViewCache::new();
+        let g = generators::cycle(8);
+        let a = LabeledGraph::uniform(g.clone(), 0u8);
+        let b = LabeledGraph::uniform(g, 1u8);
+        let va = crate::enumeration::collect_oblivious_views(&a, 1);
+        let vb = crate::enumeration::collect_oblivious_views(&b, 1);
+        cache.canonical_key(&va[0]);
+        cache.canonical_key(&vb[0]);
+        assert_eq!(cache.stats().misses, 2);
+    }
+
+    #[test]
+    fn clear_resets_everything() {
+        let cache = ViewCache::new();
+        let views = cycle_views(6, 1);
+        cache.canonical_key(&views[0]);
+        cache.clear();
+        assert_eq!(cache.stats(), CacheStats::default());
+        cache.canonical_key(&views[0]);
+        assert_eq!(cache.stats().misses, 1);
+    }
+
+    #[test]
+    fn stats_delta_and_merge() {
+        let a = CacheStats {
+            hits: 10,
+            misses: 2,
+            entries: 2,
+        };
+        let b = CacheStats {
+            hits: 4,
+            misses: 1,
+            entries: 2,
+        };
+        let d = a.since(&b);
+        assert_eq!(d.hits, 6);
+        assert_eq!(d.misses, 1);
+        assert_eq!(d.entries, 0);
+        let m = a.merged(&b);
+        assert_eq!(m.hits, 14);
+        assert_eq!(m.entries, 4);
+        assert_eq!(CacheStats::default().hit_rate(), 0.0);
+    }
+
+    #[test]
+    fn panicking_evaluation_does_not_poison_the_cache() {
+        let cache = ViewCache::new();
+        let views = cycle_views(8, 1);
+        let panicked = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            cache.verdict("exploder", &views[0], |_| panic!("cell blew up"))
+        }));
+        assert!(panicked.is_err());
+        // The cache must keep serving the same shard afterwards — a
+        // panicking sweep cell must not cascade into unrelated cells.
+        assert_eq!(
+            cache.verdict("fine", &views[0], |_| Verdict::Yes),
+            Verdict::Yes
+        );
+        assert_eq!(cache.canonical_key(&views[0]), views[0].canonical_key());
+        // And the exploding algorithm memoized nothing.
+        assert_eq!(
+            cache.verdict("exploder", &views[0], |_| Verdict::No),
+            Verdict::No
+        );
+    }
+
+    #[test]
+    fn cache_is_shareable_across_threads() {
+        let cache = ViewCache::new();
+        let views = cycle_views(32, 2);
+        std::thread::scope(|scope| {
+            let cache = &cache;
+            for chunk in views.chunks(8) {
+                scope.spawn(move || {
+                    for view in chunk {
+                        assert_eq!(cache.canonical_key(view), view.canonical_key());
+                    }
+                });
+            }
+        });
+        let stats = cache.stats();
+        assert_eq!(stats.hits + stats.misses, 32);
+        assert!(stats.entries <= 2, "entries = {}", stats.entries);
+    }
+}

@@ -3,11 +3,13 @@
 //! property and Monte-Carlo estimation for randomised deciders.
 
 use crate::algorithm::{LocalAlgorithm, ObliviousAlgorithm, RandomizedObliviousAlgorithm, Verdict};
+use crate::cache::ViewCache;
 use crate::input::Input;
 use crate::property::Property;
 use ld_graph::NodeId;
 use rand::Rng;
 use serde::{Deserialize, Serialize};
+use std::hash::Hash;
 
 /// The global outcome of running a decision algorithm on an input.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -94,6 +96,34 @@ pub fn run_oblivious<L: Clone, A: ObliviousAlgorithm<L> + ?Sized>(
         .map(|v| algorithm.evaluate(&input.oblivious_view(v, radius)))
         .collect();
     Decision::new(algorithm.name(), verdicts)
+}
+
+/// Runs an Id-oblivious algorithm on every node, memoizing verdicts in a
+/// shared [`ViewCache`] so each structural view class is evaluated once.
+///
+/// The verdicts are identical to [`run_oblivious`] for any deterministic
+/// algorithm whose [`name`](crate::algorithm::ObliviousAlgorithm::name)
+/// uniquely determines its behaviour over the cache's lifetime: cache
+/// entries are verified by exact view equality before reuse, but the
+/// verdict memo is keyed per algorithm *name* (see [`ViewCache::verdict`]).
+/// The payoff is in sweeps, where thousands of inputs of the same family
+/// expose the same handful of view classes over and over.
+pub fn run_oblivious_cached<L, A>(input: &Input<L>, algorithm: &A, cache: &ViewCache<L>) -> Decision
+where
+    L: Clone + Eq + Hash,
+    A: ObliviousAlgorithm<L> + ?Sized,
+{
+    let radius = algorithm.radius();
+    let name = algorithm.name();
+    let verdicts = input
+        .graph()
+        .nodes()
+        .map(|v| {
+            let view = input.oblivious_view(v, radius);
+            cache.verdict(name, &view, |view| algorithm.evaluate(view))
+        })
+        .collect();
+    Decision::new(name, verdicts)
 }
 
 /// Runs a local algorithm on every node using one OS thread per chunk of
@@ -323,6 +353,25 @@ mod tests {
         assert!(!rejection.accepted());
         // The two monochromatic-edge endpoints are exactly the rejecting nodes.
         assert_eq!(rejection.rejecting_nodes(), vec![NodeId(0), NodeId(1)]);
+    }
+
+    #[test]
+    fn cached_run_matches_uncached() {
+        let algorithm = coloring_checker();
+        let cache = ViewCache::new();
+        let inputs = vec![
+            colored_cycle(vec![0, 1, 2, 0, 1, 2]),
+            colored_cycle(vec![0, 0, 1, 2, 1, 2]),
+            colored_cycle((0..30).map(|i| i % 3).collect()),
+        ];
+        for input in &inputs {
+            let plain = run_oblivious(input, &algorithm);
+            let cached = run_oblivious_cached(input, &algorithm, &cache);
+            assert_eq!(plain.verdicts(), cached.verdicts());
+        }
+        let stats = cache.stats();
+        assert!(stats.hits > 0, "repeated view classes must hit the cache");
+        assert!(stats.hit_rate() > 0.5, "hit rate {}", stats.hit_rate());
     }
 
     #[test]

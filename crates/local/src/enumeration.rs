@@ -6,6 +6,7 @@
 //! views, deduplicates them up to centred label-preserving isomorphism
 //! (bucketing by the Weisfeiler–Leman key first), and compares view sets.
 
+use crate::cache::ViewCache;
 use crate::input::Input;
 use crate::view::{ObliviousView, View};
 use ld_graph::LabeledGraph;
@@ -70,6 +71,39 @@ pub fn distinct_oblivious_views_of<L: Clone + Eq + Hash>(
     distinct_oblivious_views(collect_oblivious_views(labeled, radius))
 }
 
+/// [`distinct_oblivious_views`], with the Weisfeiler–Leman bucketing keys
+/// served from a shared [`ViewCache`].  The result is identical; repeated
+/// canonicalisation of structurally identical views across a sweep is
+/// computed once.
+pub fn distinct_oblivious_views_cached<L: Clone + Eq + Hash>(
+    views: Vec<ObliviousView<L>>,
+    cache: &ViewCache<L>,
+) -> Vec<ObliviousView<L>> {
+    let mut buckets: HashMap<u64, Vec<ObliviousView<L>>> = HashMap::new();
+    let mut result = Vec::new();
+    for view in views {
+        let key = cache.canonical_key(&view);
+        let bucket = buckets.entry(key).or_default();
+        if bucket
+            .iter()
+            .all(|seen| !seen.indistinguishable_from(&view))
+        {
+            bucket.push(view.clone());
+            result.push(view);
+        }
+    }
+    result
+}
+
+/// [`distinct_oblivious_views_of`], routed through a shared [`ViewCache`].
+pub fn distinct_oblivious_views_of_cached<L: Clone + Eq + Hash>(
+    labeled: &LabeledGraph<L>,
+    radius: usize,
+    cache: &ViewCache<L>,
+) -> Vec<ObliviousView<L>> {
+    distinct_oblivious_views_cached(collect_oblivious_views(labeled, radius), cache)
+}
+
 /// Returns `true` if `view` is indistinguishable from some view in `family`.
 pub fn view_occurs_in<L: Clone + Eq + Hash>(
     view: &ObliviousView<L>,
@@ -93,6 +127,37 @@ pub fn coverage<L: Clone + Eq + Hash>(
         return 1.0;
     }
     let covered = targets.iter().filter(|t| view_occurs_in(t, family)).count();
+    covered as f64 / targets.len() as f64
+}
+
+/// [`coverage`], with family views bucketed by cached canonical keys so each
+/// target is isomorphism-tested only against candidates that can possibly
+/// match.  The result is identical to [`coverage`]: isomorphic views always
+/// share a canonical key, so restricting the exact test to the matching
+/// bucket discards only guaranteed mismatches.
+pub fn coverage_cached<L: Clone + Eq + Hash>(
+    targets: &[ObliviousView<L>],
+    family: &[ObliviousView<L>],
+    cache: &ViewCache<L>,
+) -> f64 {
+    if targets.is_empty() {
+        return 1.0;
+    }
+    let mut buckets: HashMap<u64, Vec<&ObliviousView<L>>> = HashMap::new();
+    for view in family {
+        buckets
+            .entry(cache.canonical_key(view))
+            .or_default()
+            .push(view);
+    }
+    let covered = targets
+        .iter()
+        .filter(|t| {
+            buckets
+                .get(&cache.canonical_key(t))
+                .is_some_and(|bucket| bucket.iter().any(|c| c.indistinguishable_from(t)))
+        })
+        .count();
     covered as f64 / targets.len() as f64
 }
 
@@ -170,5 +235,38 @@ mod tests {
         let family = distinct_oblivious_views_of(&uniform_cycle(6), 1);
         assert_eq!(coverage::<u8>(&[], &family), 1.0);
         assert!(!view_occurs_in(&family[0], &[]));
+        let cache = ViewCache::new();
+        assert_eq!(coverage_cached::<u8>(&[], &family, &cache), 1.0);
+    }
+
+    #[test]
+    fn cached_enumeration_matches_uncached() {
+        let cache = ViewCache::new();
+        for labeled in [
+            uniform_cycle(20),
+            LabeledGraph::uniform(ld_graph::generators::path(9), 0u8),
+            LabeledGraph::from_fn(generators::cycle(12), |v| (v.index() % 2) as u8),
+        ] {
+            for radius in 0..3 {
+                let plain = distinct_oblivious_views_of(&labeled, radius);
+                let cached = distinct_oblivious_views_of_cached(&labeled, radius, &cache);
+                assert_eq!(plain, cached);
+            }
+        }
+        assert!(cache.stats().hits > 0, "repeat views must hit the cache");
+    }
+
+    #[test]
+    fn cached_coverage_matches_uncached() {
+        let cache = ViewCache::new();
+        let small = distinct_oblivious_views_of(&uniform_cycle(10), 2);
+        let large = distinct_oblivious_views_of(&uniform_cycle(30), 2);
+        let tiny = distinct_oblivious_views_of(&uniform_cycle(5), 2);
+        for (targets, family) in [(&large, &small), (&small, &large), (&tiny, &large)] {
+            assert_eq!(
+                coverage(targets, family),
+                coverage_cached(targets, family, &cache)
+            );
+        }
     }
 }

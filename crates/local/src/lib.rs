@@ -30,8 +30,10 @@
 //! enumeration of views up to isomorphism ([`enumeration`]), the generic
 //! Id-oblivious simulation `A*` of the paper's introduction
 //! ([`simulation`]), a synchronous message-passing engine equivalent to the
-//! view semantics ([`engine`]), and randomised `(p, q)`-deciders
-//! ([`RandomizedObliviousAlgorithm`], [`decision::estimate_pq`]).
+//! view semantics ([`engine`]), randomised `(p, q)`-deciders
+//! ([`RandomizedObliviousAlgorithm`], [`decision::estimate_pq`]), and a
+//! shared lock-sharded canonical-view cache that de-duplicates the repeated
+//! ball canonicalisation parameter sweeps perform ([`cache`]).
 //!
 //! # Example
 //!
@@ -60,6 +62,7 @@
 #![warn(missing_docs)]
 
 pub mod algorithm;
+pub mod cache;
 pub mod decision;
 pub mod engine;
 pub mod enumeration;
@@ -74,6 +77,7 @@ pub use algorithm::{
     FnLocal, FnOblivious, LocalAlgorithm, ObliviousAlgorithm, ObliviousAsLocal,
     OrderInvariantAlgorithm, OrderInvariantAsLocal, RandomizedObliviousAlgorithm, Verdict,
 };
+pub use cache::{CacheStats, ViewCache};
 pub use decision::{Decision, DecisionOutcome};
 pub use error::LocalError;
 pub use ids::{IdAssignment, IdBound};

@@ -1,0 +1,177 @@
+//! `ldx` — list and run experiment sweeps by name.
+//!
+//! ```text
+//! ldx list
+//! ldx run <scenario> [--max-n N] [--threads T] [--seed S]
+//!                    [--out FILE.json] [--csv FILE.csv] [--no-bench-json]
+//! ```
+//!
+//! `run` executes the named scenario, prints a summary, and writes the full
+//! JSON report (default `ldx-<scenario>.json` in the working directory), an
+//! optional CSV, and a perf snapshot to `BENCH_runner.json` at the repo
+//! root.  The process exits nonzero when any cell fails or panics.
+
+use ld_runner::{executor, scenarios, RunReport, SweepConfig};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn usage() -> String {
+    let mut out = String::from(
+        "usage:\n  ldx list\n  ldx run <scenario> [--max-n N] [--threads T] [--seed S]\n                     [--out FILE.json] [--csv FILE.csv] [--no-bench-json]\n\nscenarios:\n",
+    );
+    for scenario in scenarios::all() {
+        out.push_str(&format!(
+            "  {:<20} {}\n",
+            scenario.name(),
+            scenario.description()
+        ));
+    }
+    out
+}
+
+struct RunArgs {
+    scenario: String,
+    config: SweepConfig,
+    out: Option<PathBuf>,
+    csv: Option<PathBuf>,
+    bench_json: bool,
+}
+
+fn parse_run_args(args: &[String]) -> Result<RunArgs, String> {
+    let mut iter = args.iter();
+    let scenario = iter
+        .next()
+        .ok_or_else(|| "run: missing scenario name".to_string())?
+        .clone();
+    let mut run = RunArgs {
+        scenario,
+        config: SweepConfig::default(),
+        out: None,
+        csv: None,
+        bench_json: true,
+    };
+    while let Some(flag) = iter.next() {
+        let mut value = |name: &str| {
+            iter.next()
+                .map(String::as_str)
+                .ok_or_else(|| format!("{name} expects a value"))
+                .map(str::to_string)
+        };
+        match flag.as_str() {
+            "--max-n" => {
+                run.config.max_n = value("--max-n")?
+                    .parse()
+                    .map_err(|e| format!("--max-n: {e}"))?;
+            }
+            "--threads" => {
+                run.config.threads = value("--threads")?
+                    .parse()
+                    .map_err(|e| format!("--threads: {e}"))?;
+                if run.config.threads == 0 {
+                    return Err("--threads must be at least 1".to_string());
+                }
+            }
+            "--seed" => {
+                run.config.seed = value("--seed")?
+                    .parse()
+                    .map_err(|e| format!("--seed: {e}"))?;
+            }
+            "--out" => run.out = Some(PathBuf::from(value("--out")?)),
+            "--csv" => run.csv = Some(PathBuf::from(value("--csv")?)),
+            "--no-bench-json" => run.bench_json = false,
+            other => return Err(format!("unknown flag {other}")),
+        }
+    }
+    Ok(run)
+}
+
+/// The workspace root this binary was built from; `BENCH_runner.json` lands
+/// there so the perf trajectory lives next to the sources.
+fn repo_root() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("..")
+        .join("..")
+}
+
+fn print_summary(report: &RunReport) {
+    println!(
+        "{}: {} cells on {} thread(s) in {:.2?}",
+        report.scenario,
+        report.cells.len(),
+        report.config.threads,
+        report.total_wall
+    );
+    println!(
+        "  passed {}  failed {}  panicked {}",
+        report.passed(),
+        report.failed(),
+        report.panicked()
+    );
+    println!(
+        "  canonical-view cache: {} hits, {} misses, hit rate {:.1}%",
+        report.cache.hits,
+        report.cache.misses,
+        100.0 * report.cache_hit_rate()
+    );
+    for cell in report.cells.iter().filter(|c| !c.passed()) {
+        match &cell.outcome {
+            Ok(outcome) => println!("  FAIL {} -> {}", cell.spec.id, outcome.verdict),
+            Err(message) => println!("  PANIC {} -> {}", cell.spec.id, message),
+        }
+    }
+}
+
+fn cmd_run(args: &[String]) -> Result<bool, String> {
+    let run = parse_run_args(args)?;
+    let scenario = scenarios::find(&run.scenario)
+        .ok_or_else(|| format!("unknown scenario '{}'\n\n{}", run.scenario, usage()))?;
+    let report = executor::execute(scenario.as_ref(), &run.config)?;
+    print_summary(&report);
+
+    let out = run
+        .out
+        .unwrap_or_else(|| PathBuf::from(format!("ldx-{}.json", report.scenario)));
+    RunReport::write(&out, &report.to_json())
+        .map_err(|e| format!("writing {}: {e}", out.display()))?;
+    println!("  report: {}", out.display());
+
+    if let Some(csv) = run.csv {
+        RunReport::write(&csv, &report.to_csv())
+            .map_err(|e| format!("writing {}: {e}", csv.display()))?;
+        println!("  csv: {}", csv.display());
+    }
+
+    if run.bench_json {
+        // The snapshot is best-effort: the repo root is baked in at compile
+        // time, so a relocated binary must not fail an otherwise green run.
+        let bench = repo_root().join("BENCH_runner.json");
+        match RunReport::write(&bench, &report.bench_snapshot_json()) {
+            Ok(()) => println!("  perf snapshot: {}", bench.display()),
+            Err(e) => eprintln!("ldx: skipping perf snapshot {}: {e}", bench.display()),
+        }
+    }
+
+    Ok(report.failed() == 0 && report.panicked() == 0)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("list") => {
+            print!("{}", usage());
+            ExitCode::SUCCESS
+        }
+        Some("run") => match cmd_run(&args[1..]) {
+            Ok(true) => ExitCode::SUCCESS,
+            Ok(false) => ExitCode::FAILURE,
+            Err(message) => {
+                eprintln!("ldx: {message}");
+                ExitCode::FAILURE
+            }
+        },
+        _ => {
+            eprint!("{}", usage());
+            ExitCode::FAILURE
+        }
+    }
+}

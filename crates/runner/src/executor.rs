@@ -1,0 +1,204 @@
+//! The parallel sweep executor.
+//!
+//! Cells are pulled off a shared atomic work queue by a scoped thread pool,
+//! so long cells never stall the sweep behind them and all cores stay busy.
+//! Three properties make the parallel path bit-reproducible against the
+//! sequential one:
+//!
+//! 1. **Index-derived seeds** — each cell's seed is a SplitMix64 mix of the
+//!    master seed and the cell *index*, never of the worker that happens to
+//!    run it.
+//! 2. **Slot writes** — results are written into a pre-sized slot per cell,
+//!    so report order is planning order regardless of completion order.
+//! 3. **Panic isolation** — a panicking cell is caught with
+//!    [`std::panic::catch_unwind`] and recorded as an error outcome; the
+//!    queue keeps draining.
+
+use crate::cell::CellResult;
+use crate::report::RunReport;
+use crate::scenario::{Plan, PlannedCell, Scenario, SweepConfig};
+use std::panic::AssertUnwindSafe;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// Derives the seed of cell `index` from the master seed: SplitMix64 over
+/// the pair, so neighbouring indices get statistically independent streams
+/// and the mapping is stable across thread counts, platforms and runs.
+pub fn cell_seed(master: u64, index: usize) -> u64 {
+    let mut z = master ^ (index as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Plans `scenario` under `config` and executes every cell, on
+/// `config.threads` workers.
+///
+/// # Errors
+///
+/// Propagates planning failures; execution itself cannot fail (cell panics
+/// are captured into the report).
+pub fn execute(scenario: &dyn Scenario, config: &SweepConfig) -> Result<RunReport, String> {
+    let plan = scenario.plan(config)?;
+    Ok(execute_plan(scenario.name(), plan, config))
+}
+
+/// Executes an already expanded plan.  Exposed for benches and tests that
+/// want to reuse a plan's caches across runs.
+pub fn execute_plan(scenario_name: &str, plan: Plan, config: &SweepConfig) -> RunReport {
+    let stats_before = plan.cache_stats();
+    let started = Instant::now();
+    let results = if config.threads <= 1 {
+        run_sequential(&plan.cells, config)
+    } else {
+        run_parallel(&plan.cells, config)
+    };
+    let total_wall = started.elapsed();
+    let cache = plan.cache_stats().since(&stats_before);
+    RunReport::new(scenario_name, config.clone(), results, total_wall, cache)
+}
+
+fn run_cell(cell: &PlannedCell, index: usize, config: &SweepConfig) -> CellResult {
+    let seed = cell_seed(config.seed, index);
+    let started = Instant::now();
+    let outcome = std::panic::catch_unwind(AssertUnwindSafe(|| (cell.run)(seed)))
+        .map_err(|payload| panic_message(payload.as_ref()));
+    CellResult {
+        spec: cell.spec.clone(),
+        seed,
+        outcome,
+        wall: started.elapsed(),
+    }
+}
+
+fn run_sequential(cells: &[PlannedCell], config: &SweepConfig) -> Vec<CellResult> {
+    cells
+        .iter()
+        .enumerate()
+        .map(|(index, cell)| run_cell(cell, index, config))
+        .collect()
+}
+
+fn run_parallel(cells: &[PlannedCell], config: &SweepConfig) -> Vec<CellResult> {
+    let workers = config.threads.min(cells.len()).max(1);
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<CellResult>>> = cells.iter().map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let index = next.fetch_add(1, Ordering::Relaxed);
+                let Some(cell) = cells.get(index) else { break };
+                let result = run_cell(cell, index, config);
+                *slots[index].lock().expect("result slot poisoned") = Some(result);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("result slot poisoned")
+                .expect("every queue index was claimed by a worker")
+        })
+        .collect()
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "cell panicked".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cell::{CellOutcome, CellSpec};
+
+    struct CountingScenario;
+
+    impl Scenario for CountingScenario {
+        fn name(&self) -> &'static str {
+            "counting"
+        }
+        fn description(&self) -> &'static str {
+            "test scenario: cells echo their seed"
+        }
+        fn plan(&self, config: &SweepConfig) -> Result<Plan, String> {
+            let mut plan = Plan::new();
+            for i in 0..config.max_n {
+                let spec = CellSpec::new(format!("cell/{i}"), [("i", i.to_string())]);
+                plan.push(spec, move |seed| {
+                    if i == 13 {
+                        panic!("unlucky cell {i}");
+                    }
+                    CellOutcome::new("ok", true).with_metric("seed_low", (seed % 1024) as f64)
+                });
+            }
+            Ok(plan)
+        }
+    }
+
+    fn config(threads: usize) -> SweepConfig {
+        SweepConfig {
+            max_n: 40,
+            threads,
+            seed: 99,
+        }
+    }
+
+    #[test]
+    fn seeds_are_stable_and_spread() {
+        let a = cell_seed(1, 0);
+        let b = cell_seed(1, 1);
+        assert_ne!(a, b);
+        assert_eq!(cell_seed(1, 7), cell_seed(1, 7));
+        assert_ne!(cell_seed(1, 7), cell_seed(2, 7));
+    }
+
+    #[test]
+    fn parallel_results_match_sequential_in_order_and_content() {
+        let sequential = execute(&CountingScenario, &config(1)).unwrap();
+        for threads in [2, 4, 16] {
+            let parallel = execute(&CountingScenario, &config(threads)).unwrap();
+            assert_eq!(sequential.cells.len(), parallel.cells.len());
+            for (s, p) in sequential.cells.iter().zip(&parallel.cells) {
+                assert_eq!(s.spec, p.spec);
+                assert_eq!(s.seed, p.seed);
+                assert_eq!(s.outcome, p.outcome);
+            }
+            assert_eq!(
+                sequential.deterministic_json(),
+                parallel.deterministic_json()
+            );
+        }
+    }
+
+    #[test]
+    fn panics_are_isolated_and_recorded() {
+        let report = execute(&CountingScenario, &config(4)).unwrap();
+        assert_eq!(report.panicked(), 1);
+        assert_eq!(report.passed(), 39);
+        let failed = &report.cells[13];
+        assert_eq!(failed.outcome.as_ref().unwrap_err(), "unlucky cell 13");
+    }
+
+    #[test]
+    fn more_threads_than_cells_is_fine() {
+        let report = execute(
+            &CountingScenario,
+            &SweepConfig {
+                max_n: 3,
+                threads: 64,
+                seed: 5,
+            },
+        )
+        .unwrap();
+        assert_eq!(report.cells.len(), 3);
+    }
+}

@@ -1,0 +1,234 @@
+//! A minimal JSON document builder.
+//!
+//! The workspace builds offline against a vendored `serde` whose derives are
+//! markers only (no codec backend), so the runner carries its own writer for
+//! the one direction it needs: emitting reports.  Rendering is fully
+//! deterministic — object keys keep insertion order and numbers format the
+//! same way on every run — which is what lets the determinism harness
+//! compare reports byte for byte.
+
+use std::fmt::Write as _;
+
+/// A JSON value.  Construct with the `From` impls and [`Json::object`] /
+/// [`Json::array`], render with [`Json::render`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// An unsigned integer (seeds and counters exceed `i64`).
+    U64(u64),
+    /// A signed integer.
+    I64(i64),
+    /// A float, rendered with Rust's shortest-roundtrip formatting.
+    F64(f64),
+    /// A string, escaped on render.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object; keys render in insertion order.
+    Obj(Vec<(String, Json)>),
+}
+
+impl From<bool> for Json {
+    fn from(v: bool) -> Self {
+        Json::Bool(v)
+    }
+}
+impl From<u64> for Json {
+    fn from(v: u64) -> Self {
+        Json::U64(v)
+    }
+}
+impl From<usize> for Json {
+    fn from(v: usize) -> Self {
+        Json::U64(v as u64)
+    }
+}
+impl From<i64> for Json {
+    fn from(v: i64) -> Self {
+        Json::I64(v)
+    }
+}
+impl From<f64> for Json {
+    fn from(v: f64) -> Self {
+        Json::F64(v)
+    }
+}
+impl From<&str> for Json {
+    fn from(v: &str) -> Self {
+        Json::Str(v.to_string())
+    }
+}
+impl From<String> for Json {
+    fn from(v: String) -> Self {
+        Json::Str(v)
+    }
+}
+impl<T: Into<Json>> From<Vec<T>> for Json {
+    fn from(v: Vec<T>) -> Self {
+        Json::Arr(v.into_iter().map(Into::into).collect())
+    }
+}
+
+impl Json {
+    /// An empty object, to be filled with [`Json::set`].
+    pub fn object() -> Json {
+        Json::Obj(Vec::new())
+    }
+
+    /// An array from anything iterable.
+    pub fn array<T: Into<Json>>(items: impl IntoIterator<Item = T>) -> Json {
+        Json::Arr(items.into_iter().map(Into::into).collect())
+    }
+
+    /// Appends `key: value` to an object (panics on non-objects: a builder
+    /// misuse, not a data error).
+    #[must_use]
+    pub fn set(mut self, key: &str, value: impl Into<Json>) -> Json {
+        match &mut self {
+            Json::Obj(fields) => fields.push((key.to_string(), value.into())),
+            other => panic!("Json::set on non-object {other:?}"),
+        }
+        self
+    }
+
+    /// Renders the document with two-space indentation and a trailing
+    /// newline, the layout all `ldx` reports use.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, 0);
+        out.push('\n');
+        out
+    }
+
+    fn write(&self, out: &mut String, depth: usize) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::U64(v) => {
+                let _ = write!(out, "{v}");
+            }
+            Json::I64(v) => {
+                let _ = write!(out, "{v}");
+            }
+            Json::F64(v) => {
+                if v.is_finite() {
+                    let _ = write!(out, "{v}");
+                } else {
+                    out.push_str("null");
+                }
+            }
+            Json::Str(s) => write_escaped(out, s),
+            Json::Arr(items) => {
+                if items.is_empty() {
+                    out.push_str("[]");
+                    return;
+                }
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    newline_indent(out, depth + 1);
+                    item.write(out, depth + 1);
+                }
+                newline_indent(out, depth);
+                out.push(']');
+            }
+            Json::Obj(fields) => {
+                if fields.is_empty() {
+                    out.push_str("{}");
+                    return;
+                }
+                out.push('{');
+                for (i, (key, value)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    newline_indent(out, depth + 1);
+                    write_escaped(out, key);
+                    out.push_str(": ");
+                    value.write(out, depth + 1);
+                }
+                newline_indent(out, depth);
+                out.push('}');
+            }
+        }
+    }
+}
+
+fn newline_indent(out: &mut String, depth: usize) {
+    out.push('\n');
+    for _ in 0..depth {
+        out.push_str("  ");
+    }
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_nested_documents() {
+        let doc = Json::object()
+            .set("name", "sweep")
+            .set("cells", 3usize)
+            .set("ok", true)
+            .set("rate", 0.5f64)
+            .set("tags", Json::array(["a", "b"]))
+            .set("empty", Json::Arr(vec![]))
+            .set("nothing", Json::Null);
+        let text = doc.render();
+        assert!(text.contains("\"name\": \"sweep\""));
+        assert!(text.contains("\"cells\": 3"));
+        assert!(text.contains("\"rate\": 0.5"));
+        assert!(text.contains("\"empty\": []"));
+        assert!(text.contains("\"nothing\": null"));
+        assert!(text.ends_with("}\n"));
+    }
+
+    #[test]
+    fn escapes_strings() {
+        let doc = Json::object().set("msg", "a \"b\"\n\\c\u{1}");
+        let text = doc.render();
+        assert!(text.contains(r#"\"b\""#), "{text}");
+        assert!(text.contains("\\u0001"), "{text}");
+    }
+
+    #[test]
+    fn nonfinite_floats_become_null() {
+        assert_eq!(Json::F64(f64::NAN).render(), "null\n");
+        assert_eq!(Json::F64(f64::INFINITY).render(), "null\n");
+    }
+
+    #[test]
+    fn rendering_is_deterministic() {
+        let build = || {
+            Json::object()
+                .set("a", 1u64)
+                .set("b", Json::array([Json::F64(1.25), Json::I64(-3)]))
+                .render()
+        };
+        assert_eq!(build(), build());
+    }
+}

@@ -1,0 +1,56 @@
+//! # ld-runner — experiment orchestration for the local-decision workspace
+//!
+//! The paper's experiments (and the GKS-game line of follow-up work) live
+//! and die by parameter sweeps: family × size × radius × identifier regime ×
+//! algorithm, thousands of cells at a time.  This crate turns the hand-rolled
+//! example binaries into declarative, parallel, machine-readable sweeps:
+//!
+//! * **Scenario specs** ([`scenario`]) — a [`Scenario`] expands a
+//!   [`SweepConfig`] into a [`Plan`]: one closure per fully determined
+//!   parameter cell.  Built-ins in [`scenarios`] cover the Section 2
+//!   layered trees, the Section 3 execution tables, pyramids, the
+//!   randomised decider, and the summary table.
+//! * **A parallel executor** ([`executor`]) — a scoped thread pool over an
+//!   atomic work queue, with per-cell seeds derived from the cell *index*
+//!   and panics isolated per cell, so `--threads 8` reports are byte-equal
+//!   to `--threads 1` reports.
+//! * **A shared canonical-view cache** (`ld_local::cache`, threaded through
+//!   every oblivious decision and view enumeration the cells perform) — the
+//!   hot path of every indistinguishability harness, computed once per
+//!   structural class per sweep.
+//! * **Reporters** ([`report`]) — JSON and CSV run records plus the
+//!   `BENCH_runner.json` perf snapshot.
+//!
+//! The `ldx` binary (this crate's `src/bin/ldx.rs`) lists and runs
+//! scenarios by name:
+//!
+//! ```text
+//! ldx list
+//! ldx run section2-sweep --max-n 64 --threads 8
+//! ```
+//!
+//! # Example
+//!
+//! ```
+//! use ld_runner::{executor, scenarios, SweepConfig};
+//!
+//! let config = SweepConfig { max_n: 16, threads: 2, seed: 1 };
+//! let report = executor::execute(&scenarios::PyramidSweep, &config).unwrap();
+//! assert_eq!(report.panicked(), 0);
+//! let json = report.to_json();
+//! assert!(json.starts_with("{"));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cell;
+pub mod executor;
+pub mod json;
+pub mod report;
+pub mod scenario;
+pub mod scenarios;
+
+pub use cell::{CellOutcome, CellResult, CellSpec};
+pub use report::RunReport;
+pub use scenario::{Plan, PlannedCell, Scenario, SweepConfig};

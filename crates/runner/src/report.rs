@@ -1,0 +1,364 @@
+//! Machine-readable run records.
+//!
+//! One sweep produces one [`RunReport`], which renders three ways:
+//!
+//! * [`RunReport::to_json`] — the full record: config, every cell (params,
+//!   seed, verdict, metrics), and a `perf` section (wall times, thread
+//!   count, cache hit rate).
+//! * [`RunReport::deterministic_json`] — the same record *minus* everything
+//!   timing- or parallelism-dependent.  Two runs of the same scenario with
+//!   the same seed and `max_n` must agree on it byte for byte, whatever the
+//!   thread count — the determinism harness asserts exactly this.
+//! * [`RunReport::to_csv`] — one row per cell for spreadsheet-shaped
+//!   consumers.
+//!
+//! [`RunReport::bench_snapshot_json`] additionally distils a perf snapshot
+//! (`BENCH_runner.json` at the repo root) so the repo's performance
+//! trajectory is recorded alongside its correctness results.
+
+use crate::cell::CellResult;
+use crate::json::Json;
+use crate::scenario::SweepConfig;
+use ld_local::cache::CacheStats;
+use std::path::Path;
+use std::time::Duration;
+
+/// The complete record of one executed sweep.
+#[derive(Debug)]
+pub struct RunReport {
+    /// Scenario name.
+    pub scenario: String,
+    /// The configuration the sweep ran under.
+    pub config: SweepConfig,
+    /// Per-cell results, in planning order.
+    pub cells: Vec<CellResult>,
+    /// Wall-clock time of the whole sweep.
+    pub total_wall: Duration,
+    /// Canonical-view-cache counters accumulated during this run.
+    pub cache: CacheStats,
+}
+
+impl RunReport {
+    /// Assembles a report (used by the executor).
+    pub fn new(
+        scenario: &str,
+        config: SweepConfig,
+        cells: Vec<CellResult>,
+        total_wall: Duration,
+        cache: CacheStats,
+    ) -> Self {
+        RunReport {
+            scenario: scenario.to_string(),
+            config,
+            cells,
+            total_wall,
+            cache,
+        }
+    }
+
+    /// Number of cells that completed with a matching verdict.
+    pub fn passed(&self) -> usize {
+        self.cells.iter().filter(|c| c.passed()).count()
+    }
+
+    /// Number of cells that completed with a verdict that missed its
+    /// expectation.
+    pub fn failed(&self) -> usize {
+        self.cells
+            .iter()
+            .filter(|c| !c.passed() && !c.panicked())
+            .count()
+    }
+
+    /// Number of cells that panicked.
+    pub fn panicked(&self) -> usize {
+        self.cells.iter().filter(|c| c.panicked()).count()
+    }
+
+    /// The cache hit rate over this run.
+    pub fn cache_hit_rate(&self) -> f64 {
+        self.cache.hit_rate()
+    }
+
+    /// The deterministic core of a cell record (no timing).
+    fn cell_json(cell: &CellResult) -> Json {
+        let mut obj = Json::object()
+            .set("id", cell.spec.id.as_str())
+            .set(
+                "params",
+                Json::Obj(
+                    cell.spec
+                        .params
+                        .iter()
+                        .map(|(k, v)| (k.clone(), Json::from(v.as_str())))
+                        .collect(),
+                ),
+            )
+            .set("seed", cell.seed);
+        match &cell.outcome {
+            Ok(outcome) => {
+                obj = obj
+                    .set("status", "completed")
+                    .set("verdict", outcome.verdict.as_str())
+                    .set("pass", outcome.pass)
+                    .set(
+                        "metrics",
+                        Json::Obj(
+                            outcome
+                                .metrics
+                                .iter()
+                                .map(|(k, v)| (k.clone(), Json::F64(*v)))
+                                .collect(),
+                        ),
+                    );
+            }
+            Err(message) => {
+                obj = obj.set("status", "panicked").set("error", message.as_str());
+            }
+        }
+        obj
+    }
+
+    /// The deterministic document: identical across thread counts and
+    /// machines for a fixed (scenario, seed, max_n).
+    fn deterministic_doc(&self) -> Json {
+        Json::object()
+            .set("schema", "ld-runner/report/v1")
+            .set("scenario", self.scenario.as_str())
+            .set(
+                "config",
+                Json::object()
+                    .set("max_n", self.config.max_n)
+                    .set("seed", self.config.seed),
+            )
+            .set("cell_count", self.cells.len())
+            .set("passed", self.passed())
+            .set("failed", self.failed())
+            .set("panicked", self.panicked())
+            .set(
+                "cells",
+                Json::Arr(self.cells.iter().map(Self::cell_json).collect()),
+            )
+    }
+
+    /// Renders the deterministic document (no timings, no thread count, no
+    /// cache counters).
+    pub fn deterministic_json(&self) -> String {
+        self.deterministic_doc().render()
+    }
+
+    /// Renders the full report: the deterministic document plus a `perf`
+    /// section.
+    pub fn to_json(&self) -> String {
+        let perf = Json::object()
+            .set("threads", self.config.threads)
+            .set("total_wall_micros", self.total_wall.as_micros() as u64)
+            .set(
+                "cells_per_second",
+                if self.total_wall.as_secs_f64() > 0.0 {
+                    self.cells.len() as f64 / self.total_wall.as_secs_f64()
+                } else {
+                    0.0
+                },
+            )
+            .set(
+                "cell_wall_micros",
+                Json::Arr(
+                    self.cells
+                        .iter()
+                        .map(|c| Json::U64(c.wall.as_micros() as u64))
+                        .collect(),
+                ),
+            )
+            .set(
+                "cache",
+                Json::object()
+                    .set("hits", self.cache.hits)
+                    .set("misses", self.cache.misses)
+                    .set("entries", self.cache.entries)
+                    .set("hit_rate", self.cache.hit_rate()),
+            );
+        self.deterministic_doc().set("perf", perf).render()
+    }
+
+    /// Renders one CSV row per cell: id, seed, status, verdict, pass,
+    /// `;`-joined `k=v` params and metrics, and wall micros.
+    pub fn to_csv(&self) -> String {
+        let mut out =
+            String::from("scenario,cell,seed,status,verdict,pass,params,metrics,wall_micros\n");
+        for cell in &self.cells {
+            let params = cell
+                .spec
+                .params
+                .iter()
+                .map(|(k, v)| format!("{k}={v}"))
+                .collect::<Vec<_>>()
+                .join(";");
+            let (status, verdict, pass, metrics) = match &cell.outcome {
+                Ok(outcome) => (
+                    "completed",
+                    outcome.verdict.clone(),
+                    outcome.pass.to_string(),
+                    outcome
+                        .metrics
+                        .iter()
+                        .map(|(k, v)| format!("{k}={v}"))
+                        .collect::<Vec<_>>()
+                        .join(";"),
+                ),
+                Err(message) => (
+                    "panicked",
+                    message.replace('\n', " "),
+                    "false".to_string(),
+                    String::new(),
+                ),
+            };
+            out.push_str(&format!(
+                "{},{},{},{},{},{},{},{},{}\n",
+                self.scenario,
+                csv_field(&cell.spec.id),
+                cell.seed,
+                status,
+                csv_field(&verdict),
+                pass,
+                csv_field(&params),
+                csv_field(&metrics),
+                cell.wall.as_micros(),
+            ));
+        }
+        out
+    }
+
+    /// The perf snapshot written to `BENCH_runner.json`: scenario, scale,
+    /// wall time, throughput and cache effectiveness in one flat object.
+    pub fn bench_snapshot_json(&self) -> String {
+        Json::object()
+            .set("bench", "ldx-sweep")
+            .set("scenario", self.scenario.as_str())
+            .set("cells", self.cells.len())
+            .set("max_n", self.config.max_n)
+            .set("threads", self.config.threads)
+            .set("seed", self.config.seed)
+            .set("passed", self.passed())
+            .set("failed", self.failed())
+            .set("panicked", self.panicked())
+            .set("total_wall_micros", self.total_wall.as_micros() as u64)
+            .set(
+                "cells_per_second",
+                if self.total_wall.as_secs_f64() > 0.0 {
+                    self.cells.len() as f64 / self.total_wall.as_secs_f64()
+                } else {
+                    0.0
+                },
+            )
+            .set("cache_hits", self.cache.hits)
+            .set("cache_misses", self.cache.misses)
+            .set("cache_hit_rate", self.cache.hit_rate())
+            .render()
+    }
+
+    /// Writes `contents` produced by one of the renderers to `path`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors.
+    pub fn write(path: impl AsRef<Path>, contents: &str) -> std::io::Result<()> {
+        std::fs::write(path, contents)
+    }
+}
+
+/// Quotes a CSV field when it contains separators or quotes.
+fn csv_field(raw: &str) -> String {
+    if raw.contains([',', '"', '\n']) {
+        format!("\"{}\"", raw.replace('"', "\"\""))
+    } else {
+        raw.to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cell::{CellOutcome, CellSpec};
+
+    fn sample_report() -> RunReport {
+        let cells = vec![
+            CellResult {
+                spec: CellSpec::new("a/one", [("n", "8".to_string())]),
+                seed: 11,
+                outcome: Ok(CellOutcome::new("accept", true).with_metric("views", 2.0)),
+                wall: Duration::from_micros(50),
+            },
+            CellResult {
+                spec: CellSpec::new("a/two", [("n", "9".to_string())]),
+                seed: 12,
+                outcome: Err("boom, with comma".to_string()),
+                wall: Duration::from_micros(60),
+            },
+        ];
+        RunReport::new(
+            "sample",
+            SweepConfig {
+                max_n: 16,
+                threads: 4,
+                seed: 3,
+            },
+            cells,
+            Duration::from_millis(2),
+            CacheStats {
+                hits: 3,
+                misses: 1,
+                entries: 1,
+            },
+        )
+    }
+
+    #[test]
+    fn json_contains_cells_and_perf() {
+        let report = sample_report();
+        let json = report.to_json();
+        assert!(json.contains("\"schema\": \"ld-runner/report/v1\""));
+        assert!(json.contains("\"verdict\": \"accept\""));
+        assert!(json.contains("\"status\": \"panicked\""));
+        assert!(json.contains("\"hit_rate\": 0.75"));
+        assert!(json.contains("\"threads\": 4"));
+    }
+
+    #[test]
+    fn deterministic_json_excludes_timing_and_threads() {
+        let report = sample_report();
+        let json = report.deterministic_json();
+        assert!(!json.contains("wall"));
+        assert!(!json.contains("threads"));
+        assert!(!json.contains("hit_rate"));
+        assert!(json.contains("\"seed\": 3"));
+    }
+
+    #[test]
+    fn counters() {
+        let report = sample_report();
+        assert_eq!(report.passed(), 1);
+        assert_eq!(report.failed(), 0);
+        assert_eq!(report.panicked(), 1);
+        assert_eq!(report.cache_hit_rate(), 0.75);
+    }
+
+    #[test]
+    fn csv_has_one_row_per_cell_and_quotes_commas() {
+        let report = sample_report();
+        let csv = report.to_csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[0].starts_with("scenario,cell,seed"));
+        assert!(lines[1].contains("views=2"));
+        assert!(lines[2].contains("\"boom"));
+    }
+
+    #[test]
+    fn bench_snapshot_is_flat_and_complete() {
+        let snapshot = sample_report().bench_snapshot_json();
+        assert!(snapshot.contains("\"bench\": \"ldx-sweep\""));
+        assert!(snapshot.contains("\"cells\": 2"));
+        assert!(snapshot.contains("\"cache_hit_rate\": 0.75"));
+    }
+}

@@ -1,0 +1,174 @@
+//! Scenario specs: declarative descriptions of whole experiment sweeps.
+//!
+//! A [`Scenario`] turns a [`SweepConfig`] into a [`Plan`]: a list of cells,
+//! each paired with a closure that executes it, plus handles to the shared
+//! canonical-view caches the cells consult.  The executor (see
+//! [`crate::executor`]) is scenario-agnostic; all domain knowledge lives in
+//! the plans.
+
+use crate::cell::{CellOutcome, CellSpec};
+use ld_local::cache::{CacheStats, ViewCache};
+use std::hash::Hash;
+use std::sync::Arc;
+
+/// Configuration shared by every sweep: the instance-size budget, the
+/// parallelism level, and the master seed from which all per-cell seeds are
+/// derived.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SweepConfig {
+    /// The scenario-interpreted size budget.  Sweeps over instance families
+    /// plan no cell whose instance would exceed this many nodes; scenarios
+    /// with other natural scale knobs (zoo breadth, machine speed) scale
+    /// those instead, and the fixed four-cell `relationship-table` ignores
+    /// it.
+    pub max_n: usize,
+    /// Worker threads (`1` = the sequential reference path).
+    pub threads: usize,
+    /// Master seed; per-cell seeds are a pure function of it and the cell
+    /// index.
+    pub seed: u64,
+}
+
+impl Default for SweepConfig {
+    fn default() -> Self {
+        SweepConfig {
+            max_n: 64,
+            threads: 1,
+            seed: 0x1d_2013,
+        }
+    }
+}
+
+/// The executable form of one cell: its spec plus the closure that runs it.
+pub struct PlannedCell {
+    /// The declarative spec (everything reports record about the cell's
+    /// parameters).
+    pub spec: CellSpec,
+    /// Executes the cell.  Receives the per-cell seed; must be deterministic
+    /// in (spec, seed).  May panic — the executor isolates panics.
+    pub run: Box<dyn Fn(u64) -> CellOutcome + Send + Sync>,
+}
+
+impl PlannedCell {
+    /// Pairs a spec with its executor closure.
+    pub fn new(spec: CellSpec, run: impl Fn(u64) -> CellOutcome + Send + Sync + 'static) -> Self {
+        PlannedCell {
+            spec,
+            run: Box::new(run),
+        }
+    }
+}
+
+/// Anything that can report canonical-view-cache counters.  Lets a plan
+/// expose caches of different label types uniformly.
+pub trait CacheStatsSource: Send + Sync {
+    /// Current counters.
+    fn stats(&self) -> CacheStats;
+}
+
+impl<L: Send + Sync> CacheStatsSource for ViewCache<L> {
+    fn stats(&self) -> CacheStats {
+        ViewCache::stats(self)
+    }
+}
+
+/// A fully expanded sweep, ready for the executor.
+pub struct Plan {
+    /// The cells, in planning order (which is also report order).
+    pub cells: Vec<PlannedCell>,
+    /// The shared caches the cells consult, for hit-rate reporting.  One
+    /// entry per label family the scenario touches.
+    pub caches: Vec<Arc<dyn CacheStatsSource>>,
+}
+
+impl Plan {
+    /// An empty plan.
+    pub fn new() -> Self {
+        Plan {
+            cells: Vec::new(),
+            caches: Vec::new(),
+        }
+    }
+
+    /// Registers a shared cache for stats reporting and returns it for cell
+    /// closures to capture.
+    pub fn share_cache<L>(&mut self) -> Arc<ViewCache<L>>
+    where
+        L: Clone + Eq + Hash + Send + Sync + 'static,
+    {
+        let cache = Arc::new(ViewCache::new());
+        self.caches.push(cache.clone());
+        cache
+    }
+
+    /// Adds a cell.
+    pub fn push(
+        &mut self,
+        spec: CellSpec,
+        run: impl Fn(u64) -> CellOutcome + Send + Sync + 'static,
+    ) {
+        self.cells.push(PlannedCell::new(spec, run));
+    }
+
+    /// The merged counters of every registered cache.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.caches
+            .iter()
+            .fold(CacheStats::default(), |acc, c| acc.merged(&c.stats()))
+    }
+}
+
+impl Default for Plan {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// A named, declarative experiment sweep.
+///
+/// Implementations expand a [`SweepConfig`] into a [`Plan`]; they hold no
+/// per-run state themselves, so one scenario value can plan any number of
+/// sweeps.
+pub trait Scenario: Sync {
+    /// The stable name `ldx` addresses the scenario by (kebab-case).
+    fn name(&self) -> &'static str;
+
+    /// One-line human description for `ldx list`.
+    fn description(&self) -> &'static str;
+
+    /// Expands the scenario into concrete cells under `config`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message when the configuration cannot produce a valid plan
+    /// (construction failures, impossible parameter ranges).
+    fn plan(&self, config: &SweepConfig) -> Result<Plan, String>;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cell::CellOutcome;
+
+    #[test]
+    fn plan_accumulates_cells_and_caches() {
+        let mut plan = Plan::new();
+        let cache = plan.share_cache::<u8>();
+        plan.push(CellSpec::new("a", []), move |_seed| {
+            let _ = cache.stats();
+            CellOutcome::new("ok", true)
+        });
+        assert_eq!(plan.cells.len(), 1);
+        assert_eq!(plan.caches.len(), 1);
+        assert_eq!(plan.cache_stats(), CacheStats::default());
+        let outcome = (plan.cells[0].run)(7);
+        assert!(outcome.pass);
+    }
+
+    #[test]
+    fn default_config_is_the_documented_one() {
+        let config = SweepConfig::default();
+        assert_eq!(config.max_n, 64);
+        assert_eq!(config.threads, 1);
+    }
+}

@@ -1,0 +1,56 @@
+//! The built-in scenarios and their registry.
+
+mod pyramid;
+mod randomized;
+mod section2;
+mod section3;
+mod table;
+
+pub use pyramid::PyramidSweep;
+pub use randomized::RandomizedSweep;
+pub use section2::Section2Sweep;
+pub use section3::Section3Sweep;
+pub use table::RelationshipTable;
+
+use crate::scenario::Scenario;
+
+/// Every built-in scenario, in `ldx list` order.
+pub fn all() -> Vec<Box<dyn Scenario>> {
+    vec![
+        Box::new(Section2Sweep),
+        Box::new(Section3Sweep),
+        Box::new(PyramidSweep),
+        Box::new(RandomizedSweep),
+        Box::new(RelationshipTable),
+    ]
+}
+
+/// Looks a scenario up by its `ldx` name.
+pub fn find(name: &str) -> Option<Box<dyn Scenario>> {
+    all().into_iter().find(|s| s.name() == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_is_complete_and_unique() {
+        let scenarios = all();
+        assert_eq!(scenarios.len(), 5);
+        let mut names: Vec<&str> = scenarios.iter().map(|s| s.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 5);
+        assert!(find("section2-sweep").is_some());
+        assert!(find("no-such-scenario").is_none());
+    }
+
+    #[test]
+    fn descriptions_are_one_liners() {
+        for scenario in all() {
+            assert!(!scenario.description().is_empty());
+            assert!(!scenario.description().contains('\n'));
+        }
+    }
+}

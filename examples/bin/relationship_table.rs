@@ -1,77 +1,57 @@
-//! Reproduces the Section 1.1 relationship table between LD and LD*.
+//! Reproduces the Section 1.1 relationship table between LD and LD*, as a
+//! runner scenario.
 //!
-//! For each of the four model combinations (B / ¬B) × (C / ¬C) the program
-//! runs the witnessing experiment and prints whether identifiers were needed
-//! on that cell's family.
+//! The four model combinations (B / ¬B) × (C / ¬C) are the four cells of
+//! the `relationship-table` scenario; each runs its witnessing experiment
+//! (Section 2 trees for (B), the Section 3 zoo for (C), the simulation `A*`
+//! for the free quadrant) and the sweep executor runs them in parallel.
 //!
 //! Run with `cargo run -p ld-examples --bin relationship_table`.
 
-use local_decision::constructions::section2::SmallInstancesProperty;
-use local_decision::deciders::section2 as s2;
-use local_decision::deciders::section3 as s3;
-use local_decision::local::simulation::ObliviousSimulation;
 use local_decision::prelude::*;
 
-fn section2_cell(params: &Section2Params) -> Result<bool, Box<dyn std::error::Error>> {
-    let inputs = s2::experiment_inputs(params, 8)?;
-    let id_ok = decision::check_decides(
-        &SmallInstancesProperty::new(params.clone()),
-        &IdBasedDecider::new(params.clone()),
-        &inputs,
-    )
-    .all_correct();
-    let oblivious_fails =
-        s2::oblivious_candidate_fails(params, &StructureVerifier::new(params.clone()), 8)?;
-    Ok(id_ok && oblivious_fails)
-}
-
-fn section3_cell() -> Result<bool, Box<dyn std::error::Error>> {
-    let machines = vec![
-        zoo::halts_with_output(1, Symbol(0)),
-        zoo::halts_with_output(6, Symbol(1)),
-    ];
-    let (id_ok, failing) =
-        s3::theorem2_experiment(&machines, 1, 10_000, FragmentSource::WindowsAndDecoys, &[2])?;
-    Ok(id_ok && !failing.is_empty())
-}
-
-fn free_cell() -> Result<bool, Box<dyn std::error::Error>> {
-    // (¬B, ¬C): the Id-oblivious simulation A* matches the inner algorithm's
-    // decisions, so no separation arises on this family.
-    let inner = FnLocal::new("ids-below-1000", 1, |view: &View<u8>| {
-        Verdict::from_bool(view.max_id().unwrap_or(0) < 1_000)
-    });
-    let simulated = ObliviousSimulation::new(inner, 8);
-    let labeled = LabeledGraph::uniform(generators::cycle(8), 0u8);
-    let input = Input::with_consecutive_ids(labeled)?;
-    Ok(decision::run_oblivious(&input, &simulated).accepted())
-}
-
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let params = Section2Params::new(1, IdBound::identity_plus(2))?;
-    let b_separates = section2_cell(&params)?;
-    let c_separates = section3_cell()?;
-    let free_equal = free_cell()?;
+    let config = SweepConfig {
+        threads: 4,
+        ..SweepConfig::default()
+    };
+    let report = sweep_executor::execute(&scenarios::RelationshipTable, &config)?;
+
+    let verdict = |quadrant: &str| -> &'static str {
+        report
+            .cells
+            .iter()
+            .find(|c| c.spec.param("quadrant") == Some(quadrant))
+            .and_then(|c| c.outcome.as_ref().ok())
+            .and_then(|o| o.metric("separated"))
+            .map_or("??", |separated| if separated > 0.0 { "!=" } else { "==" })
+    };
 
     println!("Relationship between LD* and LD (paper, Section 1.1):");
     println!();
     println!("            (C) computable      (~C) arbitrary");
     println!(
         "  (B)       LD* {} LD           LD* {} LD",
-        if b_separates && c_separates {
-            "!="
-        } else {
-            "??"
-        },
-        if b_separates { "!=" } else { "??" }
+        verdict("B-C"),
+        verdict("B-notC")
     );
     println!(
         "  (~B)      LD* {} LD           LD* {} LD",
-        if c_separates { "!=" } else { "??" },
-        if free_equal { "==" } else { "??" }
+        verdict("notB-C"),
+        verdict("notB-notC")
     );
     println!();
     println!("Witnesses: (B) the Section 2 layered-tree family; (C) the Section 3");
     println!("execution-table family; (~B, ~C) the Id-oblivious simulation A*.");
+    println!(
+        "sweep: {}/{} cells as the paper states, in {:.2?}",
+        report.passed(),
+        report.cells.len(),
+        report.total_wall
+    );
+
+    if report.failed() + report.panicked() > 0 {
+        return Err("some table cell disagrees with the paper".into());
+    }
     Ok(())
 }

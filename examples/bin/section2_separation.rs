@@ -1,79 +1,89 @@
-//! The Section 2 separation (bounded identifiers), end to end.
+//! The Section 2 separation (bounded identifiers), as a runner sweep.
 //!
-//! Builds the layered-tree family `T_r` / `H_r` (Figure 1), runs the
-//! Id-oblivious structure verifier (`P' ∈ LD*`), the identifier-reading
-//! decider (`P ∈ LD`), and shows that Id-oblivious candidates cannot decide
-//! `P` (they accept the no-instance `T_r`).
+//! The hand-rolled experiment this binary used to be is now the
+//! `section2-sweep` scenario of `ld-runner`: layered-tree instances ×
+//! identifier regimes × algorithms, plus the promise-problem cycles across
+//! a size range, executed in parallel with a shared canonical-view cache.
+//! This binary plans the sweep, runs it, prints the headline verdicts the
+//! paper's Section 2 establishes, and leaves the full machine-readable
+//! record in `ldx-section2-sweep.json`.
 //!
 //! Run with `cargo run -p ld-examples --bin section2_separation`.
 
-use local_decision::constructions::section2::{SmallInstancesProperty, SmallOrLargeProperty};
-use local_decision::deciders::section2 as s2;
 use local_decision::prelude::*;
+use local_decision::runner::RunReport;
+
+fn count(
+    report: &RunReport,
+    filter: impl Fn(&local_decision::runner::CellResult) -> bool,
+) -> (usize, usize) {
+    let cells: Vec<_> = report.cells.iter().filter(|c| filter(c)).collect();
+    (cells.iter().filter(|c| c.passed()).count(), cells.len())
+}
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let params = Section2Params::new(1, IdBound::identity_plus(2))?;
-    println!("== Section 2: separation under bounded identifiers ==");
-    println!(
-        "r = {}, f(n) = n + 2, R(r) = f(2^(r+1)+1) = {}",
-        params.r(),
-        params.big_depth()
-    );
-    println!(
-        "large instance T_r: {} nodes; small instances H+: {} nodes each; {} anchors",
-        params.large_instance_size(),
-        params.small_instance_size(),
-        params.small_instance_roots().len()
-    );
+    println!("== Section 2: separation under bounded identifiers (runner sweep) ==");
+    let config = SweepConfig {
+        max_n: 64,
+        threads: std::thread::available_parallelism().map_or(1, |n| n.get()),
+        ..SweepConfig::default()
+    };
+    let report = sweep_executor::execute(&scenarios::Section2Sweep, &config)?;
 
-    let inputs = s2::experiment_inputs(&params, 10)?;
-    let verifier = StructureVerifier::new(params.clone());
-    let id_decider = IdBasedDecider::new(params.clone());
-
-    let p_prime = SmallOrLargeProperty::new(params.clone());
-    let report = decision::check_decides_oblivious(&p_prime, &verifier, &inputs);
+    let (verifier_ok, verifier_total) = count(&report, |c| c.spec.param("alg") == Some("verifier"));
     println!(
-        "\nP' in LD*: Id-oblivious verifier correct on {}/{} instances",
-        report.correct.len(),
-        report.total()
+        "\nP' in LD*: the Id-oblivious structure verifier accepts every locally\n\
+         consistent instance under every identifier regime: {verifier_ok}/{verifier_total} cells"
     );
 
-    let p = SmallInstancesProperty::new(params.clone());
-    let report = decision::check_decides(&p, &id_decider, &inputs);
+    let (id_ok, id_total) = count(&report, |c| c.spec.param("alg") == Some("id-decider"));
     println!(
-        "P  in LD : Id-based decider (reject when Id(v) >= R(r) = {}) correct on {}/{} instances",
-        id_decider.threshold(),
-        report.correct.len(),
-        report.total()
+        "P  in LD : the Id-based decider (reject when Id(v) >= R(r)) matches its\n\
+         expectation on every instance x regime: {id_ok}/{id_total} cells"
+    );
+    println!(
+        "P  not in LD*: the `shifted` regime cells show the decider's verdict flips\n\
+         with the identifier assignment — no Id-oblivious algorithm can do that."
     );
 
-    let fails = s2::oblivious_candidate_fails(&params, &verifier, 10)?;
-    println!("P  not in LD*: the Id-oblivious verifier, used as a decider for P, fails: {fails}");
-
-    for radius in [0usize, 1] {
-        let coverage = s2::large_instance_view_coverage(&params, radius, 64)?;
-        println!(
-            "Figure 1 indistinguishability: {:.1}% of radius-{radius} views of T_r already occur in H_r",
-            100.0 * coverage
-        );
+    let (promise_ok, promise_total) = count(&report, |c| {
+        c.spec.param("family") == Some("cycle") && c.spec.param("instance") != Some("views")
+    });
+    println!(
+        "\nPromise problem (n-cycle labelled r, n in {{r, 3r}}): {promise_ok}/{promise_total} \
+         decider cells correct"
+    );
+    for cell in report.cells.iter().filter(|c| {
+        c.spec.param("instance") == Some("views") && c.spec.param("family") == Some("cycle")
+    }) {
+        if let Ok(outcome) = &cell.outcome {
+            println!(
+                "  r = {:>2}: radius-2 views {} (coverage no-in-yes: {:.2})",
+                cell.spec.param("r").unwrap_or("?"),
+                outcome.verdict,
+                outcome.metric("coverage_no_in_yes").unwrap_or(0.0),
+            );
+        }
     }
 
-    println!("\nPromise problem (n-cycle labelled r, n in {{r, f(r)}}, f(r) = 3r):");
-    let bound = IdBound::linear(3, 0);
-    let decider = s2::PromiseIdDecider::new(bound.clone());
-    for r in [5u64, 9, 15] {
-        let yes = local_decision::constructions::section2::promise::yes_instance(r)?;
-        let no = local_decision::constructions::section2::promise::no_instance(r, &bound, 100_000)?;
-        let yes_n = yes.node_count();
-        let no_n = no.node_count();
-        let yes_input = Input::new(yes, IdAssignment::consecutive_from(yes_n, 1))?;
-        let no_input = Input::new(no, IdAssignment::consecutive_from(no_n, 1))?;
-        println!(
-            "  r = {r:>2}: accepts the {yes_n}-cycle: {}, rejects the {no_n}-cycle: {}, radius-2 views indistinguishable: {}",
-            decision::run_local(&yes_input, &decider).accepted(),
-            !decision::run_local(&no_input, &decider).accepted(),
-            s2::promise_views_indistinguishable(r, &bound, 2, 100_000)?
-        );
+    println!(
+        "\nsweep: {} cells, {} passed, cache hit rate {:.1}%, wall {:.2?} on {} threads",
+        report.cells.len(),
+        report.passed(),
+        100.0 * report.cache_hit_rate(),
+        report.total_wall,
+        report.config.threads
+    );
+    RunReport::write("ldx-section2-sweep.json", &report.to_json())?;
+    println!("full report: ldx-section2-sweep.json");
+
+    if report.failed() + report.panicked() > 0 {
+        return Err(format!(
+            "{} cells failed, {} panicked",
+            report.failed(),
+            report.panicked()
+        )
+        .into());
     }
     Ok(())
 }

@@ -2,10 +2,10 @@
 //! workspace's property tests use.
 //!
 //! Supported surface: the [`proptest!`] macro (with an optional
-//! `#![proptest_config(...)]` header), [`Strategy`] with `prop_map`,
-//! range and tuple strategies, [`any`] for primitives, `ProptestConfig::
-//! with_cases`, and the `prop_assert!` / `prop_assert_eq!` /
-//! `prop_assert_ne!` macros.
+//! `#![proptest_config(...)]` header), [`strategy::Strategy`] with
+//! `prop_map`, range and tuple strategies, [`strategy::any`] for
+//! primitives, `ProptestConfig::with_cases`, and the `prop_assert!` /
+//! `prop_assert_eq!` / `prop_assert_ne!` macros.
 //!
 //! Differences from upstream: inputs are drawn from a per-case seeded
 //! [`rand::rngs::StdRng`] (deterministic across runs), and failing cases
