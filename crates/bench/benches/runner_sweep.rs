@@ -16,18 +16,38 @@ fn config(threads: usize) -> SweepConfig {
 }
 
 fn write_perf_snapshot() {
-    let mut records = Vec::new();
-    for threads in [1usize, 2, 4, 8] {
-        records.push(perf::measure(
-            format!("section2_sweep_threads/{threads}"),
-            2,
-            || {
+    use std::time::Instant;
+    let thread_counts = [1usize, 2, 4, 8];
+    // Thread-count records are measured *round-robin*, not in sequential
+    // blocks: one timed run of every config per round.  Slow monotone drift
+    // within the process (allocator growth, frequency scaling) then biases
+    // every thread count equally instead of penalising whichever config
+    // happens to be measured last.
+    for &threads in &thread_counts {
+        let _ = executor::execute(&scenarios::Section2Sweep, &config(threads));
+    }
+    const ROUNDS: u64 = 120;
+    let mut totals = vec![0u128; thread_counts.len()];
+    for _ in 0..ROUNDS {
+        for (slot, &threads) in thread_counts.iter().enumerate() {
+            let started = Instant::now();
+            std::hint::black_box(
                 executor::execute(&scenarios::Section2Sweep, &config(threads))
                     .unwrap()
-                    .passed()
-            },
-        ));
+                    .passed(),
+            );
+            totals[slot] += started.elapsed().as_nanos();
+        }
     }
+    let mut records: Vec<perf::BenchRecord> = thread_counts
+        .iter()
+        .zip(totals)
+        .map(|(&threads, total)| perf::BenchRecord {
+            name: format!("section2_sweep_threads/{threads}"),
+            mean_nanos: total / u128::from(ROUNDS),
+            iterations: ROUNDS,
+        })
+        .collect();
     records.push(perf::measure("pyramid_sweep_threads/2", 2, || {
         executor::execute(&scenarios::PyramidSweep, &config(2))
             .unwrap()

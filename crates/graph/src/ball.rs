@@ -83,6 +83,21 @@ impl Ball {
     }
 }
 
+impl Ball {
+    /// Decomposes the ball into its parts `(graph, center, radius, mapping,
+    /// distances)` without cloning — used by the view layer to build views
+    /// in place.
+    pub fn into_parts(self) -> (Graph, NodeId, usize, Vec<NodeId>, Vec<usize>) {
+        (
+            self.graph,
+            self.center,
+            self.radius,
+            self.mapping,
+            self.distances,
+        )
+    }
+}
+
 impl Graph {
     /// Extracts the ball `B(v, t)`: the induced subgraph on all nodes within
     /// distance `radius` of `center`.
@@ -96,30 +111,221 @@ impl Graph {
             .expect("center node must exist")
     }
 
-    /// Fallible variant of [`Graph::ball`].
+    /// Fallible variant of [`Graph::ball`]: a single bounded breadth-first
+    /// pass (the BFS stops expanding at distance `radius` instead of
+    /// traversing the whole graph twice).  Callers extracting many balls
+    /// should reuse a [`BallExtractor`] to amortise the scratch buffers.
     ///
     /// # Errors
     ///
     /// Returns an error if `center` is out of range.
     pub fn try_ball(&self, center: NodeId, radius: usize) -> Result<Ball> {
-        let all_distances = self.bfs_distances(center)?;
-        let members = self.nodes_within(center, radius)?;
-        let (graph, mapping) = self.induced_subgraph(&members)?;
-        let distances = mapping
+        BallExtractor::new().extract(self, center, radius)
+    }
+}
+
+/// Reusable scratch state for ball extraction.
+///
+/// Extracting `B(v, t)` needs per-node distance and position arrays plus a
+/// frontier; allocating them anew for every node of a sweep made
+/// [`Graph::try_ball`] the dominant allocator in view enumeration.  A
+/// `BallExtractor` owns those buffers and resets only the entries it touched
+/// (the ball members), so extracting all `n` balls of a graph performs `O(n)`
+/// scratch work total instead of `O(n²)`:
+///
+/// ```
+/// use ld_graph::{generators, BallExtractor, NodeId};
+///
+/// let g = generators::cycle(32);
+/// let mut extractor = BallExtractor::new();
+/// for v in g.nodes() {
+///     let ball = extractor.extract(&g, v, 2).unwrap();
+///     assert_eq!(ball.node_count(), 5);
+/// }
+/// ```
+///
+/// The produced [`Ball`] is identical (same ball-local numbering: sorted by
+/// `(distance, original id)`) to the one returned by [`Graph::ball`].
+#[derive(Debug, Default)]
+pub struct BallExtractor {
+    /// Distance from the current centre, `u32::MAX` = untouched.
+    dist: Vec<u32>,
+    /// Ball-local position of an original node, `u32::MAX` = untouched.
+    position: Vec<u32>,
+    /// Members of the current ball in `(distance, original id)` order; also
+    /// the exact set of touched `dist`/`position` entries.
+    members: Vec<NodeId>,
+    /// `(center, radius)` of the BFS currently in the scratch buffers.
+    current: Option<(NodeId, usize)>,
+}
+
+/// Sentinel for "not reached / not in ball" in the scratch arrays.
+const UNSEEN: u32 = u32::MAX;
+
+impl BallExtractor {
+    /// Creates an extractor with empty scratch buffers (they grow to the
+    /// largest graph seen and are then reused).
+    pub fn new() -> Self {
+        BallExtractor::default()
+    }
+
+    /// Runs the bounded BFS for `B(center, radius)`, leaving `members` in
+    /// `(distance, original id)` order and `dist`/`position` populated for
+    /// exactly the members.
+    fn bounded_bfs(&mut self, graph: &Graph, center: NodeId, radius: usize) -> Result<()> {
+        // Invalidate first: a failed extraction must not leave the previous
+        // ball claimable through `materialize_current`.
+        self.current = None;
+        graph.check_node(center)?;
+        let n = graph.node_count();
+        if self.dist.len() < n {
+            self.dist.resize(n, UNSEEN);
+            self.position.resize(n, UNSEEN);
+        }
+        // Reset exactly the entries the previous extraction touched.
+        for &v in &self.members {
+            self.dist[v.index()] = UNSEEN;
+            self.position[v.index()] = UNSEEN;
+        }
+        self.members.clear();
+
+        // Bounded BFS, layer by layer.  Each layer is sorted by original id
+        // before it is appended, so `members` ends up in the same
+        // `(distance, id)` order the two-pass extraction produced.
+        self.dist[center.index()] = 0;
+        self.members.push(center);
+        let mut layer_start = 0;
+        let mut depth = 0u32;
+        while depth < radius as u32 && layer_start < self.members.len() {
+            let layer_end = self.members.len();
+            for i in layer_start..layer_end {
+                let u = self.members[i];
+                for v in graph.neighbors(u) {
+                    if self.dist[v.index()] == UNSEEN {
+                        self.dist[v.index()] = depth + 1;
+                        self.members.push(v);
+                    }
+                }
+            }
+            self.members[layer_end..].sort_unstable();
+            layer_start = layer_end;
+            depth += 1;
+        }
+
+        for (local, &orig) in self.members.iter().enumerate() {
+            self.position[orig.index()] = local as u32;
+        }
+        self.current = Some((center, radius));
+        Ok(())
+    }
+
+    /// Extracts `B(center, radius)` from `graph`, reusing this extractor's
+    /// scratch buffers.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `center` is out of range.
+    pub fn extract(&mut self, graph: &Graph, center: NodeId, radius: usize) -> Result<Ball> {
+        self.bounded_bfs(graph, center, radius)?;
+        Ok(self.materialize(graph, center, radius))
+    }
+
+    /// Builds the [`Ball`] for the most recent [`BallExtractor::exact_key`]
+    /// or [`BallExtractor::extract`] call on this extractor, without
+    /// re-running the BFS.  `graph` must be the same graph that call was
+    /// made with — the scratch buffers index into it.
+    ///
+    /// This is the second half of the fingerprint-then-materialise dedup
+    /// pattern: probe with `exact_key`, and only pay for ball construction
+    /// when the layout turned out to be new.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no extraction has run yet, or (typically, as an index
+    /// panic) if `graph` is not the graph of the last extraction.
+    pub fn materialize_current(&self, graph: &Graph) -> Ball {
+        let (center, radius) = self
+            .current
+            .expect("materialize_current requires a prior exact_key/extract call");
+        self.materialize(graph, center, radius)
+    }
+
+    /// Builds the [`Ball`] for the BFS currently held in the scratch
+    /// buffers.  `graph`, `center` and `radius` must be the arguments of
+    /// that BFS.
+    fn materialize(&self, graph: &Graph, center: NodeId, radius: usize) -> Ball {
+        // Induced subgraph on the members, in member order.
+        let mut sub = Graph::with_nodes(self.members.len());
+        for (new_u, &orig_u) in self.members.iter().enumerate() {
+            for orig_v in graph.neighbors(orig_u) {
+                let new_v = self.position[orig_v.index()];
+                if new_v != UNSEEN && (new_u as u32) < new_v {
+                    sub.add_edge(NodeId::from(new_u), NodeId::from(new_v as usize))
+                        .expect("members are distinct and edges are unique");
+                }
+            }
+        }
+
+        let distances = self
+            .members
             .iter()
-            .map(|&orig| all_distances.get(orig).expect("member is reachable"))
+            .map(|&v| self.dist[v.index()] as usize)
             .collect();
-        let center_local = mapping
-            .iter()
-            .position(|&orig| orig == center)
-            .expect("center is always within its own ball");
-        Ok(Ball {
-            graph,
-            center: NodeId::from(center_local),
+        Ball {
+            graph: sub,
+            center: NodeId::from(self.position[center.index()] as usize),
             radius,
-            mapping,
+            mapping: self.members.clone(),
             distances,
-        })
+        }
+    }
+
+    /// A compact **exact fingerprint** of `B(center, radius)` — computed
+    /// from the BFS scratch alone, without materialising the [`Ball`] (no
+    /// induced subgraph, no mapping/distance vectors).
+    ///
+    /// Two (graph, centre, radius, labelling) combinations produce equal
+    /// keys iff the extracted balls would be equal as values (same
+    /// ball-local graph, centre and per-node `label_word`s): structure,
+    /// centre and radius are encoded exactly, and node labels enter through
+    /// the caller-supplied `label_word`, which must be injective up to the
+    /// caller's tolerance (a 64-bit label hash carries the usual content-hash
+    /// caveat).  Dedup pipelines use this to skip ball construction for
+    /// already-seen layouts.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `center` is out of range.
+    pub fn exact_key(
+        &mut self,
+        graph: &Graph,
+        center: NodeId,
+        radius: usize,
+        mut label_word: impl FnMut(NodeId) -> u64,
+    ) -> Result<Vec<u64>> {
+        self.bounded_bfs(graph, center, radius)?;
+        let n = self.members.len();
+        let mut key = Vec::with_capacity(2 * n + 3);
+        key.push(n as u64);
+        key.push(radius as u64);
+        key.push(u64::from(self.position[center.index()]));
+        for &orig in &self.members {
+            key.push(label_word(orig));
+        }
+        for (new_u, &orig_u) in self.members.iter().enumerate() {
+            let from = key.len();
+            for orig_v in graph.neighbors(orig_u) {
+                let new_v = self.position[orig_v.index()];
+                if new_v != UNSEEN && (new_u as u32) < new_v {
+                    key.push(new_u as u64 * n as u64 + u64::from(new_v));
+                }
+            }
+            // Neighbour iteration is in original-id order; sort each node's
+            // edge section into ball-local order so value-equal balls always
+            // produce equal keys.
+            key[from..].sort_unstable();
+        }
+        Ok(key)
     }
 }
 
@@ -187,6 +393,143 @@ mod tests {
     fn try_ball_rejects_bad_center() {
         let g = generators::path(3);
         assert!(g.try_ball(NodeId(9), 1).is_err());
+    }
+
+    /// Reference two-pass extraction (the pre-`BallExtractor` pipeline),
+    /// kept as a differential oracle for the single-pass implementation.
+    fn two_pass_ball(g: &Graph, center: NodeId, radius: usize) -> Ball {
+        let all_distances = g.bfs_distances(center).unwrap();
+        let members = g.nodes_within(center, radius).unwrap();
+        let (graph, mapping) = g.induced_subgraph(&members).unwrap();
+        let distances = mapping
+            .iter()
+            .map(|&orig| all_distances.get(orig).unwrap())
+            .collect();
+        let center_local = mapping.iter().position(|&orig| orig == center).unwrap();
+        Ball {
+            graph,
+            center: NodeId::from(center_local),
+            radius,
+            mapping,
+            distances,
+        }
+    }
+
+    #[test]
+    fn single_pass_extraction_matches_two_pass_reference() {
+        let graphs = [
+            generators::cycle(12),
+            generators::grid(5, 4),
+            generators::star(6),
+            generators::complete(5),
+            generators::path(9),
+        ];
+        let mut extractor = BallExtractor::new();
+        for g in &graphs {
+            for v in g.nodes() {
+                for radius in 0..4 {
+                    let fast = extractor.extract(g, v, radius).unwrap();
+                    let reference = two_pass_ball(g, v, radius);
+                    assert_eq!(fast, reference, "graph {g:?}, v {v}, radius {radius}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn extractor_reuse_across_graphs_of_different_sizes() {
+        let mut extractor = BallExtractor::new();
+        let big = generators::grid(6, 6);
+        let small = generators::cycle(5);
+        let b1 = extractor.extract(&big, NodeId(14), 2).unwrap();
+        let s = extractor.extract(&small, NodeId(0), 1).unwrap();
+        let b2 = extractor.extract(&big, NodeId(14), 2).unwrap();
+        assert_eq!(b1, b2);
+        assert_eq!(s.node_count(), 3);
+        assert!(extractor.extract(&small, NodeId(9), 1).is_err());
+    }
+
+    #[test]
+    fn exact_key_agrees_with_ball_value_equality() {
+        // Keys must be equal exactly when the extracted balls are equal as
+        // values (same ball-local graph, centre, radius) with equal labels.
+        let graphs = [generators::grid(5, 5), generators::cycle(9)];
+        let mut extractor = BallExtractor::new();
+        for g in &graphs {
+            let mut seen: Vec<(Vec<u64>, Ball)> = Vec::new();
+            for v in g.nodes() {
+                for radius in 0..3 {
+                    let key = extractor
+                        .exact_key(g, v, radius, |u| u.index() as u64 % 2)
+                        .unwrap();
+                    let ball = g.ball(v, radius);
+                    let labels: Vec<u64> = ball
+                        .mapping()
+                        .iter()
+                        .map(|u| u.index() as u64 % 2)
+                        .collect();
+                    for (other_key, other_ball) in &seen {
+                        let other_labels: Vec<u64> = other_ball
+                            .mapping()
+                            .iter()
+                            .map(|u| u.index() as u64 % 2)
+                            .collect();
+                        let value_equal = ball.graph() == other_ball.graph()
+                            && ball.center() == other_ball.center()
+                            && ball.radius() == other_ball.radius()
+                            && labels == other_labels;
+                        if value_equal {
+                            assert_eq!(&key, other_key);
+                        } else {
+                            assert_ne!(&key, other_key);
+                        }
+                    }
+                    seen.push((key, ball));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn materialize_current_matches_extract_after_exact_key() {
+        let g = generators::grid(4, 4);
+        let mut extractor = BallExtractor::new();
+        for v in g.nodes() {
+            let _key = extractor.exact_key(&g, v, 2, |u| u.index() as u64).unwrap();
+            let from_scratch = extractor.materialize_current(&g);
+            let reference = g.ball(v, 2);
+            assert_eq!(from_scratch, reference);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "requires a prior")]
+    fn materialize_current_requires_an_extraction() {
+        let g = generators::cycle(4);
+        BallExtractor::new().materialize_current(&g);
+    }
+
+    #[test]
+    #[should_panic(expected = "requires a prior")]
+    fn failed_extraction_invalidates_materialize_current() {
+        let g = generators::cycle(4);
+        let mut extractor = BallExtractor::new();
+        extractor.extract(&g, NodeId(0), 1).unwrap();
+        assert!(extractor.exact_key(&g, NodeId(9), 1, |_| 0).is_err());
+        // The previous ball must not be claimable for the failed call.
+        extractor.materialize_current(&g);
+    }
+
+    #[test]
+    fn into_parts_roundtrips() {
+        let g = generators::cycle(10);
+        let ball = g.ball(NodeId(0), 2);
+        let expected_mapping = ball.mapping().to_vec();
+        let (graph, center, radius, mapping, distances) = ball.into_parts();
+        assert_eq!(graph.node_count(), 5);
+        assert_eq!(radius, 2);
+        assert_eq!(mapping, expected_mapping);
+        assert_eq!(distances[center.index()], 0);
     }
 
     #[test]

@@ -65,7 +65,7 @@ impl fmt::Display for NodeId {
 /// assert!(!g.has_edge(a, c));
 /// # Ok::<(), ld_graph::GraphError>(())
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
 pub struct Graph {
     adjacency: Vec<Vec<NodeId>>,
     edge_count: usize,

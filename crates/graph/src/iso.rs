@@ -4,9 +4,12 @@
 //! views are indistinguishable"*.  Mechanising them requires deciding whether
 //! two centred, labelled balls are isomorphic by an isomorphism that fixes
 //! the centre and preserves labels.  Views in the LOCAL model have radius
-//! `O(1)`, so a pruned backtracking search is entirely adequate; for bulk
-//! deduplication we first bucket views by a Weisfeiler–Leman style refinement
-//! hash ([`wl_hash`]) and only run the exact search within buckets.
+//! `O(1)`, so a pruned backtracking search is entirely adequate for pairwise
+//! questions.  Bulk deduplication goes through the total canonical codes of
+//! [`crate::canon`] instead; the [`wl_hash`] bucketing heuristic and the
+//! bucket-then-backtrack pipeline are retained as the differential-test
+//! oracle for that engine (and as the cheap prefilter where only a hash is
+//! needed).
 
 use crate::graph::{Graph, NodeId};
 use crate::labeled::LabeledGraph;
@@ -115,7 +118,10 @@ fn search_order(a: &Graph, mapping: &[Option<NodeId>]) -> Vec<NodeId> {
             queue.push_back(v);
         }
     }
-    // BFS layers from pinned nodes.
+    // BFS layers from pinned nodes.  Nodes enter `order` exactly when their
+    // `seen` mark is set, so every node appears at most once and pinned
+    // nodes (marked above, never pushed) appear not at all — no dedup pass
+    // is needed afterwards.
     while let Some(u) = queue.pop_front() {
         for v in a.neighbors(u) {
             if !seen[v.index()] {
@@ -125,13 +131,16 @@ fn search_order(a: &Graph, mapping: &[Option<NodeId>]) -> Vec<NodeId> {
             }
         }
     }
-    // Remaining nodes (other components / no pins): decreasing degree.
+    // Remaining nodes (other components / no pins): seed by decreasing
+    // degree, continuing BFS from each still-unseen seed to keep every new
+    // node adjacent to an already-ordered one where possible.
     let mut rest: Vec<NodeId> = a.nodes().filter(|v| !seen[v.index()]).collect();
     rest.sort_by_key(|&v| std::cmp::Reverse(a.degree(v).unwrap_or(0)));
-    // When `rest` is picked we continue BFS from each picked node to keep
-    // connectivity; simplest is to append rest then their unseen neighbours
-    // are already covered since all nodes end up in either order or rest.
     for v in rest {
+        if seen[v.index()] {
+            continue;
+        }
+        seen[v.index()] = true;
         order.push(v);
         let mut queue = std::collections::VecDeque::from([v]);
         while let Some(u) = queue.pop_front() {
@@ -144,18 +153,8 @@ fn search_order(a: &Graph, mapping: &[Option<NodeId>]) -> Vec<NodeId> {
             }
         }
     }
-    order.retain(|v| mapping[v.index()].is_none());
-    order.dedup();
-    // Deduplicate while preserving order (a node may be pushed twice above).
-    let mut unique = Vec::with_capacity(order.len());
-    let mut included = vec![false; n];
-    for v in order {
-        if !included[v.index()] {
-            included[v.index()] = true;
-            unique.push(v);
-        }
-    }
-    unique
+    debug_assert!(order.iter().all(|v| mapping[v.index()].is_none()));
+    order
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -224,19 +223,22 @@ pub fn wl_hash(graph: &Graph, initial_colors: &[u64]) -> u64 {
         initial_colors.len(),
         "one initial colour per node is required"
     );
+    // Two colour buffers swapped between rounds plus one neighbour scratch
+    // vec, all allocated once — the refinement itself is allocation-free.
     let mut colors: Vec<u64> = initial_colors.to_vec();
+    let mut next: Vec<u64> = vec![0; colors.len()];
+    let mut neighbour_colors: Vec<u64> = Vec::new();
     for _ in 0..WL_ROUNDS {
-        let mut next = Vec::with_capacity(colors.len());
         for v in graph.nodes() {
-            let mut neighbour_colors: Vec<u64> =
-                graph.neighbors(v).map(|u| colors[u.index()]).collect();
+            neighbour_colors.clear();
+            neighbour_colors.extend(graph.neighbors(v).map(|u| colors[u.index()]));
             neighbour_colors.sort_unstable();
             let mut hasher = DefaultHasher::new();
             colors[v.index()].hash(&mut hasher);
             neighbour_colors.hash(&mut hasher);
-            next.push(hasher.finish());
+            next[v.index()] = hasher.finish();
         }
-        colors = next;
+        std::mem::swap(&mut colors, &mut next);
     }
     let mut multiset = colors;
     multiset.sort_unstable();

@@ -12,8 +12,10 @@
 //!    [`Graph::ball`]) — this is the "view" a constant-time distributed
 //!    algorithm sees, and
 //! 3. comparing such views up to (label-preserving, centre-preserving)
-//!    isomorphism ([`iso`]) so that *indistinguishability* arguments can be
-//!    executed mechanically.
+//!    isomorphism so that *indistinguishability* arguments can be executed
+//!    mechanically — exactly via the backtracking tests in [`iso`], and in
+//!    bulk via the total canonical codes in [`canon`] (equal code ⇔
+//!    isomorphic view), which turn deduplication into hash-set insertion.
 //!
 //! The crate also ships deterministic [`generators`] for every graph family
 //! used by the paper, plus [`ports`] (port numberings and orientations) for
@@ -39,6 +41,7 @@
 #![warn(missing_docs)]
 
 pub mod ball;
+pub mod canon;
 pub mod error;
 pub mod generators;
 pub mod graph;
@@ -47,7 +50,8 @@ pub mod labeled;
 pub mod ports;
 pub mod traversal;
 
-pub use ball::Ball;
+pub use ball::{Ball, BallExtractor};
+pub use canon::{canonical_code, centered_canonical_code, CanonicalCode};
 pub use error::GraphError;
 pub use graph::{EdgeIter, Graph, NeighborIter, NodeId};
 pub use labeled::LabeledGraph;

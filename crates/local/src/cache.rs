@@ -1,40 +1,45 @@
 //! A shared, lock-sharded cache of canonical view data.
 //!
 //! Every indistinguishability harness in this workspace spends its time
-//! canonicalising balls: [`ObliviousView::canonical_key`] runs a
-//! Weisfeiler–Leman refinement over the view graph, and verdict evaluation
-//! re-derives the same answer for structurally identical views over and over
-//! (all interior nodes of a long cycle, all coordinate nodes of a layered
-//! tree, …).  A [`ViewCache`] computes each of these once per structural
-//! class and serves every subsequent occurrence from memory.
+//! canonicalising balls: [`ObliviousView::canonical_code`] runs a
+//! refinement (plus, for non-tree views, a branch-and-bound search) over the
+//! view graph, and verdict evaluation re-derives the same answer for
+//! structurally identical views over and over (all interior nodes of a long
+//! cycle, all coordinate nodes of a layered tree, …).  A [`ViewCache`]
+//! computes each of these once per structural class and serves every
+//! subsequent occurrence from memory.
 //!
 //! # Soundness
 //!
-//! The cache is keyed by a cheap structural fingerprint of the view (graph
-//! shape in ball-local order, centre, radius, hashed labels) and **verified
-//! by exact equality** before a stored value is reused: a fingerprint
-//! collision degrades to a scan of the colliding bucket, never to a wrong
-//! answer.  Cached runs are therefore bit-identical to uncached runs for any
-//! deterministic algorithm.
+//! Entries are keyed by the **exact view value** in a hash map (`ObliviousView`
+//! implements `Hash`/`Eq` over graph, centre, radius and labels), so a lookup
+//! can only ever return data computed from an identical view — there is no
+//! fingerprint-collision case to verify against, which is what let this
+//! module shed the verified-equality bucket machinery it used to carry.
+//! Cached runs are bit-identical to uncached runs for any deterministic
+//! algorithm.
 //!
 //! # Concurrency
 //!
-//! Entries live in a fixed set of mutex-protected shards selected by
-//! fingerprint, so concurrent sweep workers hitting different isomorphism
-//! classes rarely contend on the same lock.  Hit/miss counters are plain
-//! atomics and may be read at any time via [`ViewCache::stats`].
+//! Entries live in a fixed set of `RwLock`-protected shards selected by the
+//! view's hash.  The hot path of a warmed-up sweep is read-only and takes
+//! shard locks in *shared* mode, so concurrent workers hitting the same
+//! handful of view classes — the common case in the self-similar families
+//! this repo sweeps — no longer serialise on a mutex (the convoy that made
+//! 2–4-thread sweeps slower than sequential ones).  Hit/miss counters are
+//! plain atomics and may be read at any time via [`ViewCache::stats`].
 
 use crate::algorithm::Verdict;
+use crate::hashing::{FxHashMap, FxHasher};
 use crate::view::ObliviousView;
-use ld_graph::iso::color_of;
-use std::collections::hash_map::DefaultHasher;
-use std::collections::HashMap;
+use ld_graph::canon::CanonicalCode;
 use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, RwLock};
 
 /// Number of independent shards.  A power of two so the shard index is a
-/// mask; 64 keeps contention negligible for any realistic thread count.
+/// mask; 64 keeps write contention negligible for any realistic thread
+/// count (reads are shared and contend only with writes).
 const SHARDS: usize = 64;
 
 /// A snapshot of cache effectiveness counters.
@@ -44,7 +49,7 @@ pub struct CacheStats {
     pub hits: u64,
     /// Lookups that had to compute and insert.
     pub misses: u64,
-    /// Number of stored entries (canonical keys plus memoized verdicts).
+    /// Number of stored entries (canonical codes plus memoized verdicts).
     pub entries: u64,
 }
 
@@ -81,12 +86,13 @@ impl CacheStats {
     }
 }
 
-/// One memoized structural class: the representative view plus everything
-/// derived from it so far.
-struct ClassEntry<L> {
-    view: ObliviousView<L>,
-    canonical_key: Option<u64>,
-    /// Verdicts memoized per algorithm name (hashed), verified by name.
+/// Everything memoized for one exact view value.
+#[derive(Default)]
+struct ClassEntry {
+    /// The view's total canonical code, once computed.  Shared via `Arc` so
+    /// cache hits hand out a reference-count bump, not a `Vec` clone.
+    code: Option<Arc<CanonicalCode>>,
+    /// Verdicts memoized per algorithm name.
     verdicts: Vec<(String, Verdict)>,
 }
 
@@ -95,7 +101,7 @@ struct ClassEntry<L> {
 /// One cache serves one label type `L`; a sweep touching several label
 /// families keeps one cache per family and merges their [`CacheStats`].
 pub struct ViewCache<L> {
-    shards: Vec<Mutex<HashMap<u64, Vec<ClassEntry<L>>>>>,
+    shards: Vec<RwLock<FxHashMap<ObliviousView<L>, ClassEntry>>>,
     hits: AtomicU64,
     misses: AtomicU64,
     entries: AtomicU64,
@@ -111,7 +117,9 @@ impl<L> ViewCache<L> {
     /// Creates an empty cache.
     pub fn new() -> Self {
         ViewCache {
-            shards: (0..SHARDS).map(|_| Mutex::new(HashMap::new())).collect(),
+            shards: (0..SHARDS)
+                .map(|_| RwLock::new(FxHashMap::default()))
+                .collect(),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             entries: AtomicU64::new(0),
@@ -129,92 +137,77 @@ impl<L> ViewCache<L> {
 }
 
 impl<L: Clone + Eq + Hash> ViewCache<L> {
-    /// The exact structural fingerprint used to address the cache: identical
-    /// views (same ball-local graph, centre, radius and labels) always agree
-    /// on it.  It is *not* isomorphism-invariant — it addresses the cache,
-    /// the stored [`ObliviousView::canonical_key`] provides invariance.
-    fn fingerprint(view: &ObliviousView<L>) -> u64 {
-        let mut hasher = DefaultHasher::new();
-        let graph = view.graph();
-        graph.node_count().hash(&mut hasher);
-        graph.edge_count().hash(&mut hasher);
-        for (u, v) in graph.edges() {
-            (u.index(), v.index()).hash(&mut hasher);
-        }
-        view.center().index().hash(&mut hasher);
-        view.radius().hash(&mut hasher);
-        for label in view.labels() {
-            color_of(label).hash(&mut hasher);
-        }
-        hasher.finish()
-    }
-
-    /// Locks the shard for `fp`, recovering from poison: the shard holds
-    /// plain data whose updates are complete-or-absent, so a panic elsewhere
-    /// (e.g. a panicking sweep cell) must not cascade into unrelated
-    /// lookups — that would break the executor's panic-isolation contract.
-    fn lock_shard(&self, fp: u64) -> std::sync::MutexGuard<'_, HashMap<u64, Vec<ClassEntry<L>>>> {
-        self.shards[(fp as usize) & (SHARDS - 1)]
-            .lock()
-            .unwrap_or_else(std::sync::PoisonError::into_inner)
-    }
-
-    /// Looks `view` up under the shard lock and extracts with `read`; on a
-    /// stored `None`/absent entry returns `None`.  Never runs user code.
-    fn lookup<T>(
+    /// The shard a view lives in.  Any hash works; the view's own `Hash`
+    /// impl is exact, so identical views always land in the same shard.
+    fn shard_of(
         &self,
-        fp: u64,
         view: &ObliviousView<L>,
-        read: impl Fn(&ClassEntry<L>) -> Option<T>,
-    ) -> Option<T> {
-        let map = self.lock_shard(fp);
-        map.get(&fp)?
-            .iter()
-            .find(|e| &e.view == view)
-            .and_then(read)
+    ) -> &RwLock<FxHashMap<ObliviousView<L>, ClassEntry>> {
+        let mut hasher = FxHasher::default();
+        view.hash(&mut hasher);
+        // Multiplicative hashes concentrate entropy in the high bits, but
+        // the very top 7 bits are hashbrown's control-byte tag (h2) for the
+        // shard's inner map — deriving the shard from them would leave every
+        // key in a shard sharing its tag, degrading probe filtering.  Take
+        // bits 51..57 instead: still high-entropy, disjoint from h2.
+        &self.shards[(hasher.finish() >> 51) as usize & (SHARDS - 1)]
     }
 
-    /// Stores a computed value with `write` into the class entry for `view`,
+    /// Reads memoized data for `view` under the shard's *shared* lock,
+    /// recovering from poison (shard data is complete-or-absent, so a panic
+    /// elsewhere must not cascade into unrelated lookups — that would break
+    /// the executor's panic-isolation contract).  Never runs user code.
+    fn read<T>(
+        &self,
+        view: &ObliviousView<L>,
+        extract: impl FnOnce(&ClassEntry) -> Option<T>,
+    ) -> Option<T> {
+        let shard = self
+            .shard_of(view)
+            .read()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        shard.get(view).and_then(extract)
+    }
+
+    /// Stores computed data with `write` into the entry for `view`,
     /// creating the entry on first sight.  Never runs user code under the
     /// lock.
-    fn store(&self, fp: u64, view: &ObliviousView<L>, write: impl FnOnce(&mut ClassEntry<L>)) {
-        let mut map = self.lock_shard(fp);
-        let bucket = map.entry(fp).or_default();
-        let entry = match bucket.iter().position(|e| &e.view == view) {
-            Some(pos) => &mut bucket[pos],
-            None => {
-                self.entries.fetch_add(1, Ordering::Relaxed);
-                bucket.push(ClassEntry {
-                    view: view.clone(),
-                    canonical_key: None,
-                    verdicts: Vec::new(),
-                });
-                bucket.last_mut().expect("bucket is nonempty after push")
-            }
-        };
+    fn store(&self, view: &ObliviousView<L>, write: impl FnOnce(&mut ClassEntry)) {
+        let mut shard = self
+            .shard_of(view)
+            .write()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        let entry = shard.entry(view.clone()).or_insert_with(|| {
+            self.entries.fetch_add(1, Ordering::Relaxed);
+            ClassEntry::default()
+        });
         write(entry);
     }
 
-    /// [`ObliviousView::canonical_key`], computed once per structural class.
+    /// [`ObliviousView::canonical_code`], computed once per exact view value
+    /// and shared out of the cache afterwards (hits are allocation-free:
+    /// the returned `Arc` hashes and compares as the code itself).
     ///
-    /// The expensive Weisfeiler–Leman refinement runs *outside* the shard
-    /// lock, so concurrent workers never serialize on it; two workers
-    /// racing on the same fresh class both compute the (identical) key and
-    /// one insert wins.
-    pub fn canonical_key(&self, view: &ObliviousView<L>) -> u64 {
-        let fp = Self::fingerprint(view);
-        if let Some(key) = self.lookup(fp, view, |e| e.canonical_key) {
+    /// The expensive canonicalisation runs *outside* the shard lock, so
+    /// concurrent workers never serialize on it; two workers racing on the
+    /// same fresh class both compute the (identical) code and one insert
+    /// wins.
+    pub fn canonical_code(&self, view: &ObliviousView<L>) -> Arc<CanonicalCode> {
+        if let Some(code) = self.read(view, |e| e.code.clone()) {
             self.hits.fetch_add(1, Ordering::Relaxed);
-            return key;
+            return code;
         }
         self.misses.fetch_add(1, Ordering::Relaxed);
-        let key = view.canonical_key();
-        self.store(fp, view, |entry| entry.canonical_key = Some(key));
-        key
+        let code = Arc::new(view.canonical_code());
+        let stored = code.clone();
+        self.store(view, move |entry| {
+            entry.code.get_or_insert(stored);
+        });
+        code
     }
 
     /// The verdict of the named deterministic algorithm on `view`, computed
-    /// once per structural class and served from memory afterwards.
+    /// once per exact view value and served from memory afterwards.
     ///
     /// `evaluate` must be a pure function of the view value (the defining
     /// property of an Id-oblivious algorithm), and `algorithm` must uniquely
@@ -233,8 +226,7 @@ impl<L: Clone + Eq + Hash> ViewCache<L> {
         view: &ObliviousView<L>,
         evaluate: impl FnOnce(&ObliviousView<L>) -> Verdict,
     ) -> Verdict {
-        let fp = Self::fingerprint(view);
-        let memoized = self.lookup(fp, view, |e| {
+        let memoized = self.read(view, |e| {
             e.verdicts
                 .iter()
                 .find(|(name, _)| name == algorithm)
@@ -246,7 +238,7 @@ impl<L: Clone + Eq + Hash> ViewCache<L> {
         }
         self.misses.fetch_add(1, Ordering::Relaxed);
         let verdict = evaluate(view);
-        self.store(fp, view, |entry| {
+        self.store(view, |entry| {
             if !entry.verdicts.iter().any(|(name, _)| name == algorithm) {
                 entry.verdicts.push((algorithm.to_string(), verdict));
             }
@@ -258,7 +250,7 @@ impl<L: Clone + Eq + Hash> ViewCache<L> {
     pub fn clear(&self) {
         for shard in &self.shards {
             shard
-                .lock()
+                .write()
                 .unwrap_or_else(std::sync::PoisonError::into_inner)
                 .clear();
         }
@@ -280,11 +272,11 @@ mod tests {
     }
 
     #[test]
-    fn canonical_key_matches_uncached_and_hits_on_repeats() {
+    fn canonical_code_matches_uncached_and_hits_on_repeats() {
         let cache = ViewCache::new();
         let views = cycle_views(16, 2);
         for view in &views {
-            assert_eq!(cache.canonical_key(view), view.canonical_key());
+            assert_eq!(*cache.canonical_code(view), view.canonical_code());
         }
         let stats = cache.stats();
         // The 16 interior views of a cycle fall into at most two ball-local
@@ -323,7 +315,7 @@ mod tests {
         let path = LabeledGraph::uniform(generators::path(9), 0u8);
         let views = crate::enumeration::collect_oblivious_views(&path, 2);
         for view in &views {
-            assert_eq!(cache.canonical_key(view), view.canonical_key());
+            assert_eq!(*cache.canonical_code(view), view.canonical_code());
         }
         // End, next-to-end and interior views are distinct isomorphism
         // classes; mirror-image layouts may double a class structurally, but
@@ -333,15 +325,15 @@ mod tests {
     }
 
     #[test]
-    fn labels_refine_the_fingerprint() {
+    fn labels_refine_the_key() {
         let cache = ViewCache::new();
         let g = generators::cycle(8);
         let a = LabeledGraph::uniform(g.clone(), 0u8);
         let b = LabeledGraph::uniform(g, 1u8);
         let va = crate::enumeration::collect_oblivious_views(&a, 1);
         let vb = crate::enumeration::collect_oblivious_views(&b, 1);
-        cache.canonical_key(&va[0]);
-        cache.canonical_key(&vb[0]);
+        cache.canonical_code(&va[0]);
+        cache.canonical_code(&vb[0]);
         assert_eq!(cache.stats().misses, 2);
     }
 
@@ -349,10 +341,10 @@ mod tests {
     fn clear_resets_everything() {
         let cache = ViewCache::new();
         let views = cycle_views(6, 1);
-        cache.canonical_key(&views[0]);
+        cache.canonical_code(&views[0]);
         cache.clear();
         assert_eq!(cache.stats(), CacheStats::default());
-        cache.canonical_key(&views[0]);
+        cache.canonical_code(&views[0]);
         assert_eq!(cache.stats().misses, 1);
     }
 
@@ -392,7 +384,7 @@ mod tests {
             cache.verdict("fine", &views[0], |_| Verdict::Yes),
             Verdict::Yes
         );
-        assert_eq!(cache.canonical_key(&views[0]), views[0].canonical_key());
+        assert_eq!(*cache.canonical_code(&views[0]), views[0].canonical_code());
         // And the exploding algorithm memoized nothing.
         assert_eq!(
             cache.verdict("exploder", &views[0], |_| Verdict::No),
@@ -409,7 +401,7 @@ mod tests {
             for chunk in views.chunks(8) {
                 scope.spawn(move || {
                     for view in chunk {
-                        assert_eq!(cache.canonical_key(view), view.canonical_key());
+                        assert_eq!(*cache.canonical_code(view), view.canonical_code());
                     }
                 });
             }

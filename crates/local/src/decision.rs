@@ -6,7 +6,7 @@ use crate::algorithm::{LocalAlgorithm, ObliviousAlgorithm, RandomizedObliviousAl
 use crate::cache::ViewCache;
 use crate::input::Input;
 use crate::property::Property;
-use ld_graph::NodeId;
+use ld_graph::{BallExtractor, NodeId};
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 use std::hash::Hash;
@@ -76,10 +76,11 @@ pub fn run_local<L: Clone, A: LocalAlgorithm<L> + ?Sized>(
     algorithm: &A,
 ) -> Decision {
     let radius = algorithm.radius();
+    let mut extractor = BallExtractor::new();
     let verdicts = input
         .graph()
         .nodes()
-        .map(|v| algorithm.evaluate(&input.view(v, radius)))
+        .map(|v| algorithm.evaluate(&input.view_with(&mut extractor, v, radius)))
         .collect();
     Decision::new(algorithm.name(), verdicts)
 }
@@ -90,10 +91,11 @@ pub fn run_oblivious<L: Clone, A: ObliviousAlgorithm<L> + ?Sized>(
     algorithm: &A,
 ) -> Decision {
     let radius = algorithm.radius();
+    let mut extractor = BallExtractor::new();
     let verdicts = input
         .graph()
         .nodes()
-        .map(|v| algorithm.evaluate(&input.oblivious_view(v, radius)))
+        .map(|v| algorithm.evaluate(&input.oblivious_view_with(&mut extractor, v, radius)))
         .collect();
     Decision::new(algorithm.name(), verdicts)
 }
@@ -115,11 +117,12 @@ where
 {
     let radius = algorithm.radius();
     let name = algorithm.name();
+    let mut extractor = BallExtractor::new();
     let verdicts = input
         .graph()
         .nodes()
         .map(|v| {
-            let view = input.oblivious_view(v, radius);
+            let view = input.oblivious_view_with(&mut extractor, v, radius);
             cache.verdict(name, &view, |view| algorithm.evaluate(view))
         })
         .collect();
@@ -143,9 +146,10 @@ where
         for (worker, slice) in verdicts.chunks_mut(chunk).enumerate() {
             let start = worker * chunk;
             scope.spawn(move || {
+                let mut extractor = BallExtractor::new();
                 for (offset, out) in slice.iter_mut().enumerate() {
                     let v = NodeId::from(start + offset);
-                    *out = algorithm.evaluate(&input.view(v, radius));
+                    *out = algorithm.evaluate(&input.view_with(&mut extractor, v, radius));
                 }
             });
         }
@@ -161,10 +165,11 @@ pub fn run_randomized<L: Clone, A: RandomizedObliviousAlgorithm<L> + ?Sized, R: 
     rng: &mut R,
 ) -> Decision {
     let radius = algorithm.radius();
+    let mut extractor = BallExtractor::new();
     let verdicts = input
         .graph()
         .nodes()
-        .map(|v| algorithm.evaluate(&input.oblivious_view(v, radius), rng))
+        .map(|v| algorithm.evaluate(&input.oblivious_view_with(&mut extractor, v, radius), rng))
         .collect();
     Decision::new(algorithm.name(), verdicts)
 }

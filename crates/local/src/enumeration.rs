@@ -3,22 +3,38 @@
 //! Indistinguishability arguments ("every `t`-neighbourhood of the
 //! no-instance already occurs in some yes-instance") become *executable* once
 //! we can enumerate the distinct views of a graph.  This module collects
-//! views, deduplicates them up to centred label-preserving isomorphism
-//! (bucketing by the Weisfeiler–Leman key first), and compares view sets.
+//! views and deduplicates them up to centred label-preserving isomorphism.
+//!
+//! Deduplication is driven by [`ObliviousView::canonical_code`], a **total**
+//! invariant: two views share a code iff they are indistinguishable.  Both
+//! dedup and coverage are therefore plain hash-set operations — no pairwise
+//! isomorphism tests.  Because extracted balls are numbered deterministically
+//! (by `(distance, original id)`), structurally identical views of a swept
+//! family are usually *exactly* equal as values, so an exact-equality prepass
+//! collapses most of the input before any canonicalisation runs at all.
+//!
+//! The seed pipeline — bucket by the Weisfeiler–Leman `canonical_key`, then
+//! confirm by backtracking isomorphism — is retained as
+//! [`distinct_oblivious_views_pairwise`], the differential-test oracle for
+//! the canonical-code engine (and the honest baseline in the benchmarks).
 
 use crate::cache::ViewCache;
+use crate::hashing::{FxHashMap, FxHashSet};
 use crate::input::Input;
 use crate::view::{ObliviousView, View};
-use ld_graph::LabeledGraph;
+use ld_graph::canon::CanonicalCode;
+use ld_graph::{BallExtractor, LabeledGraph};
 use std::collections::HashMap;
 use std::hash::Hash;
+use std::sync::Arc;
 
 /// Collects the radius-`radius` view (with identifiers) of every node.
 pub fn collect_views<L: Clone>(input: &Input<L>, radius: usize) -> Vec<View<L>> {
+    let mut extractor = BallExtractor::new();
     input
         .graph()
         .nodes()
-        .map(|v| input.view(v, radius))
+        .map(|v| input.view_with(&mut extractor, v, radius))
         .collect()
 }
 
@@ -28,23 +44,137 @@ pub fn collect_oblivious_views<L: Clone>(
     labeled: &LabeledGraph<L>,
     radius: usize,
 ) -> Vec<ObliviousView<L>> {
+    let mut extractor = BallExtractor::new();
     labeled
         .graph()
         .nodes()
         .map(|v| {
-            let ball = labeled.graph().ball(v, radius);
+            let ball = extractor
+                .extract(labeled.graph(), v, radius)
+                .expect("node comes from the graph itself");
             let labels = ball
                 .mapping()
                 .iter()
                 .map(|&orig| labeled.label(orig).clone())
                 .collect();
-            ObliviousView::from_parts(ball.graph().clone(), ball.center(), radius, labels)
+            ObliviousView::from_ball(ball, labels)
         })
         .collect()
 }
 
-/// Deduplicates oblivious views up to centred, label-preserving isomorphism.
+/// Deduplicates oblivious views up to centred, label-preserving isomorphism:
+/// the first occurrence of each canonical code is kept, in input order.
 pub fn distinct_oblivious_views<L: Clone + Eq + Hash>(
+    views: Vec<ObliviousView<L>>,
+) -> Vec<ObliviousView<L>> {
+    // Exact-equality prepass: balls are numbered deterministically, so
+    // repeated views of a self-similar family are usually equal as values
+    // and never need canonicalising more than once.
+    let mut exact_seen: FxHashSet<ObliviousView<L>> = FxHashSet::default();
+    let mut codes: FxHashSet<CanonicalCode> = FxHashSet::default();
+    let mut result = Vec::new();
+    for view in views {
+        if exact_seen.contains(&view) {
+            continue;
+        }
+        if codes.insert(view.canonical_code()) {
+            result.push(view.clone());
+        }
+        exact_seen.insert(view);
+    }
+    result
+}
+
+/// Convenience: the distinct oblivious views of a labelled graph.
+///
+/// Equivalent to `distinct_oblivious_views(collect_oblivious_views(..))`
+/// but cheaper: each node's ball is first fingerprinted in place via
+/// [`BallExtractor::exact_key`], so the view (graph, labels, distances) is
+/// only materialised for the first node of each exact ball layout —
+/// self-similar families collapse before any allocation happens.
+pub fn distinct_oblivious_views_of<L: Clone + Eq + Hash>(
+    labeled: &LabeledGraph<L>,
+    radius: usize,
+) -> Vec<ObliviousView<L>> {
+    distinct_of_impl(labeled, radius, |view| Arc::new(view.canonical_code()))
+}
+
+/// Shared body of the `distinct_oblivious_views_of*` fast paths: in-place
+/// exact-layout dedup, then canonical-code dedup with a caller-chosen code
+/// source (direct computation or a shared cache).
+fn distinct_of_impl<L: Clone + Eq + Hash>(
+    labeled: &LabeledGraph<L>,
+    radius: usize,
+    mut code_of: impl FnMut(&ObliviousView<L>) -> Arc<CanonicalCode>,
+) -> Vec<ObliviousView<L>> {
+    use crate::hashing::FxHasher;
+    use std::hash::Hasher;
+    let label_word = |labeled: &LabeledGraph<L>, v: ld_graph::NodeId| {
+        let mut hasher = FxHasher::default();
+        labeled.label(v).hash(&mut hasher);
+        hasher.finish()
+    };
+    let mut extractor = BallExtractor::new();
+    let mut exact_seen: FxHashSet<Vec<u64>> = FxHashSet::default();
+    let mut codes: FxHashSet<Arc<CanonicalCode>> = FxHashSet::default();
+    let mut result = Vec::new();
+    for v in labeled.graph().nodes() {
+        let key = extractor
+            .exact_key(labeled.graph(), v, radius, |u| label_word(labeled, u))
+            .expect("node comes from the graph itself");
+        if !exact_seen.insert(key) {
+            continue;
+        }
+        // New layout: materialise the ball from the BFS scratch `exact_key`
+        // just populated — no second traversal.
+        let ball = extractor.materialize_current(labeled.graph());
+        let labels = ball
+            .mapping()
+            .iter()
+            .map(|&orig| labeled.label(orig).clone())
+            .collect();
+        let view = ObliviousView::from_ball(ball, labels);
+        if codes.insert(code_of(&view)) {
+            result.push(view);
+        }
+    }
+    result
+}
+
+/// [`distinct_oblivious_views`], with canonical codes served from a shared
+/// [`ViewCache`].  The result is identical; repeated canonicalisation of
+/// structurally identical views across a sweep is computed once.
+pub fn distinct_oblivious_views_cached<L: Clone + Eq + Hash>(
+    views: Vec<ObliviousView<L>>,
+    cache: &ViewCache<L>,
+) -> Vec<ObliviousView<L>> {
+    let mut codes: FxHashSet<Arc<CanonicalCode>> = FxHashSet::default();
+    let mut result = Vec::new();
+    for view in views {
+        if codes.insert(cache.canonical_code(&view)) {
+            result.push(view);
+        }
+    }
+    result
+}
+
+/// [`distinct_oblivious_views_of`], routed through a shared [`ViewCache`]:
+/// the same in-place `exact_key` prepass skips ball construction for
+/// repeated layouts within the graph, and each unique layout's canonical
+/// code is served from (or inserted into) the cache, so repeated instances
+/// across a sweep canonicalise nothing at all.
+pub fn distinct_oblivious_views_of_cached<L: Clone + Eq + Hash>(
+    labeled: &LabeledGraph<L>,
+    radius: usize,
+    cache: &ViewCache<L>,
+) -> Vec<ObliviousView<L>> {
+    distinct_of_impl(labeled, radius, |view| cache.canonical_code(view))
+}
+
+/// The seed deduplication pipeline — Weisfeiler–Leman bucketing followed by
+/// pairwise backtracking isomorphism — retained verbatim as the
+/// differential-test oracle for the canonical-code engine.
+pub fn distinct_oblivious_views_pairwise<L: Clone + Eq + Hash>(
     views: Vec<ObliviousView<L>>,
 ) -> Vec<ObliviousView<L>> {
     let mut buckets: HashMap<u64, Vec<ObliviousView<L>>> = HashMap::new();
@@ -63,55 +193,22 @@ pub fn distinct_oblivious_views<L: Clone + Eq + Hash>(
     result
 }
 
-/// Convenience: the distinct oblivious views of a labelled graph.
-pub fn distinct_oblivious_views_of<L: Clone + Eq + Hash>(
-    labeled: &LabeledGraph<L>,
-    radius: usize,
-) -> Vec<ObliviousView<L>> {
-    distinct_oblivious_views(collect_oblivious_views(labeled, radius))
-}
-
-/// [`distinct_oblivious_views`], with the Weisfeiler–Leman bucketing keys
-/// served from a shared [`ViewCache`].  The result is identical; repeated
-/// canonicalisation of structurally identical views across a sweep is
-/// computed once.
-pub fn distinct_oblivious_views_cached<L: Clone + Eq + Hash>(
-    views: Vec<ObliviousView<L>>,
-    cache: &ViewCache<L>,
-) -> Vec<ObliviousView<L>> {
-    let mut buckets: HashMap<u64, Vec<ObliviousView<L>>> = HashMap::new();
-    let mut result = Vec::new();
-    for view in views {
-        let key = cache.canonical_key(&view);
-        let bucket = buckets.entry(key).or_default();
-        if bucket
-            .iter()
-            .all(|seen| !seen.indistinguishable_from(&view))
-        {
-            bucket.push(view.clone());
-            result.push(view);
-        }
-    }
-    result
-}
-
-/// [`distinct_oblivious_views_of`], routed through a shared [`ViewCache`].
-pub fn distinct_oblivious_views_of_cached<L: Clone + Eq + Hash>(
-    labeled: &LabeledGraph<L>,
-    radius: usize,
-    cache: &ViewCache<L>,
-) -> Vec<ObliviousView<L>> {
-    distinct_oblivious_views_cached(collect_oblivious_views(labeled, radius), cache)
-}
-
 /// Returns `true` if `view` is indistinguishable from some view in `family`.
+///
+/// Candidates that differ in radius, node count or edge count are rejected
+/// without canonicalising them; checking many targets against one family is
+/// cheaper through [`coverage`], which computes each family code once.
 pub fn view_occurs_in<L: Clone + Eq + Hash>(
     view: &ObliviousView<L>,
     family: &[ObliviousView<L>],
 ) -> bool {
-    family
-        .iter()
-        .any(|candidate| candidate.indistinguishable_from(view))
+    let code = view.canonical_code();
+    family.iter().any(|candidate| {
+        candidate.radius() == view.radius()
+            && candidate.node_count() == view.node_count()
+            && candidate.graph().edge_count() == view.graph().edge_count()
+            && candidate.canonical_code() == code
+    })
 }
 
 /// The coverage of `targets` by `family`: the fraction of views in `targets`
@@ -126,15 +223,24 @@ pub fn coverage<L: Clone + Eq + Hash>(
     if targets.is_empty() {
         return 1.0;
     }
-    let covered = targets.iter().filter(|t| view_occurs_in(t, family)).count();
+    // Memoize by exact view value within the call: self-similar families
+    // repeat the same ball layouts many times over.
+    let mut memo: FxHashMap<&ObliviousView<L>, CanonicalCode> = FxHashMap::default();
+    for view in family.iter().chain(targets.iter()) {
+        memo.entry(view).or_insert_with(|| view.canonical_code());
+    }
+    let family_codes: FxHashSet<&CanonicalCode> = family.iter().map(|v| &memo[v]).collect();
+    let covered = targets
+        .iter()
+        .filter(|t| family_codes.contains(&memo[t]))
+        .count();
     covered as f64 / targets.len() as f64
 }
 
-/// [`coverage`], with family views bucketed by cached canonical keys so each
-/// target is isomorphism-tested only against candidates that can possibly
-/// match.  The result is identical to [`coverage`]: isomorphic views always
-/// share a canonical key, so restricting the exact test to the matching
-/// bucket discards only guaranteed mismatches.
+/// [`coverage`], with canonical codes served from a shared [`ViewCache`].
+/// The result is identical to [`coverage`]: equal codes mean isomorphic
+/// views, so membership in the family's code set is exactly occurrence up to
+/// isomorphism.
 pub fn coverage_cached<L: Clone + Eq + Hash>(
     targets: &[ObliviousView<L>],
     family: &[ObliviousView<L>],
@@ -143,20 +249,11 @@ pub fn coverage_cached<L: Clone + Eq + Hash>(
     if targets.is_empty() {
         return 1.0;
     }
-    let mut buckets: HashMap<u64, Vec<&ObliviousView<L>>> = HashMap::new();
-    for view in family {
-        buckets
-            .entry(cache.canonical_key(view))
-            .or_default()
-            .push(view);
-    }
+    let family_codes: FxHashSet<Arc<CanonicalCode>> =
+        family.iter().map(|v| cache.canonical_code(v)).collect();
     let covered = targets
         .iter()
-        .filter(|t| {
-            buckets
-                .get(&cache.canonical_key(t))
-                .is_some_and(|bucket| bucket.iter().any(|c| c.indistinguishable_from(t)))
-        })
+        .filter(|t| family_codes.contains(&cache.canonical_code(t)))
         .count();
     covered as f64 / targets.len() as f64
 }
@@ -216,6 +313,26 @@ mod tests {
     }
 
     #[test]
+    fn canonical_engine_matches_pairwise_oracle() {
+        // The new engine and the seed bucket-then-backtrack pipeline must
+        // select identical representatives in identical order.
+        for labeled in [
+            uniform_cycle(20),
+            LabeledGraph::uniform(generators::path(9), 0u8),
+            LabeledGraph::from_fn(generators::cycle(12), |v| (v.index() % 3) as u8),
+            LabeledGraph::uniform(generators::grid(4, 5), 0u8),
+            LabeledGraph::uniform(generators::complete(5), 0u8),
+        ] {
+            for radius in 0..3 {
+                let views = collect_oblivious_views(&labeled, radius);
+                let engine = distinct_oblivious_views(views.clone());
+                let oracle = distinct_oblivious_views_pairwise(views);
+                assert_eq!(engine, oracle, "radius {radius}");
+            }
+        }
+    }
+
+    #[test]
     fn collect_views_with_ids_returns_one_view_per_node() {
         let lg = uniform_cycle(8);
         let input = Input::new(lg, IdAssignment::consecutive(8)).unwrap();
@@ -226,6 +343,11 @@ mod tests {
         for (i, a) in views.iter().enumerate() {
             for (j, b) in views.iter().enumerate() {
                 assert_eq!(i == j, a.indistinguishable_from(b), "views {i} vs {j}");
+                assert_eq!(
+                    i == j,
+                    a.canonical_code() == b.canonical_code(),
+                    "codes {i} vs {j}"
+                );
             }
         }
     }

@@ -4,7 +4,7 @@ use crate::error::LocalError;
 use crate::ids::IdAssignment;
 use crate::view::{ObliviousView, View};
 use crate::Result;
-use ld_graph::{Graph, LabeledGraph, NodeId};
+use ld_graph::{BallExtractor, Graph, LabeledGraph, NodeId};
 
 /// An input `(G, x, Id)`: a connected labelled graph together with a
 /// one-to-one identifier assignment.
@@ -129,7 +129,23 @@ impl<L> Input<L> {
     where
         L: Clone,
     {
-        let ball = self.graph().ball(v, radius);
+        self.view_with(&mut BallExtractor::new(), v, radius)
+    }
+
+    /// [`Input::view`] with a caller-provided [`BallExtractor`], so loops
+    /// over many nodes reuse the extraction scratch buffers instead of
+    /// re-allocating them per node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    pub fn view_with(&self, extractor: &mut BallExtractor, v: NodeId, radius: usize) -> View<L>
+    where
+        L: Clone,
+    {
+        let ball = extractor
+            .extract(self.graph(), v, radius)
+            .expect("view node must exist");
         let labels = ball
             .mapping()
             .iter()
@@ -152,7 +168,34 @@ impl<L> Input<L> {
     where
         L: Clone,
     {
-        self.view(v, radius).without_ids()
+        self.oblivious_view_with(&mut BallExtractor::new(), v, radius)
+    }
+
+    /// [`Input::oblivious_view`] with a caller-provided [`BallExtractor`];
+    /// builds the Id-oblivious view directly, without materialising the
+    /// identifier vector first.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    pub fn oblivious_view_with(
+        &self,
+        extractor: &mut BallExtractor,
+        v: NodeId,
+        radius: usize,
+    ) -> ObliviousView<L>
+    where
+        L: Clone,
+    {
+        let ball = extractor
+            .extract(self.graph(), v, radius)
+            .expect("view node must exist");
+        let labels = ball
+            .mapping()
+            .iter()
+            .map(|&orig| self.labeled.label(orig).clone())
+            .collect();
+        ObliviousView::from_ball(ball, labels)
     }
 }
 

@@ -33,7 +33,11 @@
 //! view semantics ([`engine`]), randomised `(p, q)`-deciders
 //! ([`RandomizedObliviousAlgorithm`], [`decision::estimate_pq`]), and a
 //! shared lock-sharded canonical-view cache that de-duplicates the repeated
-//! ball canonicalisation parameter sweeps perform ([`cache`]).
+//! ball canonicalisation parameter sweeps perform ([`cache`]).  View
+//! comparison is driven by total canonical codes
+//! ([`ObliviousView::canonical_code`], backed by `ld_graph::canon`): equal
+//! code ⇔ indistinguishable view, so enumeration and coverage are hash-set
+//! operations rather than pairwise isomorphism tests.
 //!
 //! # Example
 //!
@@ -67,6 +71,7 @@ pub mod decision;
 pub mod engine;
 pub mod enumeration;
 pub mod error;
+pub mod hashing;
 pub mod ids;
 pub mod input;
 pub mod property;

@@ -2,9 +2,10 @@
 //! identifiers.
 
 use ld_graph::ball::Ball;
+use ld_graph::canon::{centered_canonical_code, CanonicalCode};
 use ld_graph::iso::{are_compatible_isomorphic, centered_wl_hash, color_of};
 use ld_graph::{Graph, NodeId};
-use std::hash::Hash;
+use std::hash::{Hash, Hasher};
 
 /// The radius-`t` view of a node in an input `(G, x, Id)`: the induced
 /// subgraph on `B(v, t)` with the labels **and identifiers** of its nodes.
@@ -26,13 +27,11 @@ impl<L> View<L> {
     pub(crate) fn from_ball(ball: Ball, labels: Vec<L>, ids: Vec<u64>) -> Self {
         debug_assert_eq!(ball.node_count(), labels.len());
         debug_assert_eq!(ball.node_count(), ids.len());
-        let distances = (0..ball.node_count())
-            .map(|i| ball.distance_from_center(NodeId::from(i)))
-            .collect();
+        let (graph, center, radius, _mapping, distances) = ball.into_parts();
         View {
-            center: ball.center(),
-            radius: ball.radius(),
-            graph: ball.graph().clone(),
+            center,
+            radius,
+            graph,
             distances,
             labels,
             ids,
@@ -178,7 +177,8 @@ impl<L: Eq + Hash> View<L> {
     }
 
     /// A hash that is invariant under view isomorphism (used to bucket views
-    /// before exact comparison).
+    /// before exact comparison).  Retained as the cheap heuristic behind the
+    /// pairwise oracle path; the engine itself uses [`View::canonical_code`].
     pub fn canonical_key(&self) -> u64 {
         let colors: Vec<u64> = self
             .graph
@@ -186,6 +186,21 @@ impl<L: Eq + Hash> View<L> {
             .map(|v| color_of(&(color_of(&self.labels[v.index()]), self.ids[v.index()])))
             .collect();
         centered_wl_hash(&self.graph, self.center, &colors)
+    }
+
+    /// A **total** canonical invariant: two views have equal codes iff they
+    /// are [`indistinguishable_from`](View::indistinguishable_from) each
+    /// other.  Labels and identifiers enter the code through a 64-bit hash,
+    /// so the "iff" carries the usual content-hash caveat (a `2⁻⁶⁴`-order
+    /// collision of distinct label/id pairs could merge two views); graph
+    /// structure, centre and radius are embedded exactly.
+    pub fn canonical_code(&self) -> CanonicalCode {
+        let colors: Vec<u64> = self
+            .graph
+            .nodes()
+            .map(|v| color_of(&(color_of(&self.labels[v.index()]), self.ids[v.index()])))
+            .collect();
+        centered_canonical_code(&self.graph, self.center, &colors).with_tag(self.radius as u64)
     }
 }
 
@@ -201,6 +216,20 @@ pub struct ObliviousView<L> {
 }
 
 impl<L> ObliviousView<L> {
+    /// Assembles an oblivious view from an extracted ball plus labels in
+    /// ball-local node order, reusing the ball's graph and distances.
+    pub(crate) fn from_ball(ball: Ball, labels: Vec<L>) -> Self {
+        debug_assert_eq!(ball.node_count(), labels.len());
+        let (graph, center, radius, _mapping, distances) = ball.into_parts();
+        ObliviousView {
+            graph,
+            center,
+            radius,
+            distances,
+            labels,
+        }
+    }
+
     /// Builds an oblivious view directly from parts (used by neighbourhood
     /// generators).
     pub fn from_parts(graph: Graph, center: NodeId, radius: usize, labels: Vec<L>) -> Self {
@@ -309,7 +338,9 @@ impl<L: Eq + Hash> ObliviousView<L> {
         )
     }
 
-    /// A hash invariant under oblivious-view isomorphism.
+    /// A hash invariant under oblivious-view isomorphism.  Retained as the
+    /// bucketing heuristic behind the pairwise oracle path; the engine
+    /// itself uses [`ObliviousView::canonical_code`].
     pub fn canonical_key(&self) -> u64 {
         let colors: Vec<u64> = self
             .graph
@@ -317,6 +348,34 @@ impl<L: Eq + Hash> ObliviousView<L> {
             .map(|v| color_of(&self.labels[v.index()]))
             .collect();
         centered_wl_hash(&self.graph, self.center, &colors)
+    }
+
+    /// A **total** canonical invariant: two oblivious views have equal codes
+    /// iff they are
+    /// [`indistinguishable_from`](ObliviousView::indistinguishable_from)
+    /// each other (labels enter through a 64-bit hash — see
+    /// [`View::canonical_code`] for the collision caveat).  Dedup and
+    /// coverage reduce to hash-set operations on these codes.
+    pub fn canonical_code(&self) -> CanonicalCode {
+        let colors: Vec<u64> = self
+            .graph
+            .nodes()
+            .map(|v| color_of(&self.labels[v.index()]))
+            .collect();
+        centered_canonical_code(&self.graph, self.center, &colors).with_tag(self.radius as u64)
+    }
+}
+
+/// Hashing agrees with `Eq` (distances are a pure function of graph and
+/// centre, so omitting them keeps the contract) — this lets exact-identical
+/// views key hash maps, the addressing scheme of [`crate::cache::ViewCache`]
+/// and the exact-dedup prepass of [`crate::enumeration`].
+impl<L: Hash> Hash for ObliviousView<L> {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        self.graph.hash(state);
+        self.center.hash(state);
+        self.radius.hash(state);
+        self.labels.hash(state);
     }
 }
 

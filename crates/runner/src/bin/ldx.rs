@@ -4,12 +4,16 @@
 //! ldx list
 //! ldx run <scenario> [--max-n N] [--threads T] [--seed S]
 //!                    [--out FILE.json] [--csv FILE.csv] [--no-bench-json]
+//!                    [--deterministic]
 //! ```
 //!
 //! `run` executes the named scenario, prints a summary, and writes the full
 //! JSON report (default `ldx-<scenario>.json` in the working directory), an
 //! optional CSV, and a perf snapshot to `BENCH_runner.json` at the repo
-//! root.  The process exits nonzero when any cell fails or panics.
+//! root.  With `--deterministic` the report omits every timing- and
+//! parallelism-dependent field, so two runs differing only in `--threads`
+//! must produce byte-identical files — CI diffs exactly that.  The process
+//! exits nonzero when any cell fails or panics.
 
 use ld_runner::{executor, scenarios, RunReport, SweepConfig};
 use std::path::PathBuf;
@@ -17,7 +21,7 @@ use std::process::ExitCode;
 
 fn usage() -> String {
     let mut out = String::from(
-        "usage:\n  ldx list\n  ldx run <scenario> [--max-n N] [--threads T] [--seed S]\n                     [--out FILE.json] [--csv FILE.csv] [--no-bench-json]\n\nscenarios:\n",
+        "usage:\n  ldx list\n  ldx run <scenario> [--max-n N] [--threads T] [--seed S]\n                     [--out FILE.json] [--csv FILE.csv] [--no-bench-json]\n                     [--deterministic]\n\nscenarios:\n",
     );
     for scenario in scenarios::all() {
         out.push_str(&format!(
@@ -35,6 +39,7 @@ struct RunArgs {
     out: Option<PathBuf>,
     csv: Option<PathBuf>,
     bench_json: bool,
+    deterministic: bool,
 }
 
 fn parse_run_args(args: &[String]) -> Result<RunArgs, String> {
@@ -49,6 +54,7 @@ fn parse_run_args(args: &[String]) -> Result<RunArgs, String> {
         out: None,
         csv: None,
         bench_json: true,
+        deterministic: false,
     };
     while let Some(flag) = iter.next() {
         let mut value = |name: &str| {
@@ -79,6 +85,7 @@ fn parse_run_args(args: &[String]) -> Result<RunArgs, String> {
             "--out" => run.out = Some(PathBuf::from(value("--out")?)),
             "--csv" => run.csv = Some(PathBuf::from(value("--csv")?)),
             "--no-bench-json" => run.bench_json = false,
+            "--deterministic" => run.deterministic = true,
             other => return Err(format!("unknown flag {other}")),
         }
     }
@@ -131,13 +138,21 @@ fn cmd_run(args: &[String]) -> Result<bool, String> {
     let out = run
         .out
         .unwrap_or_else(|| PathBuf::from(format!("ldx-{}.json", report.scenario)));
-    RunReport::write(&out, &report.to_json())
-        .map_err(|e| format!("writing {}: {e}", out.display()))?;
+    let rendered = if run.deterministic {
+        report.deterministic_json()
+    } else {
+        report.to_json()
+    };
+    RunReport::write(&out, &rendered).map_err(|e| format!("writing {}: {e}", out.display()))?;
     println!("  report: {}", out.display());
 
     if let Some(csv) = run.csv {
-        RunReport::write(&csv, &report.to_csv())
-            .map_err(|e| format!("writing {}: {e}", csv.display()))?;
+        let rendered = if run.deterministic {
+            report.deterministic_csv()
+        } else {
+            report.to_csv()
+        };
+        RunReport::write(&csv, &rendered).map_err(|e| format!("writing {}: {e}", csv.display()))?;
         println!("  csv: {}", csv.display());
     }
 

@@ -13,6 +13,15 @@
 //! 3. **Panic isolation** — a panicking cell is caught with
 //!    [`std::panic::catch_unwind`] and recorded as an error outcome; the
 //!    queue keeps draining.
+//!
+//! Worker count is additionally clamped to the machine's available
+//! parallelism: requesting more workers than hardware threads cannot make a
+//! CPU-bound sweep faster, it only adds spawn cost, context switching and
+//! lock pressure on the shared view caches (the effect that made 2–4-thread
+//! sweeps *slower* than sequential ones on small machines).  When the clamp
+//! leaves a single worker the sequential path runs directly — results are
+//! identical either way, so `--threads N` output never depends on the
+//! machine.
 
 use crate::cell::CellResult;
 use crate::report::RunReport;
@@ -81,8 +90,24 @@ fn run_sequential(cells: &[PlannedCell], config: &SweepConfig) -> Vec<CellResult
         .collect()
 }
 
+/// Worker threads actually worth spawning for `requested` threads over
+/// `cells` cells: bounded by the cell count and by hardware parallelism.
+/// The hardware probe is cached — `available_parallelism` re-reads cgroup
+/// state on every call, which is measurable at per-sweep granularity.
+fn effective_workers(requested: usize, cells: usize) -> usize {
+    static HARDWARE: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
+    let hardware = *HARDWARE
+        .get_or_init(|| std::thread::available_parallelism().map_or(usize::MAX, usize::from));
+    requested.min(cells).min(hardware).max(1)
+}
+
 fn run_parallel(cells: &[PlannedCell], config: &SweepConfig) -> Vec<CellResult> {
-    let workers = config.threads.min(cells.len()).max(1);
+    let workers = effective_workers(config.threads, cells.len());
+    if workers <= 1 {
+        // Oversubscribed down to one worker: skip the queue entirely.  The
+        // sequential path produces the identical report.
+        return run_sequential(cells, config);
+    }
     let next = AtomicUsize::new(0);
     let slots: Vec<Mutex<Option<CellResult>>> = cells.iter().map(|_| Mutex::new(None)).collect();
     std::thread::scope(|scope| {
@@ -186,6 +211,23 @@ mod tests {
         assert_eq!(report.passed(), 39);
         let failed = &report.cells[13];
         assert_eq!(failed.outcome.as_ref().unwrap_err(), "unlucky cell 13");
+    }
+
+    #[test]
+    fn effective_workers_is_clamped_by_cells_and_hardware() {
+        // Zero requested still yields one worker.
+        assert_eq!(effective_workers(0, 10), 1);
+        // The cell count caps the workers whatever was requested.
+        assert!(effective_workers(64, 2) <= 2);
+        assert_eq!(effective_workers(64, 0), 1);
+        // Hardware caps an oversubscribed request; requesting fewer than the
+        // hardware offers is honoured exactly.
+        let hardware = std::thread::available_parallelism().map_or(usize::MAX, usize::from);
+        assert!(effective_workers(1024, 1024) <= hardware);
+        assert_eq!(effective_workers(1, 1024), 1);
+        if hardware >= 2 {
+            assert_eq!(effective_workers(2, 1024), 2);
+        }
     }
 
     #[test]

@@ -184,8 +184,22 @@ impl RunReport {
     /// Renders one CSV row per cell: id, seed, status, verdict, pass,
     /// `;`-joined `k=v` params and metrics, and wall micros.
     pub fn to_csv(&self) -> String {
-        let mut out =
-            String::from("scenario,cell,seed,status,verdict,pass,params,metrics,wall_micros\n");
+        self.render_csv(true)
+    }
+
+    /// [`RunReport::to_csv`] without the `wall_micros` column — the CSV
+    /// counterpart of [`RunReport::deterministic_json`]: identical across
+    /// thread counts and machines for a fixed (scenario, seed, max_n).
+    pub fn deterministic_csv(&self) -> String {
+        self.render_csv(false)
+    }
+
+    fn render_csv(&self, with_wall: bool) -> String {
+        let mut out = String::from("scenario,cell,seed,status,verdict,pass,params,metrics");
+        if with_wall {
+            out.push_str(",wall_micros");
+        }
+        out.push('\n');
         for cell in &self.cells {
             let params = cell
                 .spec
@@ -214,7 +228,7 @@ impl RunReport {
                 ),
             };
             out.push_str(&format!(
-                "{},{},{},{},{},{},{},{},{}\n",
+                "{},{},{},{},{},{},{},{}",
                 self.scenario,
                 csv_field(&cell.spec.id),
                 cell.seed,
@@ -223,8 +237,11 @@ impl RunReport {
                 pass,
                 csv_field(&params),
                 csv_field(&metrics),
-                cell.wall.as_micros(),
             ));
+            if with_wall {
+                out.push_str(&format!(",{}", cell.wall.as_micros()));
+            }
+            out.push('\n');
         }
         out
     }
@@ -352,6 +369,24 @@ mod tests {
         assert!(lines[0].starts_with("scenario,cell,seed"));
         assert!(lines[1].contains("views=2"));
         assert!(lines[2].contains("\"boom"));
+    }
+
+    #[test]
+    fn deterministic_csv_has_no_wall_column() {
+        let report = sample_report();
+        let csv = report.deterministic_csv();
+        assert!(!csv.contains("wall"));
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[0].ends_with(",metrics"));
+        // Identical cells produce identical deterministic CSV regardless of
+        // the wall times recorded.
+        let mut other = sample_report();
+        for cell in &mut other.cells {
+            cell.wall = Duration::from_micros(999);
+        }
+        assert_eq!(csv, other.deterministic_csv());
+        assert_ne!(report.to_csv(), other.to_csv());
     }
 
     #[test]

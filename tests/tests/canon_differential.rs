@@ -1,0 +1,143 @@
+//! Differential tests for the canonical-form engine: on random small
+//! labelled graphs and random centre pairs, `canonical_code(a) ==
+//! canonical_code(b)` must hold **iff** the backtracking oracle
+//! `indistinguishable_from(a, b)` says the views are isomorphic — the
+//! canonical code is a *total* invariant, unlike the Weisfeiler–Leman
+//! `canonical_key`, which is only guaranteed to agree on isomorphic inputs.
+//!
+//! The unit tests pin the classic WL blind spot: the 6-cycle versus two
+//! disjoint triangles collide under `wl_hash` (every node of both graphs is
+//! "degree 2 among degree 2s" forever) but get distinct canonical codes.
+
+use local_decision::graph::canon::{canonical_code, centered_canonical_code};
+use local_decision::graph::iso::{are_isomorphic, wl_hash};
+use local_decision::prelude::*;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A seeded random connected labelled graph with a distinguished centre.
+fn arbitrary_view_parts() -> impl Strategy<Value = (Graph, Vec<u8>, usize, usize)> {
+    (3usize..=10, 0usize..=8, any::<u64>(), 0usize..3).prop_map(|(n, extra, seed, radius)| {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let graph = generators::random_connected(n, extra, &mut rng);
+        let labels: Vec<u8> = (0..n).map(|_| rng.gen_range(0u8..3)).collect();
+        let center = rng.gen_range(0..n);
+        (graph, labels, center, radius)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The engine/oracle equivalence, across independent random view pairs:
+    /// equal canonical codes iff the backtracking isomorphism oracle agrees.
+    #[test]
+    fn canonical_code_equals_iff_backtracking_oracle_agrees(
+        a in arbitrary_view_parts(),
+        b in arbitrary_view_parts(),
+    ) {
+        let (ga, la, ca, ra) = a;
+        let (gb, lb, cb, rb) = b;
+        let va = ObliviousView::from_parts(ga, NodeId::from(ca), ra, la);
+        let vb = ObliviousView::from_parts(gb, NodeId::from(cb), rb, lb);
+        prop_assert_eq!(
+            va.canonical_code() == vb.canonical_code(),
+            va.indistinguishable_from(&vb)
+        );
+    }
+
+    /// The same equivalence on pairs that are *guaranteed* isomorphic (a
+    /// node relabelling of one graph), so the "equal ⇒ equal" direction is
+    /// exercised on every case, not just by collision luck.
+    #[test]
+    fn canonical_code_invariant_under_relabelling_differentially(
+        parts in arbitrary_view_parts(),
+        seed in any::<u64>(),
+    ) {
+        let (graph, labels, center, radius) = parts;
+        let n = graph.node_count();
+        let mut perm: Vec<usize> = (0..n).collect();
+        let mut rng = StdRng::seed_from_u64(seed);
+        for i in (1..n).rev() {
+            perm.swap(i, rng.gen_range(0..=i));
+        }
+        let relabeled = graph.relabel(&perm).unwrap();
+        let mut new_labels = vec![0u8; n];
+        for old in 0..n {
+            new_labels[perm[old]] = labels[old];
+        }
+        let va = ObliviousView::from_parts(graph, NodeId::from(center), radius, labels);
+        let vb = ObliviousView::from_parts(
+            relabeled, NodeId::from(perm[center]), radius, new_labels,
+        );
+        prop_assert!(va.indistinguishable_from(&vb));
+        prop_assert_eq!(va.canonical_code(), vb.canonical_code());
+    }
+
+    /// Centre pairs within one graph: the centred code distinguishes centres
+    /// exactly as the centred backtracking oracle does.
+    #[test]
+    fn centered_codes_match_oracle_across_centre_pairs(parts in arbitrary_view_parts()) {
+        let (graph, labels, _, radius) = parts;
+        let colors: Vec<u64> = labels.iter().map(|l| u64::from(*l)).collect();
+        for u in graph.nodes() {
+            for v in graph.nodes() {
+                let vu = ObliviousView::from_parts(
+                    graph.clone(), u, radius, labels.clone(),
+                );
+                let vv = ObliviousView::from_parts(
+                    graph.clone(), v, radius, labels.clone(),
+                );
+                prop_assert_eq!(
+                    centered_canonical_code(&graph, u, &colors)
+                        == centered_canonical_code(&graph, v, &colors),
+                    vu.indistinguishable_from(&vv)
+                );
+            }
+        }
+    }
+
+    /// The engine-level consequence: `distinct_oblivious_views` keyed by
+    /// canonical codes selects exactly the representatives the seed
+    /// bucket-then-backtrack pipeline selects, in the same order.
+    #[test]
+    fn distinct_views_match_pairwise_oracle(parts in arbitrary_view_parts()) {
+        let (graph, labels, _, radius) = parts;
+        let labeled = LabeledGraph::new(graph, labels).unwrap();
+        let views = enumeration::collect_oblivious_views(&labeled, radius);
+        let engine = enumeration::distinct_oblivious_views(views.clone());
+        let oracle = enumeration::distinct_oblivious_views_pairwise(views);
+        prop_assert_eq!(engine, oracle);
+    }
+}
+
+#[test]
+fn c6_vs_two_triangles_separated_by_code_not_by_wl() {
+    let c6 = generators::cycle(6);
+    let (two_c3, _) = generators::cycle(3).disjoint_union(&generators::cycle(3));
+    let uniform = vec![0u64; 6];
+    // Same WL hash (colour refinement is blind to this pair) …
+    assert_eq!(wl_hash(&c6, &uniform), wl_hash(&two_c3, &uniform));
+    // … but not isomorphic, and the canonical code knows it.
+    assert!(!are_isomorphic(&c6, &two_c3));
+    assert_ne!(
+        canonical_code(&c6, &uniform),
+        canonical_code(&two_c3, &uniform)
+    );
+}
+
+#[test]
+fn regular_bipartite_wl_blind_spot_is_separated() {
+    // C8 ∪ C4 vs C12: 2-regular on 12 nodes, WL-indistinguishable as
+    // unrooted uniformly-coloured graphs, structurally different.
+    let c12 = generators::cycle(12);
+    let (c8_c4, _) = generators::cycle(8).disjoint_union(&generators::cycle(4));
+    let uniform = vec![0u64; 12];
+    assert_eq!(wl_hash(&c12, &uniform), wl_hash(&c8_c4, &uniform));
+    assert!(!are_isomorphic(&c12, &c8_c4));
+    assert_ne!(
+        canonical_code(&c12, &uniform),
+        canonical_code(&c8_c4, &uniform)
+    );
+}
