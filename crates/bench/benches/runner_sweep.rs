@@ -12,6 +12,7 @@ fn config(threads: usize) -> SweepConfig {
         max_n: 48,
         threads,
         seed: 7,
+        ..SweepConfig::default()
     }
 }
 

@@ -51,7 +51,7 @@
 //! ```
 //! use local_decision::runner::{executor, scenarios, SweepConfig};
 //!
-//! let config = SweepConfig { max_n: 16, threads: 2, seed: 1 };
+//! let config = SweepConfig { max_n: 16, threads: 2, seed: 1, ..SweepConfig::default() };
 //! let report = executor::execute(&scenarios::PyramidSweep, &config)?;
 //! assert_eq!(report.failed() + report.panicked(), 0);
 //! println!("{}", report.to_json());

@@ -157,6 +157,11 @@ pub struct BallExtractor {
     members: Vec<NodeId>,
     /// `(center, radius)` of the BFS currently in the scratch buffers.
     current: Option<(NodeId, usize)>,
+    /// Index into `members` where the deepest completed layer begins — the
+    /// frontier a later [`BallExtractor::extend_current`] resumes from.
+    frontier_start: usize,
+    /// Distance of that deepest layer from the centre.
+    depth: u32,
 }
 
 /// Sentinel for "not reached / not in ball" in the scratch arrays.
@@ -173,6 +178,14 @@ impl BallExtractor {
     /// `(distance, original id)` order and `dist`/`position` populated for
     /// exactly the members.
     fn bounded_bfs(&mut self, graph: &Graph, center: NodeId, radius: usize) -> Result<()> {
+        self.begin_bfs(graph, center)?;
+        let complete = self.advance_bfs(graph, center, radius, usize::MAX);
+        debug_assert!(complete, "an uncapped BFS always completes");
+        Ok(())
+    }
+
+    /// Resets the scratch buffers and seeds a fresh BFS at `center`.
+    fn begin_bfs(&mut self, graph: &Graph, center: NodeId) -> Result<()> {
         // Invalidate first: a failed extraction must not leave the previous
         // ball claimable through `materialize_current`.
         self.current = None;
@@ -188,35 +201,69 @@ impl BallExtractor {
             self.position[v.index()] = UNSEEN;
         }
         self.members.clear();
-
-        // Bounded BFS, layer by layer.  Each layer is sorted by original id
-        // before it is appended, so `members` ends up in the same
-        // `(distance, id)` order the two-pass extraction produced.
         self.dist[center.index()] = 0;
         self.members.push(center);
-        let mut layer_start = 0;
-        let mut depth = 0u32;
-        while depth < radius as u32 && layer_start < self.members.len() {
+        self.frontier_start = 0;
+        self.depth = 0;
+        Ok(())
+    }
+
+    /// Advances the BFS in the scratch buffers out to distance `radius`,
+    /// admitting at most `max_nodes` ball members.  Layer by layer; each
+    /// layer is sorted by original id before it is appended, so `members`
+    /// ends up in the same `(distance, id)` order the two-pass extraction
+    /// produced.
+    ///
+    /// Returns `false` — leaving the extractor invalidated for
+    /// materialisation but safe to reuse — when the ball has (or already
+    /// had, for an extension that grows nothing) more than `max_nodes`
+    /// nodes.  The decision point is deterministic: the BFS rejects upfront
+    /// if the current members already exceed the cap, and otherwise stops
+    /// the moment it would admit node `max_nodes + 1`.
+    fn advance_bfs(
+        &mut self,
+        graph: &Graph,
+        center: NodeId,
+        radius: usize,
+        max_nodes: usize,
+    ) -> bool {
+        // The upfront check keeps extensions honest: a saturated ball that
+        // gains no nodes at a larger radius must still count against the
+        // cap exactly as a fresh extraction of the same ball would.
+        if self.members.len() > max_nodes {
+            self.current = None;
+            return false;
+        }
+        while self.depth < radius as u32 && self.frontier_start < self.members.len() {
             let layer_end = self.members.len();
-            for i in layer_start..layer_end {
+            for i in self.frontier_start..layer_end {
                 let u = self.members[i];
                 for v in graph.neighbors(u) {
                     if self.dist[v.index()] == UNSEEN {
-                        self.dist[v.index()] = depth + 1;
+                        if self.members.len() >= max_nodes {
+                            // Budget exhausted.  `members` still lists every
+                            // touched scratch entry, so the next `begin_bfs`
+                            // resets cleanly; only materialisation is off.
+                            self.current = None;
+                            return false;
+                        }
+                        self.dist[v.index()] = self.depth + 1;
                         self.members.push(v);
                     }
                 }
             }
             self.members[layer_end..].sort_unstable();
-            layer_start = layer_end;
-            depth += 1;
+            self.frontier_start = layer_end;
+            self.depth += 1;
         }
 
+        // (Re-)derive ball-local positions; extension appends members, so
+        // positions of earlier members are unchanged by recomputation.
         for (local, &orig) in self.members.iter().enumerate() {
             self.position[orig.index()] = local as u32;
         }
         self.current = Some((center, radius));
-        Ok(())
+        true
     }
 
     /// Extracts `B(center, radius)` from `graph`, reusing this extractor's
@@ -228,6 +275,98 @@ impl BallExtractor {
     pub fn extract(&mut self, graph: &Graph, center: NodeId, radius: usize) -> Result<Ball> {
         self.bounded_bfs(graph, center, radius)?;
         Ok(self.materialize(graph, center, radius))
+    }
+
+    /// Budget-aware variant of [`BallExtractor::extract`]: extracts
+    /// `B(center, radius)` only if it has at most `max_nodes` nodes, and
+    /// returns `None` — without materialising anything — the moment the
+    /// bounded BFS would admit node `max_nodes + 1` (a cap of 0 therefore
+    /// rejects every ball).
+    ///
+    /// This is how radius-3 sweeps stay inside a work budget: a handful of
+    /// dense centres cannot blow up a cell whose other balls are small.
+    /// After `None`, the extractor is immediately reusable (the failed BFS's
+    /// scratch is reclaimed by the next call) but
+    /// [`BallExtractor::materialize_current`] is invalidated.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `center` is out of range.
+    pub fn extract_within(
+        &mut self,
+        graph: &Graph,
+        center: NodeId,
+        radius: usize,
+        max_nodes: usize,
+    ) -> Result<Option<Ball>> {
+        self.begin_bfs(graph, center)?;
+        if !self.advance_bfs(graph, center, radius, max_nodes) {
+            return Ok(None);
+        }
+        Ok(Some(self.materialize(graph, center, radius)))
+    }
+
+    /// Extends the BFS currently in the scratch buffers out to a larger
+    /// `radius` **without restarting it**: only the new spheres are
+    /// traversed, so sweeping one centre through radii `1, 2, 3` costs one
+    /// radius-3 BFS total instead of three overlapping ones.  `graph` must
+    /// be the graph of the last extraction on this extractor.
+    ///
+    /// After extending, [`BallExtractor::materialize_current`] and
+    /// [`BallExtractor::current_exact_key`] describe the enlarged ball.
+    ///
+    /// ```
+    /// use ld_graph::{generators, BallExtractor, NodeId};
+    ///
+    /// let g = generators::cycle(32);
+    /// let mut extractor = BallExtractor::new();
+    /// extractor.extract(&g, NodeId(0), 1).unwrap();
+    /// for radius in 2..=3 {
+    ///     extractor.extend_current(&g, radius);
+    ///     assert_eq!(
+    ///         extractor.materialize_current(&g),
+    ///         g.ball(NodeId(0), radius)
+    ///     );
+    /// }
+    /// ```
+    ///
+    /// # Panics
+    ///
+    /// Panics if no extraction has run (or the last one was exhausted or
+    /// failed), or if `radius` is smaller than the current radius.
+    pub fn extend_current(&mut self, graph: &Graph, radius: usize) {
+        let complete = self.extend_current_within(graph, radius, usize::MAX);
+        debug_assert!(complete, "an uncapped extension always completes");
+    }
+
+    /// Budget-aware [`BallExtractor::extend_current`]: returns `false` —
+    /// invalidating the current ball — when the extension would push the
+    /// ball past `max_nodes` total nodes.
+    ///
+    /// # Panics
+    ///
+    /// Panics under the same conditions as [`BallExtractor::extend_current`].
+    pub fn extend_current_within(
+        &mut self,
+        graph: &Graph,
+        radius: usize,
+        max_nodes: usize,
+    ) -> bool {
+        let (center, current_radius) = self
+            .current
+            .expect("extend_current requires a prior complete extraction");
+        assert!(
+            radius >= current_radius,
+            "extend_current cannot shrink the radius ({current_radius} -> {radius})"
+        );
+        self.advance_bfs(graph, center, radius, max_nodes)
+    }
+
+    /// Number of nodes reached by the BFS currently in the scratch buffers
+    /// (the ball size after a successful `extract*` / `exact_key*` /
+    /// `extend_current*` call) — the quantity budget accounting charges.
+    pub fn current_node_count(&self) -> usize {
+        self.members.len()
     }
 
     /// Builds the [`Ball`] for the most recent [`BallExtractor::exact_key`]
@@ -301,9 +440,54 @@ impl BallExtractor {
         graph: &Graph,
         center: NodeId,
         radius: usize,
-        mut label_word: impl FnMut(NodeId) -> u64,
+        label_word: impl FnMut(NodeId) -> u64,
     ) -> Result<Vec<u64>> {
         self.bounded_bfs(graph, center, radius)?;
+        Ok(self.current_exact_key(graph, label_word))
+    }
+
+    /// Budget-aware [`BallExtractor::exact_key`]: fingerprints
+    /// `B(center, radius)` only if it has at most `max_nodes` nodes, and
+    /// returns `None` the moment the bounded BFS would admit node
+    /// `max_nodes + 1` — the dedup analogue of
+    /// [`BallExtractor::extract_within`].
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `center` is out of range.
+    pub fn exact_key_within(
+        &mut self,
+        graph: &Graph,
+        center: NodeId,
+        radius: usize,
+        max_nodes: usize,
+        label_word: impl FnMut(NodeId) -> u64,
+    ) -> Result<Option<Vec<u64>>> {
+        self.begin_bfs(graph, center)?;
+        if !self.advance_bfs(graph, center, radius, max_nodes) {
+            return Ok(None);
+        }
+        Ok(Some(self.current_exact_key(graph, label_word)))
+    }
+
+    /// The exact fingerprint (see [`BallExtractor::exact_key`]) of the BFS
+    /// currently in the scratch buffers, without re-running it.  Combined
+    /// with [`BallExtractor::extend_current`] this fingerprints one centre
+    /// at several radii for the cost of a single BFS.  `graph` must be the
+    /// graph of the last extraction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no extraction has run yet (or the last one was exhausted or
+    /// failed).
+    pub fn current_exact_key(
+        &self,
+        graph: &Graph,
+        mut label_word: impl FnMut(NodeId) -> u64,
+    ) -> Vec<u64> {
+        let (center, radius) = self
+            .current
+            .expect("current_exact_key requires a prior complete extraction");
         let n = self.members.len();
         let mut key = Vec::with_capacity(2 * n + 3);
         key.push(n as u64);
@@ -325,7 +509,7 @@ impl BallExtractor {
             // produce equal keys.
             key[from..].sort_unstable();
         }
-        Ok(key)
+        key
     }
 }
 
@@ -518,6 +702,109 @@ mod tests {
         assert!(extractor.exact_key(&g, NodeId(9), 1, |_| 0).is_err());
         // The previous ball must not be claimable for the failed call.
         extractor.materialize_current(&g);
+    }
+
+    #[test]
+    fn extend_current_matches_fresh_extraction_at_every_radius() {
+        let graphs = [
+            generators::cycle(12),
+            generators::grid(5, 5),
+            generators::star(6),
+            generators::path(9),
+            generators::complete(5),
+        ];
+        let mut incremental = BallExtractor::new();
+        let mut fresh = BallExtractor::new();
+        for g in &graphs {
+            for v in g.nodes() {
+                incremental.extract(g, v, 0).unwrap();
+                for radius in 0..4 {
+                    if radius > 0 {
+                        incremental.extend_current(g, radius);
+                    }
+                    let extended = incremental.materialize_current(g);
+                    let reference = fresh.extract(g, v, radius).unwrap();
+                    assert_eq!(extended, reference, "graph {g:?}, v {v}, radius {radius}");
+                    assert_eq!(
+                        incremental.current_exact_key(g, |u| u.index() as u64),
+                        fresh.current_exact_key(g, |u| u.index() as u64),
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn extract_within_admits_exact_fit_and_rejects_one_more() {
+        let g = generators::grid(5, 5);
+        let center = generators::grid_index(5, 2, 2);
+        // The radius-2 interior diamond has 13 nodes.
+        let mut extractor = BallExtractor::new();
+        let fit = extractor.extract_within(&g, center, 2, 13).unwrap();
+        assert_eq!(fit.unwrap().node_count(), 13);
+        let reject = extractor.extract_within(&g, center, 2, 12).unwrap();
+        assert!(reject.is_none());
+        // Exhaustion is deterministic and leaves the extractor reusable.
+        assert!(extractor
+            .extract_within(&g, center, 2, 12)
+            .unwrap()
+            .is_none());
+        let again = extractor.extract(&g, center, 2).unwrap();
+        assert_eq!(again, g.ball(center, 2));
+    }
+
+    #[test]
+    fn exact_key_within_agrees_with_exact_key_when_unexhausted() {
+        let g = generators::grid(4, 4);
+        let mut a = BallExtractor::new();
+        let mut b = BallExtractor::new();
+        for v in g.nodes() {
+            let unbudgeted = a.exact_key(&g, v, 2, |u| u.index() as u64).unwrap();
+            let budgeted = b
+                .exact_key_within(&g, v, 2, usize::MAX, |u| u.index() as u64)
+                .unwrap();
+            assert_eq!(budgeted.as_ref(), Some(&unbudgeted));
+            assert_eq!(b.current_node_count(), unbudgeted[0] as usize);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "requires a prior")]
+    fn exhausted_extraction_invalidates_extension() {
+        let g = generators::complete(6);
+        let mut extractor = BallExtractor::new();
+        assert!(extractor
+            .extract_within(&g, NodeId(0), 1, 3)
+            .unwrap()
+            .is_none());
+        extractor.extend_current(&g, 2);
+    }
+
+    #[test]
+    fn budgeted_extension_reports_exhaustion_at_the_larger_radius_only() {
+        let g = generators::cycle(20);
+        let mut extractor = BallExtractor::new();
+        extractor.extract(&g, NodeId(0), 1).unwrap();
+        // Radius-2 ball has 5 nodes: a cap of 5 fits, 4 does not.
+        assert!(extractor.extend_current_within(&g, 2, 5));
+        assert_eq!(extractor.current_node_count(), 5);
+        extractor.extract(&g, NodeId(0), 1).unwrap();
+        assert!(!extractor.extend_current_within(&g, 2, 4));
+    }
+
+    #[test]
+    fn saturated_extension_still_honours_the_cap() {
+        // In a 5-cycle the radius-2 ball is already the whole graph; an
+        // extension to radius 3 adds no nodes, but a cap below the ball
+        // size must reject it exactly as a fresh extraction would.
+        let g = generators::cycle(5);
+        let mut extractor = BallExtractor::new();
+        extractor.extract(&g, NodeId(0), 2).unwrap();
+        assert_eq!(extractor.current_node_count(), 5);
+        assert!(!extractor.extend_current_within(&g, 3, 4));
+        // With a fitting cap the saturated extension succeeds.
+        extractor.extract(&g, NodeId(0), 2).unwrap();
+        assert!(extractor.extend_current_within(&g, 3, 5));
     }
 
     #[test]

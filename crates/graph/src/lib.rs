@@ -10,7 +10,12 @@
 //! 1. building and inspecting graphs ([`Graph`], [`LabeledGraph`]),
 //! 2. extracting the radius-`t` ball `B(v, t)` around a node ([`Ball`],
 //!    [`Graph::ball`]) — this is the "view" a constant-time distributed
-//!    algorithm sees, and
+//!    algorithm sees.  Bulk consumers use a [`BallExtractor`], which
+//!    amortises scratch across extractions, *extends* a ball from radius
+//!    to radius without re-traversing
+//!    ([`BallExtractor::extend_current`]), and enforces node caps
+//!    mid-BFS ([`BallExtractor::extract_within`]) so radius-3 sweeps stay
+//!    inside explicit work budgets, and
 //! 3. comparing such views up to (label-preserving, centre-preserving)
 //!    isomorphism so that *indistinguishability* arguments can be executed
 //!    mechanically — exactly via the backtracking tests in [`iso`], and in

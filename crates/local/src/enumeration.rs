@@ -17,6 +17,13 @@
 //! confirm by backtracking isomorphism — is retained as
 //! [`distinct_oblivious_views_pairwise`], the differential-test oracle for
 //! the canonical-code engine (and the honest baseline in the benchmarks).
+//!
+//! Radius-3 workloads additionally get **work budgets**
+//! ([`EnumerationBudget`]) — deterministic node/view caps whose exhaustion
+//! is an explicit outcome ([`BudgetUsage`]), not a wall-time surprise — and
+//! an **incremental multi-radius profile**
+//! ([`distinct_views_by_radius_cached`]) that extends each node's BFS from
+//! radius to radius instead of re-running it.
 
 use crate::cache::ViewCache;
 use crate::hashing::{FxHashMap, FxHashSet};
@@ -27,6 +34,90 @@ use ld_graph::{BallExtractor, LabeledGraph};
 use std::collections::HashMap;
 use std::hash::Hash;
 use std::sync::Arc;
+
+/// A work budget for view enumeration: caps on the total number of ball
+/// nodes visited and on the number of distinct views materialised.
+///
+/// Radius-3 balls are where naive enumeration blows up combinatorially — a
+/// single dense centre can dominate a whole sweep cell.  Budgets make that
+/// failure mode an explicit, deterministic *outcome* ([`BudgetUsage`] with
+/// `exhausted = true`) instead of a wall-time surprise: enumeration stops
+/// the moment either cap would be crossed, at a point that depends only on
+/// the input graph and the budget, never on timing or thread count.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EnumerationBudget {
+    /// Total ball-node visits allowed across the enumeration (each ball
+    /// charges its node count at every radius it is fingerprinted at).
+    pub max_nodes: u64,
+    /// Distinct views the enumeration may materialise before stopping.
+    pub max_views: u64,
+}
+
+impl EnumerationBudget {
+    /// No caps: enumeration always runs to completion.
+    pub const UNLIMITED: EnumerationBudget = EnumerationBudget {
+        max_nodes: u64::MAX,
+        max_views: u64::MAX,
+    };
+
+    /// A budget with the given node cap and no view cap.
+    pub fn nodes(max_nodes: u64) -> Self {
+        EnumerationBudget {
+            max_nodes,
+            ..Self::UNLIMITED
+        }
+    }
+
+    /// A budget with the given view cap and no node cap.
+    pub fn views(max_views: u64) -> Self {
+        EnumerationBudget {
+            max_views,
+            ..Self::UNLIMITED
+        }
+    }
+
+    /// What is left of this budget after `spent` — the budget to hand the
+    /// next enumeration when one logical cell runs several (saturating at
+    /// zero, so an overdrawn budget exhausts immediately).
+    #[must_use]
+    pub fn after(&self, spent: &BudgetUsage) -> Self {
+        EnumerationBudget {
+            max_nodes: self.max_nodes.saturating_sub(spent.nodes_visited),
+            max_views: self.max_views.saturating_sub(spent.views_materialized),
+        }
+    }
+}
+
+impl Default for EnumerationBudget {
+    fn default() -> Self {
+        Self::UNLIMITED
+    }
+}
+
+/// What a budgeted enumeration spent, and whether it ran out.
+///
+/// `exhausted = true` means the returned views are a *prefix* of the full
+/// answer (complete for every node processed before the cap); the partial
+/// result is still deterministic for a fixed input and budget.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BudgetUsage {
+    /// Ball nodes visited (summed over every fingerprinted ball).
+    pub nodes_visited: u64,
+    /// Distinct views materialised.
+    pub views_materialized: u64,
+    /// `true` when a cap stopped the enumeration before completion.
+    pub exhausted: bool,
+}
+
+impl BudgetUsage {
+    /// Accumulates another enumeration's spend into this one (counters add;
+    /// exhaustion is sticky).
+    pub fn absorb(&mut self, other: &BudgetUsage) {
+        self.nodes_visited += other.nodes_visited;
+        self.views_materialized += other.views_materialized;
+        self.exhausted |= other.exhausted;
+    }
+}
 
 /// Collects the radius-`radius` view (with identifiers) of every node.
 pub fn collect_views<L: Clone>(input: &Input<L>, radius: usize) -> Vec<View<L>> {
@@ -99,31 +190,63 @@ pub fn distinct_oblivious_views_of<L: Clone + Eq + Hash>(
     distinct_of_impl(labeled, radius, |view| Arc::new(view.canonical_code()))
 }
 
+/// 64-bit hash of a node's label, the `label_word` every exact-key
+/// fingerprint in this module uses.
+fn label_hash<L: Hash>(labeled: &LabeledGraph<L>, v: ld_graph::NodeId) -> u64 {
+    use crate::hashing::FxHasher;
+    use std::hash::Hasher;
+    let mut hasher = FxHasher::default();
+    labeled.label(v).hash(&mut hasher);
+    hasher.finish()
+}
+
 /// Shared body of the `distinct_oblivious_views_of*` fast paths: in-place
 /// exact-layout dedup, then canonical-code dedup with a caller-chosen code
 /// source (direct computation or a shared cache).
 fn distinct_of_impl<L: Clone + Eq + Hash>(
     labeled: &LabeledGraph<L>,
     radius: usize,
-    mut code_of: impl FnMut(&ObliviousView<L>) -> Arc<CanonicalCode>,
+    code_of: impl FnMut(&ObliviousView<L>) -> Arc<CanonicalCode>,
 ) -> Vec<ObliviousView<L>> {
-    use crate::hashing::FxHasher;
-    use std::hash::Hasher;
-    let label_word = |labeled: &LabeledGraph<L>, v: ld_graph::NodeId| {
-        let mut hasher = FxHasher::default();
-        labeled.label(v).hash(&mut hasher);
-        hasher.finish()
-    };
+    distinct_of_budgeted_impl(labeled, radius, EnumerationBudget::UNLIMITED, code_of).0
+}
+
+/// Budgeted body shared by every `distinct_oblivious_views_of*` variant.
+/// With [`EnumerationBudget::UNLIMITED`] it is exactly the unbudgeted
+/// pipeline; otherwise it stops — deterministically — the moment a ball
+/// would cross the node cap or a new layout would cross the view cap.
+fn distinct_of_budgeted_impl<L: Clone + Eq + Hash>(
+    labeled: &LabeledGraph<L>,
+    radius: usize,
+    budget: EnumerationBudget,
+    mut code_of: impl FnMut(&ObliviousView<L>) -> Arc<CanonicalCode>,
+) -> (Vec<ObliviousView<L>>, BudgetUsage) {
     let mut extractor = BallExtractor::new();
     let mut exact_seen: FxHashSet<Vec<u64>> = FxHashSet::default();
     let mut codes: FxHashSet<Arc<CanonicalCode>> = FxHashSet::default();
     let mut result = Vec::new();
+    let mut usage = BudgetUsage::default();
     for v in labeled.graph().nodes() {
-        let key = extractor
-            .exact_key(labeled.graph(), v, radius, |u| label_word(labeled, u))
-            .expect("node comes from the graph itself");
+        let remaining = budget.max_nodes.saturating_sub(usage.nodes_visited);
+        if remaining == 0 {
+            usage.exhausted = true;
+            break;
+        }
+        let cap = usize::try_from(remaining).unwrap_or(usize::MAX);
+        let Some(key) = extractor
+            .exact_key_within(labeled.graph(), v, radius, cap, |u| label_hash(labeled, u))
+            .expect("node comes from the graph itself")
+        else {
+            usage.exhausted = true;
+            break;
+        };
+        usage.nodes_visited += extractor.current_node_count() as u64;
         if !exact_seen.insert(key) {
             continue;
+        }
+        if usage.views_materialized >= budget.max_views {
+            usage.exhausted = true;
+            break;
         }
         // New layout: materialise the ball from the BFS scratch `exact_key`
         // just populated — no second traversal.
@@ -134,11 +257,113 @@ fn distinct_of_impl<L: Clone + Eq + Hash>(
             .map(|&orig| labeled.label(orig).clone())
             .collect();
         let view = ObliviousView::from_ball(ball, labels);
+        usage.views_materialized += 1;
         if codes.insert(code_of(&view)) {
             result.push(view);
         }
     }
-    result
+    (result, usage)
+}
+
+/// Budget-aware [`distinct_oblivious_views_of`]: enumeration stops — with
+/// `exhausted = true` in the returned [`BudgetUsage`] — the moment a ball
+/// would cross the budget's node cap or a new layout would cross its view
+/// cap.  The stop point is a pure function of the input and the budget, so
+/// capped enumerations are as reproducible as complete ones; the returned
+/// views are the complete answer for every node processed before the cap.
+pub fn distinct_oblivious_views_of_budgeted<L: Clone + Eq + Hash>(
+    labeled: &LabeledGraph<L>,
+    radius: usize,
+    budget: EnumerationBudget,
+) -> (Vec<ObliviousView<L>>, BudgetUsage) {
+    distinct_of_budgeted_impl(labeled, radius, budget, |view| {
+        Arc::new(view.canonical_code())
+    })
+}
+
+/// [`distinct_oblivious_views_of_budgeted`], with canonical codes served
+/// from a shared [`ViewCache`].
+pub fn distinct_oblivious_views_of_budgeted_cached<L: Clone + Eq + Hash>(
+    labeled: &LabeledGraph<L>,
+    radius: usize,
+    cache: &ViewCache<L>,
+    budget: EnumerationBudget,
+) -> (Vec<ObliviousView<L>>, BudgetUsage) {
+    distinct_of_budgeted_impl(labeled, radius, budget, |view| cache.canonical_code(view))
+}
+
+/// The distinct oblivious views of a labelled graph at **every** radius
+/// `0..=max_radius`, in one incremental pass: each node's BFS is run once
+/// and *extended* from radius to radius ([`BallExtractor::extend_current`]),
+/// so the radius-3 profile costs one radius-3 extraction per node instead
+/// of four overlapping ones.  Entry `r` of the returned vector holds the
+/// distinct views at radius `r`.
+///
+/// The budget is shared across all radii (each ball charges its node count
+/// at every radius it is fingerprinted at); on exhaustion the per-radius
+/// results already gathered are returned with `exhausted = true`.
+pub fn distinct_views_by_radius_cached<L: Clone + Eq + Hash>(
+    labeled: &LabeledGraph<L>,
+    max_radius: usize,
+    cache: &ViewCache<L>,
+    budget: EnumerationBudget,
+) -> (Vec<Vec<ObliviousView<L>>>, BudgetUsage) {
+    let graph = labeled.graph();
+    let mut extractor = BallExtractor::new();
+    let mut exact_seen: Vec<FxHashSet<Vec<u64>>> = vec![FxHashSet::default(); max_radius + 1];
+    let mut codes: Vec<FxHashSet<Arc<CanonicalCode>>> = vec![FxHashSet::default(); max_radius + 1];
+    let mut results: Vec<Vec<ObliviousView<L>>> = vec![Vec::new(); max_radius + 1];
+    let mut usage = BudgetUsage::default();
+    'nodes: for v in graph.nodes() {
+        for radius in 0..=max_radius {
+            let remaining = budget.max_nodes.saturating_sub(usage.nodes_visited);
+            if remaining == 0 {
+                usage.exhausted = true;
+                break 'nodes;
+            }
+            let cap = usize::try_from(remaining).unwrap_or(usize::MAX);
+            let key = if radius == 0 {
+                match extractor
+                    .exact_key_within(graph, v, 0, cap, |u| label_hash(labeled, u))
+                    .expect("node comes from the graph itself")
+                {
+                    Some(key) => key,
+                    None => {
+                        usage.exhausted = true;
+                        break 'nodes;
+                    }
+                }
+            } else {
+                if !extractor.extend_current_within(graph, radius, cap) {
+                    usage.exhausted = true;
+                    break 'nodes;
+                }
+                extractor.current_exact_key(graph, |u| label_hash(labeled, u))
+            };
+            usage.nodes_visited += extractor.current_node_count() as u64;
+            if !exact_seen[radius].insert(key) {
+                // Seen layout at this radius — but keep extending: the same
+                // centre can still contribute new views at larger radii.
+                continue;
+            }
+            if usage.views_materialized >= budget.max_views {
+                usage.exhausted = true;
+                break 'nodes;
+            }
+            let ball = extractor.materialize_current(graph);
+            let labels = ball
+                .mapping()
+                .iter()
+                .map(|&orig| labeled.label(orig).clone())
+                .collect();
+            let view = ObliviousView::from_ball(ball, labels);
+            usage.views_materialized += 1;
+            if codes[radius].insert(cache.canonical_code(&view)) {
+                results[radius].push(view);
+            }
+        }
+    }
+    (results, usage)
 }
 
 /// [`distinct_oblivious_views`], with canonical codes served from a shared
@@ -350,6 +575,123 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn unlimited_budget_reproduces_the_unbudgeted_enumeration() {
+        for labeled in [
+            uniform_cycle(20),
+            LabeledGraph::uniform(generators::grid(5, 4), 0u8),
+            LabeledGraph::from_fn(generators::cycle(12), |v| (v.index() % 3) as u8),
+        ] {
+            for radius in 0..4 {
+                let plain = distinct_oblivious_views_of(&labeled, radius);
+                let (budgeted, usage) = distinct_oblivious_views_of_budgeted(
+                    &labeled,
+                    radius,
+                    EnumerationBudget::UNLIMITED,
+                );
+                assert_eq!(plain, budgeted, "radius {radius}");
+                assert!(!usage.exhausted);
+                assert!(usage.nodes_visited >= labeled.node_count() as u64);
+            }
+        }
+    }
+
+    #[test]
+    fn node_cap_exhaustion_is_deterministic_and_yields_a_prefix() {
+        let labeled = LabeledGraph::uniform(generators::grid(6, 6), 0u8);
+        let (full, full_usage) =
+            distinct_oblivious_views_of_budgeted(&labeled, 3, EnumerationBudget::UNLIMITED);
+        assert!(!full_usage.exhausted);
+        let tight = EnumerationBudget::nodes(full_usage.nodes_visited / 2);
+        let (capped_a, usage_a) = distinct_oblivious_views_of_budgeted(&labeled, 3, tight);
+        let (capped_b, usage_b) = distinct_oblivious_views_of_budgeted(&labeled, 3, tight);
+        assert!(usage_a.exhausted);
+        assert_eq!(usage_a, usage_b, "exhaustion point must be reproducible");
+        assert_eq!(capped_a, capped_b);
+        assert!(capped_a.len() <= full.len());
+        // The capped result is a prefix of the full result.
+        assert_eq!(capped_a[..], full[..capped_a.len()]);
+        // A budget of exactly what the full run spent completes it.
+        let (exact, exact_usage) = distinct_oblivious_views_of_budgeted(
+            &labeled,
+            3,
+            EnumerationBudget::nodes(full_usage.nodes_visited),
+        );
+        assert!(!exact_usage.exhausted);
+        assert_eq!(exact, full);
+    }
+
+    #[test]
+    fn view_cap_stops_materialisation() {
+        let path = LabeledGraph::uniform(generators::path(12), 0u8);
+        // A long path has 4 distinct radius-3 view classes but more exact
+        // ball layouts; cap materialisation at 2.
+        let (views, usage) =
+            distinct_oblivious_views_of_budgeted(&path, 3, EnumerationBudget::views(2));
+        assert!(usage.exhausted);
+        assert_eq!(usage.views_materialized, 2);
+        assert!(views.len() <= 2);
+        let cache = ViewCache::new();
+        let (cached_views, cached_usage) = distinct_oblivious_views_of_budgeted_cached(
+            &path,
+            3,
+            &cache,
+            EnumerationBudget::views(2),
+        );
+        assert_eq!(views, cached_views);
+        assert_eq!(usage, cached_usage);
+    }
+
+    #[test]
+    fn by_radius_profile_matches_per_radius_enumeration() {
+        let cache = ViewCache::new();
+        for labeled in [
+            uniform_cycle(20),
+            LabeledGraph::uniform(generators::path(12), 0u8),
+            LabeledGraph::uniform(generators::grid(5, 5), 0u8),
+            LabeledGraph::from_fn(generators::cycle(12), |v| (v.index() % 2) as u8),
+        ] {
+            let (profile, usage) =
+                distinct_views_by_radius_cached(&labeled, 3, &cache, EnumerationBudget::UNLIMITED);
+            assert!(!usage.exhausted);
+            assert_eq!(profile.len(), 4);
+            for (radius, views) in profile.iter().enumerate() {
+                let reference = distinct_oblivious_views_of(&labeled, radius);
+                assert_eq!(views, &reference, "radius {radius}");
+            }
+        }
+    }
+
+    #[test]
+    fn by_radius_profile_never_overshoots_the_node_cap() {
+        // Saturated balls gain no nodes at larger radii but still charge
+        // their size; the charge must stay within the cap (a cap of 67 on
+        // cycle(5), whose full profile costs 70, must exhaust).
+        let cache = ViewCache::new();
+        let labeled = uniform_cycle(5);
+        let (_, full) =
+            distinct_views_by_radius_cached(&labeled, 3, &cache, EnumerationBudget::UNLIMITED);
+        assert_eq!(full.nodes_visited, 70);
+        for cap in [67u64, 69, 14] {
+            let (_, usage) =
+                distinct_views_by_radius_cached(&labeled, 3, &cache, EnumerationBudget::nodes(cap));
+            assert!(usage.exhausted, "cap {cap}");
+            assert!(usage.nodes_visited <= cap, "cap {cap}: {usage:?}");
+        }
+    }
+
+    #[test]
+    fn by_radius_profile_exhausts_deterministically() {
+        let cache = ViewCache::new();
+        let labeled = LabeledGraph::uniform(generators::grid(6, 6), 0u8);
+        let budget = EnumerationBudget::nodes(200);
+        let (profile_a, usage_a) = distinct_views_by_radius_cached(&labeled, 3, &cache, budget);
+        let (profile_b, usage_b) = distinct_views_by_radius_cached(&labeled, 3, &cache, budget);
+        assert!(usage_a.exhausted);
+        assert_eq!(usage_a, usage_b);
+        assert_eq!(profile_a, profile_b);
     }
 
     #[test]

@@ -27,7 +27,10 @@
 //!   replaced by injected oracles (see `DESIGN.md` §2).
 //!
 //! The crate also provides the machinery the impossibility arguments need:
-//! enumeration of views up to isomorphism ([`enumeration`]), the generic
+//! enumeration of views up to isomorphism ([`enumeration`]) — including
+//! budget-aware variants whose node/view caps exhaust deterministically
+//! ([`EnumerationBudget`], [`BudgetUsage`]) and an incremental
+//! multi-radius profile for radius-3 workloads — the generic
 //! Id-oblivious simulation `A*` of the paper's introduction
 //! ([`simulation`]), a synchronous message-passing engine equivalent to the
 //! view semantics ([`engine`]), randomised `(p, q)`-deciders
@@ -84,6 +87,7 @@ pub use algorithm::{
 };
 pub use cache::{CacheStats, ViewCache};
 pub use decision::{Decision, DecisionOutcome};
+pub use enumeration::{BudgetUsage, EnumerationBudget};
 pub use error::LocalError;
 pub use ids::{IdAssignment, IdBound};
 pub use input::Input;

@@ -2,7 +2,8 @@
 //!
 //! ```text
 //! ldx list
-//! ldx run <scenario> [--max-n N] [--threads T] [--seed S]
+//! ldx run <scenario> [--max-n N] [--threads T] [--seed S] [--radius R]
+//!                    [--node-budget N] [--view-budget N]
 //!                    [--out FILE.json] [--csv FILE.csv] [--no-bench-json]
 //!                    [--deterministic]
 //! ```
@@ -12,8 +13,11 @@
 //! optional CSV, and a perf snapshot to `BENCH_runner.json` at the repo
 //! root.  With `--deterministic` the report omits every timing- and
 //! parallelism-dependent field, so two runs differing only in `--threads`
-//! must produce byte-identical files — CI diffs exactly that.  The process
-//! exits nonzero when any cell fails or panics.
+//! must produce byte-identical files — CI diffs exactly that.  `--radius`
+//! overrides the scenario's natural view radius; `--node-budget` /
+//! `--view-budget` cap each cell's enumeration work, with exhaustion
+//! reported as an explicit outcome (schema `ld-runner/report/v2`), not a
+//! failure.  The process exits nonzero when any cell fails or panics.
 
 use ld_runner::{executor, scenarios, RunReport, SweepConfig};
 use std::path::PathBuf;
@@ -21,7 +25,7 @@ use std::process::ExitCode;
 
 fn usage() -> String {
     let mut out = String::from(
-        "usage:\n  ldx list\n  ldx run <scenario> [--max-n N] [--threads T] [--seed S]\n                     [--out FILE.json] [--csv FILE.csv] [--no-bench-json]\n                     [--deterministic]\n\nscenarios:\n",
+        "usage:\n  ldx list\n  ldx run <scenario> [--max-n N] [--threads T] [--seed S] [--radius R]\n                     [--node-budget N] [--view-budget N]\n                     [--out FILE.json] [--csv FILE.csv] [--no-bench-json]\n                     [--deterministic]\n\nscenarios:\n",
     );
     for scenario in scenarios::all() {
         out.push_str(&format!(
@@ -82,6 +86,27 @@ fn parse_run_args(args: &[String]) -> Result<RunArgs, String> {
                     .parse()
                     .map_err(|e| format!("--seed: {e}"))?;
             }
+            "--radius" => {
+                run.config.radius = Some(
+                    value("--radius")?
+                        .parse()
+                        .map_err(|e| format!("--radius: {e}"))?,
+                );
+            }
+            "--node-budget" => {
+                run.config.node_budget = Some(
+                    value("--node-budget")?
+                        .parse()
+                        .map_err(|e| format!("--node-budget: {e}"))?,
+                );
+            }
+            "--view-budget" => {
+                run.config.view_budget = Some(
+                    value("--view-budget")?
+                        .parse()
+                        .map_err(|e| format!("--view-budget: {e}"))?,
+                );
+            }
             "--out" => run.out = Some(PathBuf::from(value("--out")?)),
             "--csv" => run.csv = Some(PathBuf::from(value("--csv")?)),
             "--no-bench-json" => run.bench_json = false,
@@ -109,10 +134,11 @@ fn print_summary(report: &RunReport) {
         report.total_wall
     );
     println!(
-        "  passed {}  failed {}  panicked {}",
+        "  passed {}  failed {}  panicked {}  budget-exhausted {}",
         report.passed(),
         report.failed(),
-        report.panicked()
+        report.panicked(),
+        report.exhausted()
     );
     println!(
         "  canonical-view cache: {} hits, {} misses, hit rate {:.1}%",

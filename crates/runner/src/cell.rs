@@ -6,6 +6,7 @@
 //! threads; everything a cell reports is a pure function of its spec and its
 //! seed, so reports are reproducible bit for bit.
 
+use ld_local::enumeration::BudgetUsage;
 use std::time::Duration;
 
 /// The declarative description of one parameter cell.
@@ -55,6 +56,11 @@ pub struct CellOutcome {
     pub pass: bool,
     /// Deterministic numeric outputs (counts, coverages, rates).
     pub metrics: Vec<(String, f64)>,
+    /// What the cell's enumeration work budget recorded, for cells that ran
+    /// under one (`None` for unbudgeted cells).  Exhaustion
+    /// (`budget.exhausted`) is an explicit outcome — the work was cut off
+    /// deterministically — distinct from both failure and panic.
+    pub budget: Option<BudgetUsage>,
 }
 
 impl CellOutcome {
@@ -64,6 +70,7 @@ impl CellOutcome {
             verdict: verdict.into(),
             pass,
             metrics: Vec::new(),
+            budget: None,
         }
     }
 
@@ -72,6 +79,18 @@ impl CellOutcome {
     pub fn with_metric(mut self, name: impl Into<String>, value: f64) -> Self {
         self.metrics.push((name.into(), value));
         self
+    }
+
+    /// Records what the cell's enumeration budget observed.
+    #[must_use]
+    pub fn with_budget(mut self, usage: BudgetUsage) -> Self {
+        self.budget = Some(usage);
+        self
+    }
+
+    /// `true` when the cell ran under a budget that was exhausted.
+    pub fn budget_exhausted(&self) -> bool {
+        self.budget.is_some_and(|b| b.exhausted)
     }
 
     /// The value of metric `name`, if present.
@@ -108,6 +127,11 @@ impl CellResult {
     pub fn panicked(&self) -> bool {
         self.outcome.is_err()
     }
+
+    /// `true` when the cell completed but its work budget was exhausted.
+    pub fn exhausted(&self) -> bool {
+        matches!(&self.outcome, Ok(outcome) if outcome.budget_exhausted())
+    }
 }
 
 #[cfg(test)]
@@ -132,6 +156,28 @@ mod tests {
             .with_metric("views", 3.0);
         assert_eq!(outcome.metric("views"), Some(3.0));
         assert_eq!(outcome.metric("none"), None);
+    }
+
+    #[test]
+    fn outcome_budget_status() {
+        let plain = CellOutcome::new("accept", true);
+        assert_eq!(plain.budget, None);
+        assert!(!plain.budget_exhausted());
+        let usage = BudgetUsage {
+            nodes_visited: 100,
+            views_materialized: 7,
+            exhausted: true,
+        };
+        let capped = CellOutcome::new("exhausted", true).with_budget(usage);
+        assert!(capped.budget_exhausted());
+        assert_eq!(capped.budget, Some(usage));
+        let result = CellResult {
+            spec: CellSpec::new("x", []),
+            seed: 1,
+            outcome: Ok(capped),
+            wall: Duration::ZERO,
+        };
+        assert!(result.exhausted() && result.passed());
     }
 
     #[test]

@@ -174,6 +174,7 @@ mod tests {
             max_n: 40,
             threads,
             seed: 99,
+            ..SweepConfig::default()
         }
     }
 
@@ -238,6 +239,7 @@ mod tests {
                 max_n: 3,
                 threads: 64,
                 seed: 5,
+                ..SweepConfig::default()
             },
         )
         .unwrap();

@@ -18,15 +18,24 @@
 //!   every oblivious decision and view enumeration the cells perform) — the
 //!   hot path of every indistinguishability harness, computed once per
 //!   structural class per sweep.
-//! * **Reporters** ([`report`]) — JSON and CSV run records plus the
-//!   `BENCH_runner.json` perf snapshot.
+//! * **Work budgets** — the Section 2 scenarios run their view-enumerating
+//!   cells under the sweep's [`SweepConfig::enumeration_budget`] (node/view
+//!   caps); exhaustion is a deterministic, explicitly reported *outcome*
+//!   ([`CellOutcome::budget`]), which is what lets the radius-3 scenario
+//!   (`section2-sweep-r3`) sweep `--max-n 128` safely.  Scenarios without a
+//!   budget knob ignore the caps, as `relationship-table` ignores `max_n`.
+//! * **Reporters** ([`report`]) — JSON and CSV run records (schema
+//!   `ld-runner/report/v2`) plus the `BENCH_runner.json` perf snapshot, and
+//!   a version-compatible reader ([`summary`]) that parses v2 and legacy v1
+//!   documents alike.
 //!
 //! The `ldx` binary (this crate's `src/bin/ldx.rs`) lists and runs
 //! scenarios by name:
 //!
 //! ```text
 //! ldx list
-//! ldx run section2-sweep --max-n 64 --threads 8
+//! ldx run section2-sweep --max-n 128 --threads 8
+//! ldx run section2-sweep-r3 --node-budget 200000 --deterministic
 //! ```
 //!
 //! # Example
@@ -34,7 +43,7 @@
 //! ```
 //! use ld_runner::{executor, scenarios, SweepConfig};
 //!
-//! let config = SweepConfig { max_n: 16, threads: 2, seed: 1 };
+//! let config = SweepConfig { max_n: 16, threads: 2, seed: 1, ..SweepConfig::default() };
 //! let report = executor::execute(&scenarios::PyramidSweep, &config).unwrap();
 //! assert_eq!(report.panicked(), 0);
 //! let json = report.to_json();
@@ -50,7 +59,9 @@ pub mod json;
 pub mod report;
 pub mod scenario;
 pub mod scenarios;
+pub mod summary;
 
 pub use cell::{CellOutcome, CellResult, CellSpec};
 pub use report::RunReport;
 pub use scenario::{Plan, PlannedCell, Scenario, SweepConfig};
+pub use summary::{CellSummary, ReportSummary};

@@ -15,6 +15,11 @@
 //! [`RunReport::bench_snapshot_json`] additionally distils a perf snapshot
 //! (`BENCH_runner.json` at the repo root) so the repo's performance
 //! trajectory is recorded alongside its correctness results.
+//!
+//! The current schema is `ld-runner/report/v2` (budgeted cells report their
+//! spend, the summary counts `exhausted` cells, and the config records
+//! radius and budgets).  [`crate::summary::ReportSummary`] reads both v2
+//! and legacy v1 documents back.
 
 use crate::cell::CellResult;
 use crate::json::Json;
@@ -75,6 +80,12 @@ impl RunReport {
         self.cells.iter().filter(|c| c.panicked()).count()
     }
 
+    /// Number of cells that completed but had their work budget exhausted
+    /// (an explicit outcome, counted separately from failures).
+    pub fn exhausted(&self) -> usize {
+        self.cells.iter().filter(|c| c.exhausted()).count()
+    }
+
     /// The cache hit rate over this run.
     pub fn cache_hit_rate(&self) -> f64 {
         self.cache.hit_rate()
@@ -111,6 +122,17 @@ impl RunReport {
                                 .collect(),
                         ),
                     );
+                // Budgeted cells report their spend and whether they were
+                // cut off; unbudgeted cells omit the key (schema v2).
+                if let Some(budget) = outcome.budget {
+                    obj = obj.set(
+                        "budget",
+                        Json::object()
+                            .set("exhausted", budget.exhausted)
+                            .set("nodes_visited", budget.nodes_visited)
+                            .set("views_materialized", budget.views_materialized),
+                    );
+                }
             }
             Err(message) => {
                 obj = obj.set("status", "panicked").set("error", message.as_str());
@@ -120,21 +142,35 @@ impl RunReport {
     }
 
     /// The deterministic document: identical across thread counts and
-    /// machines for a fixed (scenario, seed, max_n).
+    /// machines for a fixed (scenario, seed, max_n, radius, budgets).
+    ///
+    /// Schema `ld-runner/report/v2`; see `crates/runner/DESIGN.md` for the
+    /// v1 → v2 migration notes, and [`crate::summary::ReportSummary`] for a
+    /// reader that accepts both versions.
     fn deterministic_doc(&self) -> Json {
+        let optional_u64 = |v: Option<u64>| v.map_or(Json::Null, Json::U64);
         Json::object()
-            .set("schema", "ld-runner/report/v1")
+            .set("schema", "ld-runner/report/v2")
             .set("scenario", self.scenario.as_str())
             .set(
                 "config",
                 Json::object()
                     .set("max_n", self.config.max_n)
-                    .set("seed", self.config.seed),
+                    .set("seed", self.config.seed)
+                    .set(
+                        "radius",
+                        self.config
+                            .radius
+                            .map_or(Json::Null, |r| Json::U64(r as u64)),
+                    )
+                    .set("node_budget", optional_u64(self.config.node_budget))
+                    .set("view_budget", optional_u64(self.config.view_budget)),
             )
             .set("cell_count", self.cells.len())
             .set("passed", self.passed())
             .set("failed", self.failed())
             .set("panicked", self.panicked())
+            .set("exhausted", self.exhausted())
             .set(
                 "cells",
                 Json::Arr(self.cells.iter().map(Self::cell_json).collect()),
@@ -195,7 +231,7 @@ impl RunReport {
     }
 
     fn render_csv(&self, with_wall: bool) -> String {
-        let mut out = String::from("scenario,cell,seed,status,verdict,pass,params,metrics");
+        let mut out = String::from("scenario,cell,seed,status,verdict,pass,params,metrics,budget");
         if with_wall {
             out.push_str(",wall_micros");
         }
@@ -208,7 +244,7 @@ impl RunReport {
                 .map(|(k, v)| format!("{k}={v}"))
                 .collect::<Vec<_>>()
                 .join(";");
-            let (status, verdict, pass, metrics) = match &cell.outcome {
+            let (status, verdict, pass, metrics, budget) = match &cell.outcome {
                 Ok(outcome) => (
                     "completed",
                     outcome.verdict.clone(),
@@ -219,16 +255,23 @@ impl RunReport {
                         .map(|(k, v)| format!("{k}={v}"))
                         .collect::<Vec<_>>()
                         .join(";"),
+                    outcome.budget.map_or(String::new(), |b| {
+                        format!(
+                            "exhausted={};nodes_visited={};views_materialized={}",
+                            b.exhausted, b.nodes_visited, b.views_materialized
+                        )
+                    }),
                 ),
                 Err(message) => (
                     "panicked",
                     message.replace('\n', " "),
                     "false".to_string(),
                     String::new(),
+                    String::new(),
                 ),
             };
             out.push_str(&format!(
-                "{},{},{},{},{},{},{},{}",
+                "{},{},{},{},{},{},{},{},{}",
                 self.scenario,
                 csv_field(&cell.spec.id),
                 cell.seed,
@@ -237,6 +280,7 @@ impl RunReport {
                 pass,
                 csv_field(&params),
                 csv_field(&metrics),
+                csv_field(&budget),
             ));
             if with_wall {
                 out.push_str(&format!(",{}", cell.wall.as_micros()));
@@ -259,6 +303,7 @@ impl RunReport {
             .set("passed", self.passed())
             .set("failed", self.failed())
             .set("panicked", self.panicked())
+            .set("exhausted", self.exhausted())
             .set("total_wall_micros", self.total_wall.as_micros() as u64)
             .set(
                 "cells_per_second",
@@ -299,6 +344,7 @@ mod tests {
     use crate::cell::{CellOutcome, CellSpec};
 
     fn sample_report() -> RunReport {
+        use ld_local::enumeration::BudgetUsage;
         let cells = vec![
             CellResult {
                 spec: CellSpec::new("a/one", [("n", "8".to_string())]),
@@ -312,6 +358,18 @@ mod tests {
                 outcome: Err("boom, with comma".to_string()),
                 wall: Duration::from_micros(60),
             },
+            CellResult {
+                spec: CellSpec::new("a/three", [("n", "10".to_string())]),
+                seed: 13,
+                outcome: Ok(
+                    CellOutcome::new("exhausted", true).with_budget(BudgetUsage {
+                        nodes_visited: 512,
+                        views_materialized: 9,
+                        exhausted: true,
+                    }),
+                ),
+                wall: Duration::from_micros(70),
+            },
         ];
         RunReport::new(
             "sample",
@@ -319,6 +377,8 @@ mod tests {
                 max_n: 16,
                 threads: 4,
                 seed: 3,
+                node_budget: Some(512),
+                ..SweepConfig::default()
             },
             cells,
             Duration::from_millis(2),
@@ -334,11 +394,15 @@ mod tests {
     fn json_contains_cells_and_perf() {
         let report = sample_report();
         let json = report.to_json();
-        assert!(json.contains("\"schema\": \"ld-runner/report/v1\""));
+        assert!(json.contains("\"schema\": \"ld-runner/report/v2\""));
         assert!(json.contains("\"verdict\": \"accept\""));
         assert!(json.contains("\"status\": \"panicked\""));
         assert!(json.contains("\"hit_rate\": 0.75"));
         assert!(json.contains("\"threads\": 4"));
+        assert!(json.contains("\"node_budget\": 512"));
+        assert!(json.contains("\"view_budget\": null"));
+        assert!(json.contains("\"nodes_visited\": 512"));
+        assert!(json.contains("\"exhausted\": 1"));
     }
 
     #[test]
@@ -354,9 +418,10 @@ mod tests {
     #[test]
     fn counters() {
         let report = sample_report();
-        assert_eq!(report.passed(), 1);
+        assert_eq!(report.passed(), 2);
         assert_eq!(report.failed(), 0);
         assert_eq!(report.panicked(), 1);
+        assert_eq!(report.exhausted(), 1);
         assert_eq!(report.cache_hit_rate(), 0.75);
     }
 
@@ -365,10 +430,11 @@ mod tests {
         let report = sample_report();
         let csv = report.to_csv();
         let lines: Vec<&str> = csv.lines().collect();
-        assert_eq!(lines.len(), 3);
+        assert_eq!(lines.len(), 4);
         assert!(lines[0].starts_with("scenario,cell,seed"));
         assert!(lines[1].contains("views=2"));
         assert!(lines[2].contains("\"boom"));
+        assert!(lines[3].contains("exhausted=true;nodes_visited=512"));
     }
 
     #[test]
@@ -377,8 +443,8 @@ mod tests {
         let csv = report.deterministic_csv();
         assert!(!csv.contains("wall"));
         let lines: Vec<&str> = csv.lines().collect();
-        assert_eq!(lines.len(), 3);
-        assert!(lines[0].ends_with(",metrics"));
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].ends_with(",budget"));
         // Identical cells produce identical deterministic CSV regardless of
         // the wall times recorded.
         let mut other = sample_report();
@@ -393,7 +459,8 @@ mod tests {
     fn bench_snapshot_is_flat_and_complete() {
         let snapshot = sample_report().bench_snapshot_json();
         assert!(snapshot.contains("\"bench\": \"ldx-sweep\""));
-        assert!(snapshot.contains("\"cells\": 2"));
+        assert!(snapshot.contains("\"cells\": 3"));
+        assert!(snapshot.contains("\"exhausted\": 1"));
         assert!(snapshot.contains("\"cache_hit_rate\": 0.75"));
     }
 }

@@ -8,12 +8,13 @@
 
 use crate::cell::{CellOutcome, CellSpec};
 use ld_local::cache::{CacheStats, ViewCache};
+use ld_local::enumeration::EnumerationBudget;
 use std::hash::Hash;
 use std::sync::Arc;
 
 /// Configuration shared by every sweep: the instance-size budget, the
-/// parallelism level, and the master seed from which all per-cell seeds are
-/// derived.
+/// parallelism level, the master seed from which all per-cell seeds are
+/// derived, and the per-cell work budgets that keep radius-3 cells bounded.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SweepConfig {
     /// The scenario-interpreted size budget.  Sweeps over instance families
@@ -27,14 +28,44 @@ pub struct SweepConfig {
     /// Master seed; per-cell seeds are a pure function of it and the cell
     /// index.
     pub seed: u64,
+    /// Optional override of the scenario's natural view radius.  Scenarios
+    /// that sweep views interpret it through [`SweepConfig::radius_or`];
+    /// scenarios with no radius knob ignore it.
+    pub radius: Option<usize>,
+    /// Per-cell cap on ball-node visits during view enumeration (`None` =
+    /// unlimited).  Exhaustion is a deterministic, explicitly reported cell
+    /// outcome, not a failure — see `crates/runner/DESIGN.md`.
+    pub node_budget: Option<u64>,
+    /// Per-cell cap on materialised views (`None` = unlimited).
+    pub view_budget: Option<u64>,
 }
 
 impl Default for SweepConfig {
     fn default() -> Self {
         SweepConfig {
-            max_n: 64,
+            max_n: 128,
             threads: 1,
             seed: 0x1d_2013,
+            radius: None,
+            node_budget: None,
+            view_budget: None,
+        }
+    }
+}
+
+impl SweepConfig {
+    /// The sweep radius: the explicit `--radius` override when given, the
+    /// scenario's natural default otherwise.
+    pub fn radius_or(&self, default: usize) -> usize {
+        self.radius.unwrap_or(default)
+    }
+
+    /// The per-cell enumeration budget this configuration implies
+    /// (unlimited in every dimension left `None`).
+    pub fn enumeration_budget(&self) -> EnumerationBudget {
+        EnumerationBudget {
+            max_nodes: self.node_budget.unwrap_or(u64::MAX),
+            max_views: self.view_budget.unwrap_or(u64::MAX),
         }
     }
 }
@@ -168,7 +199,28 @@ mod tests {
     #[test]
     fn default_config_is_the_documented_one() {
         let config = SweepConfig::default();
-        assert_eq!(config.max_n, 64);
+        assert_eq!(config.max_n, 128);
         assert_eq!(config.threads, 1);
+        assert_eq!(config.radius, None);
+        assert_eq!(config.node_budget, None);
+        assert_eq!(config.view_budget, None);
+    }
+
+    #[test]
+    fn budget_and_radius_helpers() {
+        use ld_local::enumeration::EnumerationBudget;
+        let config = SweepConfig::default();
+        assert_eq!(config.radius_or(3), 3);
+        assert_eq!(config.enumeration_budget(), EnumerationBudget::UNLIMITED);
+        let capped = SweepConfig {
+            radius: Some(2),
+            node_budget: Some(1_000),
+            view_budget: Some(50),
+            ..SweepConfig::default()
+        };
+        assert_eq!(capped.radius_or(3), 2);
+        let budget = capped.enumeration_budget();
+        assert_eq!(budget.max_nodes, 1_000);
+        assert_eq!(budget.max_views, 50);
     }
 }

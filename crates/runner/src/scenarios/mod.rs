@@ -3,21 +3,116 @@
 mod pyramid;
 mod randomized;
 mod section2;
+mod section2_r3;
 mod section3;
 mod table;
 
 pub use pyramid::PyramidSweep;
 pub use randomized::RandomizedSweep;
 pub use section2::Section2Sweep;
+pub use section2_r3::Section2SweepR3;
 pub use section3::Section3Sweep;
 pub use table::RelationshipTable;
 
-use crate::scenario::Scenario;
+use crate::cell::{CellOutcome, CellSpec};
+use crate::scenario::{Plan, Scenario};
+use ld_constructions::section2::promise::{self, CycleParamLabel};
+use ld_graph::LabeledGraph;
+use ld_local::cache::ViewCache;
+use ld_local::enumeration::{
+    coverage_cached, distinct_oblivious_views_of_budgeted_cached, EnumerationBudget,
+};
+use ld_local::{BudgetUsage, IdBound};
+use std::hash::Hash;
+use std::sync::Arc;
+
+/// Enumerates two instances under one shared budget — skipping the second
+/// entirely once the first exhausts, so no capped work is thrown away — and
+/// measures their bidirectional view coverage.  `Err` carries the usage of
+/// an exhausted run; `Ok` is `(coverage of b in a, coverage of a in b,
+/// usage)`.  Shared by every scenario cell that compares two instances'
+/// views (promise-cycle pairs, path coverage).
+#[allow(clippy::type_complexity)]
+pub(crate) fn coverage_pair<L: Clone + Eq + Hash>(
+    a: &LabeledGraph<L>,
+    b: &LabeledGraph<L>,
+    radius: usize,
+    cache: &ViewCache<L>,
+    budget: EnumerationBudget,
+) -> Result<(f64, f64, BudgetUsage), BudgetUsage> {
+    let (a_views, mut usage) =
+        distinct_oblivious_views_of_budgeted_cached(a, radius, cache, budget);
+    if usage.exhausted {
+        return Err(usage);
+    }
+    let (b_views, spent) =
+        distinct_oblivious_views_of_budgeted_cached(b, radius, cache, budget.after(&usage));
+    usage.absorb(&spent);
+    if usage.exhausted {
+        return Err(usage);
+    }
+    let forward = coverage_cached(&b_views, &a_views, cache);
+    let backward = coverage_cached(&a_views, &b_views, cache);
+    Ok((forward, backward, usage))
+}
+
+/// Plans the promise-cycle *views* cell shared by `section2-sweep` and
+/// `section2-sweep-r3`: the yes-instance (`r`-cycle) and no-instance
+/// (`f(r)`-cycle) are indistinguishable at view radius `t` exactly when
+/// `r >= 2t + 2` — the radius-`t` ball of an `n`-cycle is a path (the view
+/// the long cycle shows) iff `n >= 2t + 2`; shorter cycles see themselves
+/// whole.
+pub(crate) fn promise_views_cell(
+    plan: &mut Plan,
+    cache: &Arc<ViewCache<CycleParamLabel>>,
+    budget: EnumerationBudget,
+    radius: usize,
+    r: u64,
+    bound: &IdBound,
+) {
+    let expect = if r >= 2 * radius as u64 + 2 {
+        "indistinguishable"
+    } else {
+        "distinguishable"
+    };
+    let spec = CellSpec::new(
+        format!("promise/r={r}/views/radius={radius}"),
+        [
+            ("family", "cycle".to_string()),
+            ("r", r.to_string()),
+            ("instance", "views".to_string()),
+            ("radius", radius.to_string()),
+            ("expect", expect.to_string()),
+        ],
+    );
+    let bound = bound.clone();
+    let cache = cache.clone();
+    plan.push(spec, move |_seed| {
+        let yes = promise::yes_instance(r).expect("promise cycles construct for swept r");
+        let no =
+            promise::no_instance(r, &bound, 1 << 20).expect("promise cycles construct for swept r");
+        let (forward, backward, usage) = match coverage_pair(&yes, &no, radius, &cache, budget) {
+            Ok(result) => result,
+            Err(usage) => return CellOutcome::new("exhausted", true).with_budget(usage),
+        };
+        let merged = forward == 1.0 && backward == 1.0;
+        let verdict = if merged {
+            "indistinguishable"
+        } else {
+            "distinguishable"
+        };
+        CellOutcome::new(verdict, verdict == expect)
+            .with_metric("coverage_no_in_yes", forward)
+            .with_metric("coverage_yes_in_no", backward)
+            .with_budget(usage)
+    });
+}
 
 /// Every built-in scenario, in `ldx list` order.
 pub fn all() -> Vec<Box<dyn Scenario>> {
     vec![
         Box::new(Section2Sweep),
+        Box::new(Section2SweepR3),
         Box::new(Section3Sweep),
         Box::new(PyramidSweep),
         Box::new(RandomizedSweep),
@@ -37,12 +132,13 @@ mod tests {
     #[test]
     fn registry_is_complete_and_unique() {
         let scenarios = all();
-        assert_eq!(scenarios.len(), 5);
+        assert_eq!(scenarios.len(), 6);
         let mut names: Vec<&str> = scenarios.iter().map(|s| s.name()).collect();
         names.sort_unstable();
         names.dedup();
-        assert_eq!(names.len(), 5);
+        assert_eq!(names.len(), 6);
         assert!(find("section2-sweep").is_some());
+        assert!(find("section2-sweep-r3").is_some());
         assert!(find("no-such-scenario").is_none());
     }
 

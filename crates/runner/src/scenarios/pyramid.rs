@@ -101,6 +101,7 @@ mod tests {
             max_n: 100,
             threads: 2,
             seed: 4,
+            ..SweepConfig::default()
         };
         let report = executor::execute(&PyramidSweep, &config).unwrap();
         assert!(report.cells.len() >= 8, "{} cells", report.cells.len());

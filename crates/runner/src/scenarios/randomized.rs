@@ -120,6 +120,7 @@ mod tests {
             max_n: 32,
             threads: 2,
             seed: 2026,
+            ..SweepConfig::default()
         };
         let report = executor::execute(&RandomizedSweep, &config).unwrap();
         assert!(report.cells.len() >= 4);
@@ -143,6 +144,7 @@ mod tests {
             max_n: 16,
             threads: 1,
             seed: 7,
+            ..SweepConfig::default()
         };
         let a = executor::execute(&RandomizedSweep, &config).unwrap();
         let b = executor::execute(&RandomizedSweep, &config).unwrap();

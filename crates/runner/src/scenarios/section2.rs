@@ -14,7 +14,9 @@ use ld_constructions::section2::promise::{self, CycleParamLabel};
 use ld_constructions::section2::{Coord, Section2Label, Section2Params};
 use ld_deciders::section2::{IdBasedDecider, PromiseIdDecider, StructureVerifier};
 use ld_local::cache::ViewCache;
-use ld_local::enumeration::{coverage_cached, distinct_oblivious_views_of_cached};
+use ld_local::enumeration::{
+    coverage_cached, distinct_oblivious_views_of_budgeted_cached, EnumerationBudget,
+};
 use ld_local::{decision, IdAssignment, IdBound, Input};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -52,6 +54,7 @@ fn tree_cell(
     plan: &mut Plan,
     params: &Section2Params,
     cache: &Arc<ViewCache<Section2Label>>,
+    budget: EnumerationBudget,
     instance_kind: &str,
     root: Option<Coord>,
     regime: &'static str,
@@ -96,10 +99,19 @@ fn tree_cell(
             other => panic!("unknown algorithm {other}"),
         };
         let verdict = if accepted { "accept" } else { "reject" };
-        let views = distinct_oblivious_views_of_cached(input.labeled(), 1, &cache).len();
-        CellOutcome::new(verdict, verdict == expect)
-            .with_metric("nodes", n as f64)
-            .with_metric("distinct_views_r1", views as f64)
+        let (views, usage) =
+            distinct_oblivious_views_of_budgeted_cached(input.labeled(), 1, &cache, budget);
+        // The decider's verdict is complete whatever the budget did, so the
+        // pass judgement always stands; only the view-count metric depends
+        // on the budgeted enumeration and is omitted when truncated (the
+        // attached usage still records the exhaustion).
+        let outcome = CellOutcome::new(verdict, verdict == expect).with_metric("nodes", n as f64);
+        if usage.exhausted {
+            return outcome.with_budget(usage);
+        }
+        outcome
+            .with_metric("distinct_views_r1", views.len() as f64)
+            .with_budget(usage)
     });
 }
 
@@ -107,6 +119,7 @@ fn coverage_cell(
     plan: &mut Plan,
     params: &Section2Params,
     cache: &Arc<ViewCache<Section2Label>>,
+    budget: EnumerationBudget,
     radius: usize,
 ) {
     let r = params.r();
@@ -126,13 +139,29 @@ fn coverage_cell(
         let large = params
             .large_instance()
             .expect("swept parameters construct valid instances");
-        let large_views = distinct_oblivious_views_of_cached(&large, radius, &cache);
+        let (large_views, mut usage) =
+            distinct_oblivious_views_of_budgeted_cached(&large, radius, &cache, budget);
         let mut small_views = Vec::new();
         for small in params
             .sample_small_instances(MAX_ROOTS)
             .expect("swept parameters construct valid instances")
         {
-            small_views.extend(distinct_oblivious_views_of_cached(&small, radius, &cache));
+            if usage.exhausted {
+                break;
+            }
+            let (views, spent) = distinct_oblivious_views_of_budgeted_cached(
+                &small,
+                radius,
+                &cache,
+                budget.after(&usage),
+            );
+            usage.absorb(&spent);
+            small_views.extend(views);
+        }
+        if usage.exhausted {
+            // An exhausted budget is an explicit outcome: the coverage
+            // measurement is incomplete, so no pass/fail claim is made.
+            return CellOutcome::new("exhausted", true).with_budget(usage);
         }
         let covered = coverage_cached(&large_views, &small_views, &cache);
         CellOutcome::new(
@@ -145,12 +174,15 @@ fn coverage_cell(
         )
         .with_metric("coverage", covered)
         .with_metric("large_views", large_views.len() as f64)
+        .with_budget(usage)
     });
 }
 
 fn promise_cells(
     plan: &mut Plan,
     cache: &Arc<ViewCache<CycleParamLabel>>,
+    budget: EnumerationBudget,
+    radius: usize,
     r: u64,
     bound: &IdBound,
 ) {
@@ -183,44 +215,9 @@ fn promise_cells(
         });
     }
 
-    let radius = 2usize;
     // The radius-t ball of an n-cycle is a path (the same view the long
     // cycle shows) exactly when n >= 2t + 2; shorter cycles see themselves.
-    let expect = if r >= 2 * radius as u64 + 2 {
-        "indistinguishable"
-    } else {
-        "distinguishable"
-    };
-    let spec = CellSpec::new(
-        format!("promise/r={r}/views/radius={radius}"),
-        [
-            ("family", "cycle".to_string()),
-            ("r", r.to_string()),
-            ("instance", "views".to_string()),
-            ("radius", radius.to_string()),
-            ("expect", expect.to_string()),
-        ],
-    );
-    let bound = bound.clone();
-    let cache = cache.clone();
-    plan.push(spec, move |_seed| {
-        let yes = promise::yes_instance(r).expect("promise cycles construct for swept r");
-        let no =
-            promise::no_instance(r, &bound, 1 << 20).expect("promise cycles construct for swept r");
-        let yes_views = distinct_oblivious_views_of_cached(&yes, radius, &cache);
-        let no_views = distinct_oblivious_views_of_cached(&no, radius, &cache);
-        let forward = coverage_cached(&no_views, &yes_views, &cache);
-        let backward = coverage_cached(&yes_views, &no_views, &cache);
-        let merged = forward == 1.0 && backward == 1.0;
-        let verdict = if merged {
-            "indistinguishable"
-        } else {
-            "distinguishable"
-        };
-        CellOutcome::new(verdict, verdict == expect)
-            .with_metric("coverage_no_in_yes", forward)
-            .with_metric("coverage_yes_in_no", backward)
-    });
+    super::promise_views_cell(plan, cache, budget, radius, r, bound);
 }
 
 impl Scenario for Section2Sweep {
@@ -236,6 +233,7 @@ impl Scenario for Section2Sweep {
         let mut plan = Plan::new();
         let tree_cache = plan.share_cache::<Section2Label>();
         let promise_cache = plan.share_cache::<CycleParamLabel>();
+        let budget = config.enumeration_budget();
 
         let params = Section2Params::new(1, IdBound::identity_plus(2))
             .map_err(|e| format!("section 2 parameters: {e}"))?;
@@ -254,6 +252,7 @@ impl Scenario for Section2Sweep {
                         &mut plan,
                         &params,
                         &tree_cache,
+                        budget,
                         "small",
                         Some(root),
                         regime,
@@ -271,6 +270,7 @@ impl Scenario for Section2Sweep {
                         &mut plan,
                         &params,
                         &tree_cache,
+                        budget,
                         "small",
                         Some(root),
                         regime,
@@ -289,6 +289,7 @@ impl Scenario for Section2Sweep {
                     &mut plan,
                     &params,
                     &tree_cache,
+                    budget,
                     "large",
                     None,
                     regime,
@@ -301,6 +302,7 @@ impl Scenario for Section2Sweep {
                     &mut plan,
                     &params,
                     &tree_cache,
+                    budget,
                     "large",
                     None,
                     regime,
@@ -308,17 +310,21 @@ impl Scenario for Section2Sweep {
                     "reject",
                 );
             }
-            for radius in [0usize, 1] {
-                coverage_cell(&mut plan, &params, &tree_cache, radius);
+            // Figure-1 coverage at every radius up to the sweep radius
+            // (default 1; `--radius` raises it — radius 3 is where the
+            // budgeted radius-3 machinery earns its keep).
+            for radius in 0..=config.radius_or(1) {
+                coverage_cell(&mut plan, &params, &tree_cache, budget, radius);
             }
         }
 
         // Promise cycles: the no-instance is the f(r) = 3r cycle, so the
         // pair fits the budget exactly when 3r <= max_n.
         let bound = IdBound::linear(3, 0);
+        let view_radius = config.radius_or(2);
         let max_r = (config.max_n as u64) / 3;
         for r in 3..=max_r {
-            promise_cells(&mut plan, &promise_cache, r, &bound);
+            promise_cells(&mut plan, &promise_cache, budget, view_radius, r, &bound);
         }
 
         if plan.cells.is_empty() {
@@ -350,6 +356,7 @@ mod tests {
             max_n: 30,
             threads: 1,
             seed: 41,
+            ..SweepConfig::default()
         };
         let report = executor::execute(&Section2Sweep, &config).unwrap();
         assert_eq!(report.panicked(), 0);
@@ -373,6 +380,7 @@ mod tests {
             max_n: 3,
             threads: 1,
             seed: 1,
+            ..SweepConfig::default()
         };
         let err = match Section2Sweep.plan(&config) {
             Err(message) => message,

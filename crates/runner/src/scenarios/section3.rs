@@ -143,6 +143,7 @@ mod tests {
             max_n: 24,
             threads: 2,
             seed: 9,
+            ..SweepConfig::default()
         };
         let report = executor::execute(&Section3Sweep, &config).unwrap();
         assert!(report.cells.len() >= 5);

@@ -9,6 +9,7 @@ fn config(threads: usize) -> SweepConfig {
         max_n: 48,
         threads,
         seed: 0xdecade,
+        ..SweepConfig::default()
     }
 }
 
@@ -51,6 +52,7 @@ fn every_builtin_scenario_is_parallel_deterministic() {
             max_n: 24,
             threads: 1,
             seed: 5,
+            ..SweepConfig::default()
         };
         let sequential = executor::execute(scenario.as_ref(), &small).unwrap();
         let parallel = executor::execute(
