@@ -86,6 +86,32 @@ impl EnumerationBudget {
             max_views: self.max_views.saturating_sub(spent.views_materialized),
         }
     }
+
+    /// A generous deterministic default budget for a sweep cell over
+    /// instances of at most `max_n` nodes at view radius `radius` — the
+    /// safety net the large-N ("XL") scenarios run every cell under when no
+    /// explicit budget was configured.
+    ///
+    /// The node allowance is `max_n` balls of at most `(2·radius + 1)²`
+    /// nodes each (the radius-`radius` ball bound in every grid-or-sparser
+    /// family the paper sweeps), charged across up to `8·(radius + 1)`
+    /// enumeration passes (multi-instance coverage cells, incremental
+    /// profiles and their differential re-checks); the view allowance is 16
+    /// distinct views per node.  Both are an order of magnitude above what
+    /// the swept families actually spend, so exhaustion under this budget
+    /// means a cell is genuinely pathological — it stops deterministically
+    /// instead of stalling the shard.
+    pub fn scaled(max_n: usize, radius: usize) -> Self {
+        let ball = ((2 * radius + 1) * (2 * radius + 1)) as u64;
+        let passes = 8 * (radius as u64 + 1);
+        EnumerationBudget {
+            max_nodes: (max_n as u64)
+                .saturating_mul(ball)
+                .saturating_mul(passes)
+                .max(1 << 16),
+            max_views: (max_n as u64).saturating_mul(16).max(1 << 12),
+        }
+    }
 }
 
 impl Default for EnumerationBudget {
@@ -575,6 +601,22 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn scaled_budget_is_generous_and_monotone() {
+        let small = EnumerationBudget::scaled(8, 1);
+        // Floors keep tiny sweeps from being budget-bound at all.
+        assert_eq!(small.max_nodes, 1 << 16);
+        assert_eq!(small.max_views, 1 << 12);
+        let xl = EnumerationBudget::scaled(512, 3);
+        assert!(xl.max_nodes >= 512 * 49 * 8);
+        assert!(xl.max_views >= 512 * 16);
+        // Monotone in both knobs, and saturating rather than overflowing.
+        assert!(xl.max_nodes > EnumerationBudget::scaled(256, 3).max_nodes);
+        assert!(xl.max_nodes > EnumerationBudget::scaled(512, 2).max_nodes);
+        let huge = EnumerationBudget::scaled(usize::MAX, 3);
+        assert_eq!(huge.max_nodes, u64::MAX);
     }
 
     #[test]

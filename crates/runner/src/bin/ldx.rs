@@ -1,31 +1,38 @@
-//! `ldx` — list and run experiment sweeps by name.
+//! `ldx` — list, run, resume and diff experiment sweeps.
 //!
 //! ```text
 //! ldx list
 //! ldx run <scenario> [--max-n N] [--threads T] [--seed S] [--radius R]
-//!                    [--node-budget N] [--view-budget N]
+//!                    [--node-budget N] [--view-budget N] [--shard-size N]
 //!                    [--out FILE.json] [--csv FILE.csv] [--no-bench-json]
-//!                    [--deterministic]
+//!                    [--deterministic] [--max-shards N]
+//! ldx resume <report.json> [--threads T] [--no-bench-json] [--max-shards N]
+//! ldx diff <a.json> <b.json>
 //! ```
 //!
-//! `run` executes the named scenario, prints a summary, and writes the full
-//! JSON report (default `ldx-<scenario>.json` in the working directory), an
-//! optional CSV, and a perf snapshot to `BENCH_runner.json` at the repo
-//! root.  With `--deterministic` the report omits every timing- and
-//! parallelism-dependent field, so two runs differing only in `--threads`
-//! must produce byte-identical files — CI diffs exactly that.  `--radius`
-//! overrides the scenario's natural view radius; `--node-budget` /
-//! `--view-budget` cap each cell's enumeration work, with exhaustion
-//! reported as an explicit outcome (schema `ld-runner/report/v2`), not a
-//! failure.  The process exits nonzero when any cell fails or panics.
+//! `run` executes the named scenario through the **streaming sharded
+//! pipeline**: cells are executed shard by shard and appended to the JSON
+//! report (schema `ld-runner/report/v3`) as they complete, so peak memory
+//! is bounded by the shard window, not the sweep — and a checkpoint
+//! sidecar (`<report>.ckpt`) records every flushed shard.  A killed run
+//! therefore loses at most one shard of work: `resume` verifies the
+//! report prefix against the checkpoint digest and continues, producing a
+//! file byte-identical to an uninterrupted run.  With `--deterministic`
+//! the report omits every timing- and parallelism-dependent field, so runs
+//! differing only in `--threads` (or in where they were killed) must
+//! produce byte-identical files — CI diffs exactly that.  `diff` compares
+//! any two persisted reports (any schema version: v1, v2 or v3) cell by
+//! cell.  The process exits nonzero when any cell fails or panics, and
+//! after an incomplete (`--max-shards`-limited) run.
 
-use ld_runner::{executor, scenarios, RunReport, SweepConfig};
+use ld_runner::stream::{self, StreamOptions, StreamSummary};
+use ld_runner::{scenarios, ReportSummary, SweepConfig};
 use std::path::PathBuf;
 use std::process::ExitCode;
 
 fn usage() -> String {
     let mut out = String::from(
-        "usage:\n  ldx list\n  ldx run <scenario> [--max-n N] [--threads T] [--seed S] [--radius R]\n                     [--node-budget N] [--view-budget N]\n                     [--out FILE.json] [--csv FILE.csv] [--no-bench-json]\n                     [--deterministic]\n\nscenarios:\n",
+        "usage:\n  ldx list\n  ldx run <scenario> [--max-n N] [--threads T] [--seed S] [--radius R]\n                     [--node-budget N] [--view-budget N] [--shard-size N]\n                     [--out FILE.json] [--csv FILE.csv] [--no-bench-json]\n                     [--deterministic] [--max-shards N]\n  ldx resume <report.json> [--threads T] [--no-bench-json] [--max-shards N]\n  ldx diff <a.json> <b.json>\n\nscenarios:\n",
     );
     for scenario in scenarios::all() {
         out.push_str(&format!(
@@ -44,6 +51,7 @@ struct RunArgs {
     csv: Option<PathBuf>,
     bench_json: bool,
     deterministic: bool,
+    max_shards: Option<usize>,
 }
 
 fn parse_run_args(args: &[String]) -> Result<RunArgs, String> {
@@ -59,6 +67,7 @@ fn parse_run_args(args: &[String]) -> Result<RunArgs, String> {
         csv: None,
         bench_json: true,
         deterministic: false,
+        max_shards: None,
     };
     while let Some(flag) = iter.next() {
         let mut value = |name: &str| {
@@ -107,6 +116,18 @@ fn parse_run_args(args: &[String]) -> Result<RunArgs, String> {
                         .map_err(|e| format!("--view-budget: {e}"))?,
                 );
             }
+            "--shard-size" => {
+                run.config.shard_size = value("--shard-size")?
+                    .parse()
+                    .map_err(|e| format!("--shard-size: {e}"))?;
+            }
+            "--max-shards" => {
+                run.max_shards = Some(
+                    value("--max-shards")?
+                        .parse()
+                        .map_err(|e| format!("--max-shards: {e}"))?,
+                );
+            }
             "--out" => run.out = Some(PathBuf::from(value("--out")?)),
             "--csv" => run.csv = Some(PathBuf::from(value("--csv")?)),
             "--no-bench-json" => run.bench_json = false,
@@ -114,6 +135,7 @@ fn parse_run_args(args: &[String]) -> Result<RunArgs, String> {
             other => return Err(format!("unknown flag {other}")),
         }
     }
+    run.config.validate().map_err(|e| e.to_string())?;
     Ok(run)
 }
 
@@ -125,93 +147,245 @@ fn repo_root() -> PathBuf {
         .join("..")
 }
 
-fn print_summary(report: &RunReport) {
+fn print_summary(summary: &StreamSummary) {
     println!(
-        "{}: {} cells on {} thread(s) in {:.2?}",
-        report.scenario,
-        report.cells.len(),
-        report.config.threads,
-        report.total_wall
+        "{}: {} cells in {} shard(s) on {} thread(s) in {:.2?}{}",
+        summary.scenario,
+        summary.cell_count,
+        summary.shard_count,
+        summary.config.threads,
+        summary.total_wall,
+        if summary.cells_run < summary.cell_count && summary.completed {
+            format!(
+                " ({} restored from checkpoint)",
+                summary.cell_count - summary.cells_run
+            )
+        } else {
+            String::new()
+        }
     );
     println!(
         "  passed {}  failed {}  panicked {}  budget-exhausted {}",
-        report.passed(),
-        report.failed(),
-        report.panicked(),
-        report.exhausted()
+        summary.passed, summary.failed, summary.panicked, summary.exhausted
     );
     println!(
         "  canonical-view cache: {} hits, {} misses, hit rate {:.1}%",
-        report.cache.hits,
-        report.cache.misses,
-        100.0 * report.cache_hit_rate()
+        summary.cache.hits,
+        summary.cache.misses,
+        100.0 * summary.cache.hit_rate()
     );
-    for cell in report.cells.iter().filter(|c| !c.passed()) {
-        match &cell.outcome {
-            Ok(outcome) => println!("  FAIL {} -> {}", cell.spec.id, outcome.verdict),
-            Err(message) => println!("  PANIC {} -> {}", cell.spec.id, message),
-        }
+    for (id, what) in &summary.failures {
+        println!("  FAIL {id} -> {what}");
     }
+    if !summary.completed {
+        println!(
+            "  INTERRUPTED after {}/{} shards — continue with `ldx resume`",
+            summary.shards_written, summary.shard_count
+        );
+    }
+}
+
+fn write_bench_snapshot(summary: &StreamSummary) {
+    // The snapshot is best-effort: the repo root is baked in at compile
+    // time, so a relocated binary must not fail an otherwise green run.
+    let bench = repo_root().join("BENCH_runner.json");
+    match std::fs::write(&bench, summary.bench_snapshot_json()) {
+        Ok(()) => println!("  perf snapshot: {}", bench.display()),
+        Err(e) => eprintln!("ldx: skipping perf snapshot {}: {e}", bench.display()),
+    }
+}
+
+fn finish(summary: &StreamSummary, bench_json: bool) -> bool {
+    if bench_json && summary.completed {
+        write_bench_snapshot(summary);
+    }
+    summary.completed && summary.failed == 0 && summary.panicked == 0
 }
 
 fn cmd_run(args: &[String]) -> Result<bool, String> {
     let run = parse_run_args(args)?;
     let scenario = scenarios::find(&run.scenario)
         .ok_or_else(|| format!("unknown scenario '{}'\n\n{}", run.scenario, usage()))?;
-    let report = executor::execute(scenario.as_ref(), &run.config)?;
-    print_summary(&report);
-
     let out = run
         .out
-        .unwrap_or_else(|| PathBuf::from(format!("ldx-{}.json", report.scenario)));
-    let rendered = if run.deterministic {
-        report.deterministic_json()
-    } else {
-        report.to_json()
+        .unwrap_or_else(|| PathBuf::from(format!("ldx-{}.json", scenario.name())));
+    let opts = StreamOptions {
+        deterministic: run.deterministic,
+        max_shards: run.max_shards,
+        csv: run.csv.clone(),
     };
-    RunReport::write(&out, &rendered).map_err(|e| format!("writing {}: {e}", out.display()))?;
+    let summary = stream::run(scenario.as_ref(), &run.config, &out, &opts)?;
+    print_summary(&summary);
     println!("  report: {}", out.display());
-
-    if let Some(csv) = run.csv {
-        let rendered = if run.deterministic {
-            report.deterministic_csv()
-        } else {
-            report.to_csv()
-        };
-        RunReport::write(&csv, &rendered).map_err(|e| format!("writing {}: {e}", csv.display()))?;
+    if let Some(csv) = &run.csv {
         println!("  csv: {}", csv.display());
     }
+    Ok(finish(&summary, run.bench_json))
+}
 
-    if run.bench_json {
-        // The snapshot is best-effort: the repo root is baked in at compile
-        // time, so a relocated binary must not fail an otherwise green run.
-        let bench = repo_root().join("BENCH_runner.json");
-        match RunReport::write(&bench, &report.bench_snapshot_json()) {
-            Ok(()) => println!("  perf snapshot: {}", bench.display()),
-            Err(e) => eprintln!("ldx: skipping perf snapshot {}: {e}", bench.display()),
+fn cmd_resume(args: &[String]) -> Result<bool, String> {
+    let mut iter = args.iter();
+    let report = PathBuf::from(
+        iter.next()
+            .ok_or_else(|| "resume: missing report path".to_string())?,
+    );
+    let mut threads = None;
+    let mut bench_json = true;
+    let mut max_shards = None;
+    while let Some(flag) = iter.next() {
+        let mut value = |name: &str| {
+            iter.next()
+                .map(String::as_str)
+                .ok_or_else(|| format!("{name} expects a value"))
+                .map(str::to_string)
+        };
+        match flag.as_str() {
+            "--threads" => {
+                let t: usize = value("--threads")?
+                    .parse()
+                    .map_err(|e| format!("--threads: {e}"))?;
+                if t == 0 {
+                    return Err("--threads must be at least 1".to_string());
+                }
+                threads = Some(t);
+            }
+            "--max-shards" => {
+                max_shards = Some(
+                    value("--max-shards")?
+                        .parse()
+                        .map_err(|e| format!("--max-shards: {e}"))?,
+                );
+            }
+            "--no-bench-json" => bench_json = false,
+            other => return Err(format!("unknown flag {other}")),
         }
     }
+    let summary = stream::resume(&report, threads, max_shards)?;
+    print_summary(&summary);
+    println!("  report: {}", report.display());
+    Ok(finish(&summary, bench_json))
+}
 
-    Ok(report.failed() == 0 && report.panicked() == 0)
+/// Compares two persisted reports (any schema version) and prints what
+/// differs.  Returns `true` when they are equivalent.
+fn cmd_diff(args: &[String]) -> Result<bool, String> {
+    let [a_path, b_path] = args else {
+        return Err("diff: expected exactly two report paths".to_string());
+    };
+    let read = |path: &String| -> Result<ReportSummary, String> {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+        ReportSummary::from_json(&text).map_err(|e| format!("parsing {path}: {e}"))
+    };
+    let a = read(a_path)?;
+    let b = read(b_path)?;
+    let mut differences: Vec<String> = Vec::new();
+    let mut field = |name: &str, left: String, right: String| {
+        if left != right {
+            differences.push(format!("{name}: {left} != {right}"));
+        }
+    };
+    field("scenario", a.scenario.clone(), b.scenario.clone());
+    field("max_n", a.max_n.to_string(), b.max_n.to_string());
+    field("seed", a.seed.to_string(), b.seed.to_string());
+    field(
+        "radius",
+        format!("{:?}", a.radius),
+        format!("{:?}", b.radius),
+    );
+    field(
+        "node_budget",
+        format!("{:?}", a.node_budget),
+        format!("{:?}", b.node_budget),
+    );
+    field(
+        "view_budget",
+        format!("{:?}", a.view_budget),
+        format!("{:?}", b.view_budget),
+    );
+    field(
+        "cell_count",
+        a.cell_count.to_string(),
+        b.cell_count.to_string(),
+    );
+    field("passed", a.passed.to_string(), b.passed.to_string());
+    field("failed", a.failed.to_string(), b.failed.to_string());
+    field("panicked", a.panicked.to_string(), b.panicked.to_string());
+    field(
+        "exhausted",
+        a.exhausted.to_string(),
+        b.exhausted.to_string(),
+    );
+    if a.cells.len() != b.cells.len() {
+        differences.push(format!(
+            "cells array length: {} != {}",
+            a.cells.len(),
+            b.cells.len()
+        ));
+    }
+    const SHOWN: usize = 10;
+    let mut cell_differences = 0usize;
+    for (i, (ca, cb)) in a.cells.iter().zip(&b.cells).enumerate() {
+        if ca != cb {
+            cell_differences += 1;
+            if cell_differences <= SHOWN {
+                let what = if ca.id != cb.id {
+                    format!("'{}' != '{}'", ca.id, cb.id)
+                } else {
+                    format!(
+                        "'{}': verdict {:?}/{:?}, pass {}/{}, seed {}/{}",
+                        ca.id, ca.verdict, cb.verdict, ca.pass, cb.pass, ca.seed, cb.seed
+                    )
+                };
+                differences.push(format!("cell {i}: {what}"));
+            }
+        }
+    }
+    if cell_differences > SHOWN {
+        differences.push(format!(
+            "... and {} more differing cells",
+            cell_differences - SHOWN
+        ));
+    }
+    if a.schema != b.schema {
+        println!(
+            "note: comparing across schemas ({} vs {})",
+            a.schema, b.schema
+        );
+    }
+    if differences.is_empty() {
+        println!(
+            "reports are equivalent: {} cells, {} passed, {} failed, {} panicked",
+            a.cell_count, a.passed, a.failed, a.panicked
+        );
+        Ok(true)
+    } else {
+        for difference in &differences {
+            println!("DIFF {difference}");
+        }
+        Ok(false)
+    }
 }
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    match args.first().map(String::as_str) {
+    let outcome = match args.first().map(String::as_str) {
         Some("list") => {
             print!("{}", usage());
-            ExitCode::SUCCESS
+            return ExitCode::SUCCESS;
         }
-        Some("run") => match cmd_run(&args[1..]) {
-            Ok(true) => ExitCode::SUCCESS,
-            Ok(false) => ExitCode::FAILURE,
-            Err(message) => {
-                eprintln!("ldx: {message}");
-                ExitCode::FAILURE
-            }
-        },
+        Some("run") => cmd_run(&args[1..]),
+        Some("resume") => cmd_resume(&args[1..]),
+        Some("diff") => cmd_diff(&args[1..]),
         _ => {
             eprint!("{}", usage());
+            return ExitCode::FAILURE;
+        }
+    };
+    match outcome {
+        Ok(true) => ExitCode::SUCCESS,
+        Ok(false) => ExitCode::FAILURE,
+        Err(message) => {
+            eprintln!("ldx: {message}");
             ExitCode::FAILURE
         }
     }

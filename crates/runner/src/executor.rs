@@ -47,9 +47,11 @@ pub fn cell_seed(master: u64, index: usize) -> u64 {
 ///
 /// # Errors
 ///
-/// Propagates planning failures; execution itself cannot fail (cell panics
-/// are captured into the report).
+/// Propagates configuration errors ([`SweepConfig::validate`]) and planning
+/// failures; execution itself cannot fail (cell panics are captured into
+/// the report).
 pub fn execute(scenario: &dyn Scenario, config: &SweepConfig) -> Result<RunReport, String> {
+    config.validate().map_err(|e| e.to_string())?;
     let plan = scenario.plan(config)?;
     Ok(execute_plan(scenario.name(), plan, config))
 }
@@ -69,7 +71,11 @@ pub fn execute_plan(scenario_name: &str, plan: Plan, config: &SweepConfig) -> Ru
     RunReport::new(scenario_name, config.clone(), results, total_wall, cache)
 }
 
-fn run_cell(cell: &PlannedCell, index: usize, config: &SweepConfig) -> CellResult {
+/// Runs one cell: derives its seed from the *global* cell index, catches
+/// panics, records wall time.  Shared with the streaming sharded executor
+/// ([`crate::stream`]), which is what makes a resumed sweep's cells
+/// byte-identical to an uninterrupted one's.
+pub(crate) fn run_cell(cell: &PlannedCell, index: usize, config: &SweepConfig) -> CellResult {
     let seed = cell_seed(config.seed, index);
     let started = Instant::now();
     let outcome = std::panic::catch_unwind(AssertUnwindSafe(|| (cell.run)(seed)))
@@ -94,7 +100,7 @@ fn run_sequential(cells: &[PlannedCell], config: &SweepConfig) -> Vec<CellResult
 /// `cells` cells: bounded by the cell count and by hardware parallelism.
 /// The hardware probe is cached — `available_parallelism` re-reads cgroup
 /// state on every call, which is measurable at per-sweep granularity.
-fn effective_workers(requested: usize, cells: usize) -> usize {
+pub(crate) fn effective_workers(requested: usize, cells: usize) -> usize {
     static HARDWARE: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
     let hardware = *HARDWARE
         .get_or_init(|| std::thread::available_parallelism().map_or(usize::MAX, usize::from));

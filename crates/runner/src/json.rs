@@ -164,6 +164,54 @@ impl Json {
         out
     }
 
+    /// Renders the value *as a fragment* of a larger document: exactly the
+    /// bytes [`Json::render`] would emit for this value at nesting `depth`,
+    /// with no trailing newline.  This is what lets the streaming report
+    /// writer ([`crate::stream`]) produce output byte-identical to rendering
+    /// the whole document at once.
+    pub fn write_fragment(&self, out: &mut String, depth: usize) {
+        self.write(out, depth);
+    }
+
+    /// Renders the document on a single line with no inter-token spacing
+    /// and no trailing newline — the layout of checkpoint sidecar lines,
+    /// which must be appendable one per line.  [`Json::parse`] reads both
+    /// layouts back.
+    pub fn render_compact(&self) -> String {
+        let mut out = String::new();
+        self.write_compact(&mut out);
+        out
+    }
+
+    fn write_compact(&self, out: &mut String) {
+        match self {
+            Json::Arr(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.write_compact(out);
+                }
+                out.push(']');
+            }
+            Json::Obj(fields) => {
+                out.push('{');
+                for (i, (key, value)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_escaped(out, key);
+                    out.push(':');
+                    value.write_compact(out);
+                }
+                out.push('}');
+            }
+            // Scalars render identically in both layouts.
+            other => other.write(out, 0),
+        }
+    }
+
     fn write(&self, out: &mut String, depth: usize) {
         match self {
             Json::Null => out.push_str("null"),
@@ -549,6 +597,27 @@ mod tests {
         assert_eq!(doc.get("missing"), None);
         assert_eq!(Json::Bool(true).as_bool(), Some(true));
         assert_eq!(Json::I64(-1).as_u64(), None);
+    }
+
+    #[test]
+    fn compact_rendering_roundtrips_and_has_no_whitespace() {
+        let doc = Json::object()
+            .set("a", Json::array([1u64, 2]))
+            .set("b", Json::object().set("c", "x y"))
+            .set("d", Json::Null);
+        let compact = doc.render_compact();
+        assert_eq!(compact, "{\"a\":[1,2],\"b\":{\"c\":\"x y\"},\"d\":null}");
+        assert_eq!(Json::parse(&compact).unwrap(), doc);
+    }
+
+    #[test]
+    fn fragments_compose_into_the_full_rendering() {
+        let inner = Json::object().set("k", 1u64).set("l", Json::array(["a"]));
+        let doc = Json::object().set("outer", inner.clone());
+        let mut spliced = String::from("{\n  \"outer\": ");
+        inner.write_fragment(&mut spliced, 1);
+        spliced.push_str("\n}\n");
+        assert_eq!(spliced, doc.render());
     }
 
     #[test]

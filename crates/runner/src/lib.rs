@@ -24,18 +24,32 @@
 //!   ([`CellOutcome::budget`]), which is what lets the radius-3 scenario
 //!   (`section2-sweep-r3`) sweep `--max-n 128` safely.  Scenarios without a
 //!   budget knob ignore the caps, as `relationship-table` ignores `max_n`.
+//! * **A streaming sharded pipeline** ([`stream`]) — the plan is
+//!   partitioned into deterministic shards; workers feed a bounded channel
+//!   to a single writer that appends schema-`v3` cells in index order, so
+//!   peak memory is O(shard window), not O(plan), and the streamed file is
+//!   byte-identical to the in-memory rendering.  Every flushed shard is
+//!   recorded in a `.ckpt` sidecar: a killed sweep resumes from its last
+//!   shard (`ldx resume`) and byte-matches an uninterrupted run.  The
+//!   large-N scenarios (`section2-sweep-xl` at 512+ nodes,
+//!   `randomized-sweep-xl`) ride on this headroom, with scenario-default
+//!   budgets (`EnumerationBudget::scaled`) capping every cell.
 //! * **Reporters** ([`report`]) — JSON and CSV run records (schema
-//!   `ld-runner/report/v2`) plus the `BENCH_runner.json` perf snapshot, and
-//!   a version-compatible reader ([`summary`]) that parses v2 and legacy v1
-//!   documents alike.
+//!   `ld-runner/report/v3`: header, append-only `cells` stream, trailing
+//!   summary) plus the `BENCH_runner.json` perf snapshot, and a
+//!   version-compatible reader ([`summary`]) that parses v3 and the legacy
+//!   v2/v1 documents alike — which is what `ldx diff` compares any two
+//!   persisted reports with.
 //!
-//! The `ldx` binary (this crate's `src/bin/ldx.rs`) lists and runs
-//! scenarios by name:
+//! The `ldx` binary (this crate's `src/bin/ldx.rs`) lists, runs, resumes
+//! and diffs sweeps by name:
 //!
 //! ```text
 //! ldx list
 //! ldx run section2-sweep --max-n 128 --threads 8
-//! ldx run section2-sweep-r3 --node-budget 200000 --deterministic
+//! ldx run section2-sweep-xl --max-n 512 --deterministic
+//! ldx resume ldx-section2-sweep-xl.json
+//! ldx diff ldx-section2-sweep-xl.json archived-run.json
 //! ```
 //!
 //! # Example
@@ -59,9 +73,11 @@ pub mod json;
 pub mod report;
 pub mod scenario;
 pub mod scenarios;
+pub mod stream;
 pub mod summary;
 
 pub use cell::{CellOutcome, CellResult, CellSpec};
 pub use report::RunReport;
-pub use scenario::{Plan, PlannedCell, Scenario, SweepConfig};
+pub use scenario::{ConfigError, Plan, PlannedCell, Scenario, SweepConfig};
+pub use stream::{StreamOptions, StreamSummary};
 pub use summary::{CellSummary, ReportSummary};

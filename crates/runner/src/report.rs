@@ -16,10 +16,17 @@
 //! (`BENCH_runner.json` at the repo root) so the repo's performance
 //! trajectory is recorded alongside its correctness results.
 //!
-//! The current schema is `ld-runner/report/v2` (budgeted cells report their
-//! spend, the summary counts `exhausted` cells, and the config records
-//! radius and budgets).  [`crate::summary::ReportSummary`] reads both v2
-//! and legacy v1 documents back.
+//! The current schema is `ld-runner/report/v3`: a header (schema, scenario,
+//! config), the `cells` array in cell-index order, and a trailing `summary`
+//! object — summary *after* cells, so the document can be written as an
+//! append-only stream by [`crate::stream`] without buffering the sweep.
+//! The free functions in this module ([`config_json`], [`cell_json`],
+//! [`summary_json`], [`perf_json`], [`csv_header`], [`csv_row`]) are the
+//! single source of the rendered bytes: the in-memory renderer below and
+//! the streaming writer compose the same fragments, which is what keeps
+//! their outputs byte-identical (a differential test asserts exactly this).
+//! [`crate::summary::ReportSummary`] reads v3 plus the legacy v2 and v1
+//! documents back.
 
 use crate::cell::CellResult;
 use crate::json::Json;
@@ -91,89 +98,30 @@ impl RunReport {
         self.cache.hit_rate()
     }
 
-    /// The deterministic core of a cell record (no timing).
-    fn cell_json(cell: &CellResult) -> Json {
-        let mut obj = Json::object()
-            .set("id", cell.spec.id.as_str())
-            .set(
-                "params",
-                Json::Obj(
-                    cell.spec
-                        .params
-                        .iter()
-                        .map(|(k, v)| (k.clone(), Json::from(v.as_str())))
-                        .collect(),
-                ),
-            )
-            .set("seed", cell.seed);
-        match &cell.outcome {
-            Ok(outcome) => {
-                obj = obj
-                    .set("status", "completed")
-                    .set("verdict", outcome.verdict.as_str())
-                    .set("pass", outcome.pass)
-                    .set(
-                        "metrics",
-                        Json::Obj(
-                            outcome
-                                .metrics
-                                .iter()
-                                .map(|(k, v)| (k.clone(), Json::F64(*v)))
-                                .collect(),
-                        ),
-                    );
-                // Budgeted cells report their spend and whether they were
-                // cut off; unbudgeted cells omit the key (schema v2).
-                if let Some(budget) = outcome.budget {
-                    obj = obj.set(
-                        "budget",
-                        Json::object()
-                            .set("exhausted", budget.exhausted)
-                            .set("nodes_visited", budget.nodes_visited)
-                            .set("views_materialized", budget.views_materialized),
-                    );
-                }
-            }
-            Err(message) => {
-                obj = obj.set("status", "panicked").set("error", message.as_str());
-            }
-        }
-        obj
-    }
-
     /// The deterministic document: identical across thread counts and
     /// machines for a fixed (scenario, seed, max_n, radius, budgets).
     ///
-    /// Schema `ld-runner/report/v2`; see `crates/runner/DESIGN.md` for the
-    /// v1 → v2 migration notes, and [`crate::summary::ReportSummary`] for a
-    /// reader that accepts both versions.
+    /// Schema `ld-runner/report/v3`; see `crates/runner/DESIGN.md` for the
+    /// v2 → v3 migration notes, and [`crate::summary::ReportSummary`] for a
+    /// reader that accepts all three schema versions.
     fn deterministic_doc(&self) -> Json {
-        let optional_u64 = |v: Option<u64>| v.map_or(Json::Null, Json::U64);
         Json::object()
-            .set("schema", "ld-runner/report/v2")
+            .set("schema", SCHEMA)
             .set("scenario", self.scenario.as_str())
-            .set(
-                "config",
-                Json::object()
-                    .set("max_n", self.config.max_n)
-                    .set("seed", self.config.seed)
-                    .set(
-                        "radius",
-                        self.config
-                            .radius
-                            .map_or(Json::Null, |r| Json::U64(r as u64)),
-                    )
-                    .set("node_budget", optional_u64(self.config.node_budget))
-                    .set("view_budget", optional_u64(self.config.view_budget)),
-            )
-            .set("cell_count", self.cells.len())
-            .set("passed", self.passed())
-            .set("failed", self.failed())
-            .set("panicked", self.panicked())
-            .set("exhausted", self.exhausted())
+            .set("config", config_json(&self.config))
             .set(
                 "cells",
-                Json::Arr(self.cells.iter().map(Self::cell_json).collect()),
+                Json::Arr(self.cells.iter().map(cell_json).collect()),
+            )
+            .set(
+                "summary",
+                summary_json(
+                    self.cells.len(),
+                    self.passed(),
+                    self.failed(),
+                    self.panicked(),
+                    self.exhausted(),
+                ),
             )
     }
 
@@ -186,34 +134,12 @@ impl RunReport {
     /// Renders the full report: the deterministic document plus a `perf`
     /// section.
     pub fn to_json(&self) -> String {
-        let perf = Json::object()
-            .set("threads", self.config.threads)
-            .set("total_wall_micros", self.total_wall.as_micros() as u64)
-            .set(
-                "cells_per_second",
-                if self.total_wall.as_secs_f64() > 0.0 {
-                    self.cells.len() as f64 / self.total_wall.as_secs_f64()
-                } else {
-                    0.0
-                },
-            )
-            .set(
-                "cell_wall_micros",
-                Json::Arr(
-                    self.cells
-                        .iter()
-                        .map(|c| Json::U64(c.wall.as_micros() as u64))
-                        .collect(),
-                ),
-            )
-            .set(
-                "cache",
-                Json::object()
-                    .set("hits", self.cache.hits)
-                    .set("misses", self.cache.misses)
-                    .set("entries", self.cache.entries)
-                    .set("hit_rate", self.cache.hit_rate()),
-            );
+        let walls: Vec<u64> = self
+            .cells
+            .iter()
+            .map(|c| c.wall.as_micros() as u64)
+            .collect();
+        let perf = perf_json(self.config.threads, self.total_wall, &walls, &self.cache);
         self.deterministic_doc().set("perf", perf).render()
     }
 
@@ -231,61 +157,9 @@ impl RunReport {
     }
 
     fn render_csv(&self, with_wall: bool) -> String {
-        let mut out = String::from("scenario,cell,seed,status,verdict,pass,params,metrics,budget");
-        if with_wall {
-            out.push_str(",wall_micros");
-        }
-        out.push('\n');
+        let mut out = csv_header(with_wall);
         for cell in &self.cells {
-            let params = cell
-                .spec
-                .params
-                .iter()
-                .map(|(k, v)| format!("{k}={v}"))
-                .collect::<Vec<_>>()
-                .join(";");
-            let (status, verdict, pass, metrics, budget) = match &cell.outcome {
-                Ok(outcome) => (
-                    "completed",
-                    outcome.verdict.clone(),
-                    outcome.pass.to_string(),
-                    outcome
-                        .metrics
-                        .iter()
-                        .map(|(k, v)| format!("{k}={v}"))
-                        .collect::<Vec<_>>()
-                        .join(";"),
-                    outcome.budget.map_or(String::new(), |b| {
-                        format!(
-                            "exhausted={};nodes_visited={};views_materialized={}",
-                            b.exhausted, b.nodes_visited, b.views_materialized
-                        )
-                    }),
-                ),
-                Err(message) => (
-                    "panicked",
-                    message.replace('\n', " "),
-                    "false".to_string(),
-                    String::new(),
-                    String::new(),
-                ),
-            };
-            out.push_str(&format!(
-                "{},{},{},{},{},{},{},{},{}",
-                self.scenario,
-                csv_field(&cell.spec.id),
-                cell.seed,
-                status,
-                csv_field(&verdict),
-                pass,
-                csv_field(&params),
-                csv_field(&metrics),
-                csv_field(&budget),
-            ));
-            if with_wall {
-                out.push_str(&format!(",{}", cell.wall.as_micros()));
-            }
-            out.push('\n');
+            out.push_str(&csv_row(&self.scenario, cell, with_wall));
         }
         out
     }
@@ -327,6 +201,182 @@ impl RunReport {
     pub fn write(path: impl AsRef<Path>, contents: &str) -> std::io::Result<()> {
         std::fs::write(path, contents)
     }
+}
+
+/// The schema identifier this reporter (and the streaming writer) emits.
+pub const SCHEMA: &str = "ld-runner/report/v3";
+
+/// The `config` object of a v3 document: the deterministic sweep knobs,
+/// with unset options rendered as `null`.
+pub fn config_json(config: &SweepConfig) -> Json {
+    let optional_u64 = |v: Option<u64>| v.map_or(Json::Null, Json::U64);
+    Json::object()
+        .set("max_n", config.max_n)
+        .set("seed", config.seed)
+        .set(
+            "radius",
+            config.radius.map_or(Json::Null, |r| Json::U64(r as u64)),
+        )
+        .set("node_budget", optional_u64(config.node_budget))
+        .set("view_budget", optional_u64(config.view_budget))
+        .set("shard_size", config.shard_size)
+}
+
+/// The deterministic record of one cell (no timing).
+pub fn cell_json(cell: &CellResult) -> Json {
+    let mut obj = Json::object()
+        .set("id", cell.spec.id.as_str())
+        .set(
+            "params",
+            Json::Obj(
+                cell.spec
+                    .params
+                    .iter()
+                    .map(|(k, v)| (k.clone(), Json::from(v.as_str())))
+                    .collect(),
+            ),
+        )
+        .set("seed", cell.seed);
+    match &cell.outcome {
+        Ok(outcome) => {
+            obj = obj
+                .set("status", "completed")
+                .set("verdict", outcome.verdict.as_str())
+                .set("pass", outcome.pass)
+                .set(
+                    "metrics",
+                    Json::Obj(
+                        outcome
+                            .metrics
+                            .iter()
+                            .map(|(k, v)| (k.clone(), Json::F64(*v)))
+                            .collect(),
+                    ),
+                );
+            // Budgeted cells report their spend and whether they were cut
+            // off; unbudgeted cells omit the key.
+            if let Some(budget) = outcome.budget {
+                obj = obj.set(
+                    "budget",
+                    Json::object()
+                        .set("exhausted", budget.exhausted)
+                        .set("nodes_visited", budget.nodes_visited)
+                        .set("views_materialized", budget.views_materialized),
+                );
+            }
+        }
+        Err(message) => {
+            obj = obj.set("status", "panicked").set("error", message.as_str());
+        }
+    }
+    obj
+}
+
+/// The trailing `summary` object of a v3 document.
+pub fn summary_json(
+    cell_count: usize,
+    passed: usize,
+    failed: usize,
+    panicked: usize,
+    exhausted: usize,
+) -> Json {
+    Json::object()
+        .set("cell_count", cell_count)
+        .set("passed", passed)
+        .set("failed", failed)
+        .set("panicked", panicked)
+        .set("exhausted", exhausted)
+}
+
+/// The `perf` object of a full (non-deterministic) report.
+pub fn perf_json(threads: usize, total_wall: Duration, walls: &[u64], cache: &CacheStats) -> Json {
+    Json::object()
+        .set("threads", threads)
+        .set("total_wall_micros", total_wall.as_micros() as u64)
+        .set(
+            "cells_per_second",
+            if total_wall.as_secs_f64() > 0.0 {
+                walls.len() as f64 / total_wall.as_secs_f64()
+            } else {
+                0.0
+            },
+        )
+        .set(
+            "cell_wall_micros",
+            Json::Arr(walls.iter().map(|&w| Json::U64(w)).collect()),
+        )
+        .set(
+            "cache",
+            Json::object()
+                .set("hits", cache.hits)
+                .set("misses", cache.misses)
+                .set("entries", cache.entries)
+                .set("hit_rate", cache.hit_rate()),
+        )
+}
+
+/// The CSV header row (shared by the in-memory and streaming renderers).
+pub fn csv_header(with_wall: bool) -> String {
+    let mut out = String::from("scenario,cell,seed,status,verdict,pass,params,metrics,budget");
+    if with_wall {
+        out.push_str(",wall_micros");
+    }
+    out.push('\n');
+    out
+}
+
+/// One CSV row for `cell`, newline-terminated.
+pub fn csv_row(scenario: &str, cell: &CellResult, with_wall: bool) -> String {
+    let params = cell
+        .spec
+        .params
+        .iter()
+        .map(|(k, v)| format!("{k}={v}"))
+        .collect::<Vec<_>>()
+        .join(";");
+    let (status, verdict, pass, metrics, budget) = match &cell.outcome {
+        Ok(outcome) => (
+            "completed",
+            outcome.verdict.clone(),
+            outcome.pass.to_string(),
+            outcome
+                .metrics
+                .iter()
+                .map(|(k, v)| format!("{k}={v}"))
+                .collect::<Vec<_>>()
+                .join(";"),
+            outcome.budget.map_or(String::new(), |b| {
+                format!(
+                    "exhausted={};nodes_visited={};views_materialized={}",
+                    b.exhausted, b.nodes_visited, b.views_materialized
+                )
+            }),
+        ),
+        Err(message) => (
+            "panicked",
+            message.replace('\n', " "),
+            "false".to_string(),
+            String::new(),
+            String::new(),
+        ),
+    };
+    let mut out = format!(
+        "{},{},{},{},{},{},{},{},{}",
+        scenario,
+        csv_field(&cell.spec.id),
+        cell.seed,
+        status,
+        csv_field(&verdict),
+        pass,
+        csv_field(&params),
+        csv_field(&metrics),
+        csv_field(&budget),
+    );
+    if with_wall {
+        out.push_str(&format!(",{}", cell.wall.as_micros()));
+    }
+    out.push('\n');
+    out
 }
 
 /// Quotes a CSV field when it contains separators or quotes.
@@ -394,15 +444,21 @@ mod tests {
     fn json_contains_cells_and_perf() {
         let report = sample_report();
         let json = report.to_json();
-        assert!(json.contains("\"schema\": \"ld-runner/report/v2\""));
+        assert!(json.contains("\"schema\": \"ld-runner/report/v3\""));
         assert!(json.contains("\"verdict\": \"accept\""));
         assert!(json.contains("\"status\": \"panicked\""));
         assert!(json.contains("\"hit_rate\": 0.75"));
         assert!(json.contains("\"threads\": 4"));
         assert!(json.contains("\"node_budget\": 512"));
         assert!(json.contains("\"view_budget\": null"));
+        assert!(json.contains("\"shard_size\": 16"));
         assert!(json.contains("\"nodes_visited\": 512"));
         assert!(json.contains("\"exhausted\": 1"));
+        // v3 layout: the summary object trails the cells array, so the
+        // document is writable as an append-only stream.
+        let cells_at = json.find("\"cells\": [").unwrap();
+        let summary_at = json.find("\"summary\": {").unwrap();
+        assert!(summary_at > cells_at);
     }
 
     #[test]

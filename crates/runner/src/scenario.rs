@@ -12,6 +12,45 @@ use ld_local::enumeration::EnumerationBudget;
 use std::hash::Hash;
 use std::sync::Arc;
 
+/// The largest view radius any sweep may request.  Radius-4 balls of the
+/// swept families are already large enough that enumeration cost is
+/// dominated by canonicalisation of near-whole-graph views; nothing in the
+/// paper needs them, and several scenario builders assume small radii, so
+/// an oversized `--radius` is a configuration error, not a sweep.
+pub const MAX_RADIUS: usize = 3;
+
+/// A structurally invalid [`SweepConfig`]: the typed planning-time errors
+/// that used to surface as silent empty plans or scenario-builder panics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ConfigError {
+    /// `max_n == 0`: no scenario can plan a cell with a zero size budget.
+    ZeroMaxN,
+    /// `radius > MAX_RADIUS`: the requested view radius is outside the
+    /// supported envelope.
+    RadiusTooLarge {
+        /// The rejected radius.
+        radius: usize,
+    },
+    /// `shard_size == 0`: the streaming pipeline cannot partition a plan
+    /// into empty shards.
+    ZeroShardSize,
+}
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ConfigError::ZeroMaxN => write!(f, "max_n must be at least 1 (got 0)"),
+            ConfigError::RadiusTooLarge { radius } => write!(
+                f,
+                "radius {radius} exceeds the supported maximum of {MAX_RADIUS}"
+            ),
+            ConfigError::ZeroShardSize => write!(f, "shard_size must be at least 1 (got 0)"),
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
 /// Configuration shared by every sweep: the instance-size budget, the
 /// parallelism level, the master seed from which all per-cell seeds are
 /// derived, and the per-cell work budgets that keep radius-3 cells bounded.
@@ -38,6 +77,14 @@ pub struct SweepConfig {
     pub node_budget: Option<u64>,
     /// Per-cell cap on materialised views (`None` = unlimited).
     pub view_budget: Option<u64>,
+    /// Cells per shard for the streaming pipeline (see [`crate::stream`]).
+    /// Shards are the unit of work claiming, result buffering and
+    /// checkpointing; the value never affects *cell* records — only how
+    /// much of the sweep is in flight at once.  It is recorded in the
+    /// report's `config` object (like `seed`), so byte-comparing two
+    /// deterministic reports requires the same shard size, as every CI
+    /// diff and the resume path use.
+    pub shard_size: usize,
 }
 
 impl Default for SweepConfig {
@@ -49,11 +96,36 @@ impl Default for SweepConfig {
             radius: None,
             node_budget: None,
             view_budget: None,
+            shard_size: 16,
         }
     }
 }
 
 impl SweepConfig {
+    /// Checks the configuration for structural validity before any scenario
+    /// sees it.  Every sweep entry point ([`crate::executor::execute`], the
+    /// streaming pipeline, `ldx`) validates first, so scenario builders can
+    /// assume `max_n >= 1`, `radius <= MAX_RADIUS` and `shard_size >= 1`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the typed [`ConfigError`] describing the first violated
+    /// constraint.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if self.max_n == 0 {
+            return Err(ConfigError::ZeroMaxN);
+        }
+        if let Some(radius) = self.radius {
+            if radius > MAX_RADIUS {
+                return Err(ConfigError::RadiusTooLarge { radius });
+            }
+        }
+        if self.shard_size == 0 {
+            return Err(ConfigError::ZeroShardSize);
+        }
+        Ok(())
+    }
+
     /// The sweep radius: the explicit `--radius` override when given, the
     /// scenario's natural default otherwise.
     pub fn radius_or(&self, default: usize) -> usize {
@@ -66,6 +138,19 @@ impl SweepConfig {
         EnumerationBudget {
             max_nodes: self.node_budget.unwrap_or(u64::MAX),
             max_views: self.view_budget.unwrap_or(u64::MAX),
+        }
+    }
+
+    /// The per-cell budget with a scenario-supplied default: an explicit
+    /// `--node-budget` / `--view-budget` always wins, but when neither was
+    /// set, `default` caps the cell instead of "unlimited".  The XL
+    /// scenarios pass [`EnumerationBudget::scaled`] here so large-N cells
+    /// are never uncapped.
+    pub fn enumeration_budget_or(&self, default: EnumerationBudget) -> EnumerationBudget {
+        if self.node_budget.is_none() && self.view_budget.is_none() {
+            default
+        } else {
+            self.enumeration_budget()
         }
     }
 }
@@ -204,6 +289,40 @@ mod tests {
         assert_eq!(config.radius, None);
         assert_eq!(config.node_budget, None);
         assert_eq!(config.view_budget, None);
+        assert_eq!(config.shard_size, 16);
+    }
+
+    #[test]
+    fn validation_rejects_degenerate_configs_with_typed_errors() {
+        assert_eq!(SweepConfig::default().validate(), Ok(()));
+        let zero_n = SweepConfig {
+            max_n: 0,
+            ..SweepConfig::default()
+        };
+        assert_eq!(zero_n.validate(), Err(ConfigError::ZeroMaxN));
+        let wide = SweepConfig {
+            radius: Some(4),
+            ..SweepConfig::default()
+        };
+        assert_eq!(
+            wide.validate(),
+            Err(ConfigError::RadiusTooLarge { radius: 4 })
+        );
+        assert!(wide
+            .validate()
+            .unwrap_err()
+            .to_string()
+            .contains("radius 4"));
+        let in_range = SweepConfig {
+            radius: Some(MAX_RADIUS),
+            ..SweepConfig::default()
+        };
+        assert_eq!(in_range.validate(), Ok(()));
+        let no_shards = SweepConfig {
+            shard_size: 0,
+            ..SweepConfig::default()
+        };
+        assert_eq!(no_shards.validate(), Err(ConfigError::ZeroShardSize));
     }
 
     #[test]

@@ -2,15 +2,19 @@
 
 mod pyramid;
 mod randomized;
+mod randomized_xl;
 mod section2;
 mod section2_r3;
+mod section2_xl;
 mod section3;
 mod table;
 
 pub use pyramid::PyramidSweep;
 pub use randomized::RandomizedSweep;
+pub use randomized_xl::RandomizedSweepXl;
 pub use section2::Section2Sweep;
 pub use section2_r3::Section2SweepR3;
+pub use section2_xl::Section2SweepXl;
 pub use section3::Section3Sweep;
 pub use table::RelationshipTable;
 
@@ -113,9 +117,11 @@ pub fn all() -> Vec<Box<dyn Scenario>> {
     vec![
         Box::new(Section2Sweep),
         Box::new(Section2SweepR3),
+        Box::new(Section2SweepXl),
         Box::new(Section3Sweep),
         Box::new(PyramidSweep),
         Box::new(RandomizedSweep),
+        Box::new(RandomizedSweepXl),
         Box::new(RelationshipTable),
     ]
 }
@@ -132,13 +138,15 @@ mod tests {
     #[test]
     fn registry_is_complete_and_unique() {
         let scenarios = all();
-        assert_eq!(scenarios.len(), 6);
+        assert_eq!(scenarios.len(), 8);
         let mut names: Vec<&str> = scenarios.iter().map(|s| s.name()).collect();
         names.sort_unstable();
         names.dedup();
-        assert_eq!(names.len(), 6);
+        assert_eq!(names.len(), 8);
         assert!(find("section2-sweep").is_some());
         assert!(find("section2-sweep-r3").is_some());
+        assert!(find("section2-sweep-xl").is_some());
+        assert!(find("randomized-sweep-xl").is_some());
         assert!(find("no-such-scenario").is_none());
     }
 

@@ -32,7 +32,7 @@ use ld_constructions::section2::{Section2Label, Section2Params};
 use ld_graph::{generators, LabeledGraph};
 use ld_local::cache::ViewCache;
 use ld_local::enumeration::{
-    distinct_oblivious_views_of_budgeted_cached, distinct_views_by_radius_cached,
+    distinct_oblivious_views_of_budgeted_cached, distinct_views_by_radius_cached, EnumerationBudget,
 };
 use ld_local::IdBound;
 use std::sync::Arc;
@@ -61,8 +61,17 @@ fn expected_path_views(n: usize, radius: usize) -> Option<usize> {
     (n >= 2 * radius + 2).then_some(radius + 1)
 }
 
-fn path_cells(plan: &mut Plan, cache: &Arc<ViewCache<u8>>, config: &SweepConfig, radius: usize) {
-    let budget = config.enumeration_budget();
+/// Plans the closed-form path family: one distinct-view-count cell per
+/// swept size, `step` apart.  Shared with `section2-sweep-xl`, which sweeps
+/// the same family at larger sizes and strides.
+pub(super) fn path_cells(
+    plan: &mut Plan,
+    cache: &Arc<ViewCache<u8>>,
+    config: &SweepConfig,
+    radius: usize,
+    budget: EnumerationBudget,
+    step: usize,
+) {
     let mut n = 2 * radius + 2;
     while n <= config.max_n {
         let expected = expected_path_views(n, radius).expect("n starts at 2*radius + 2");
@@ -90,15 +99,18 @@ fn path_cells(plan: &mut Plan, cache: &Arc<ViewCache<u8>>, config: &SweepConfig,
                 .with_metric("distinct_views", views.len() as f64)
                 .with_budget(usage)
         });
-        n += PATH_STEP;
+        n += step.max(1);
     }
 }
 
-fn path_coverage_cells(
+/// Plans the cross-size path coverage cells (the paradigmatic
+/// indistinguishability).  Shared with `section2-sweep-xl`.
+pub(super) fn path_coverage_cells(
     plan: &mut Plan,
     cache: &Arc<ViewCache<u8>>,
     config: &SweepConfig,
     radius: usize,
+    budget: EnumerationBudget,
 ) {
     let small = 2 * radius + 2;
     let large = config.max_n;
@@ -121,7 +133,6 @@ fn path_coverage_cells(
                 ("expect", "indistinguishable".to_string()),
             ],
         );
-        let budget = config.enumeration_budget();
         let cache = cache.clone();
         plan.push(spec, move |_seed| {
             let small = uniform(generators::path(a));
@@ -147,13 +158,15 @@ fn path_coverage_cells(
     }
 }
 
-fn grid_profile_cells(
+/// Plans the grid incremental-profile differential cells.  Shared with
+/// `section2-sweep-xl`.
+pub(super) fn grid_profile_cells(
     plan: &mut Plan,
     cache: &Arc<ViewCache<u8>>,
     config: &SweepConfig,
     radius: usize,
+    budget: EnumerationBudget,
 ) {
-    let budget = config.enumeration_budget();
     let mut side = 3usize;
     while side * side <= config.max_n {
         let spec = CellSpec::new(
@@ -206,18 +219,20 @@ fn grid_profile_cells(
     }
 }
 
-fn tree_family_cells(
+/// Plans the distinctly-labelled layered-tree cells.  Shared with
+/// `section2-sweep-xl`.
+pub(super) fn tree_family_cells(
     plan: &mut Plan,
     cache: &Arc<ViewCache<Section2Label>>,
     config: &SweepConfig,
     radius: usize,
+    budget: EnumerationBudget,
 ) -> Result<(), String> {
     let params = Section2Params::new(1, IdBound::identity_plus(2))
         .map_err(|e| format!("section 2 parameters: {e}"))?;
     if params.small_instance_size() > config.max_n {
         return Ok(());
     }
-    let budget = config.enumeration_budget();
     let roots = params.small_instance_roots();
     for (index, &root) in roots.iter().take(MAX_ROOTS).enumerate() {
         let r = params.r();
@@ -257,13 +272,15 @@ fn tree_family_cells(
     Ok(())
 }
 
-fn promise_cells(
+/// Plans the promise-cycle yes/no view cells.  Shared with
+/// `section2-sweep-xl`.
+pub(super) fn promise_cells(
     plan: &mut Plan,
     cache: &Arc<ViewCache<CycleParamLabel>>,
     config: &SweepConfig,
     radius: usize,
+    budget: EnumerationBudget,
 ) {
-    let budget = config.enumeration_budget();
     let bound = IdBound::linear(3, 0);
     let max_r = (config.max_n as u64) / 3;
     for r in 3..=max_r {
@@ -282,16 +299,24 @@ impl Scenario for Section2SweepR3 {
 
     fn plan(&self, config: &SweepConfig) -> Result<Plan, String> {
         let radius = config.radius_or(3);
+        let budget = config.enumeration_budget();
         let mut plan = Plan::new();
         let structural_cache = plan.share_cache::<u8>();
         let tree_cache = plan.share_cache::<Section2Label>();
         let promise_cache = plan.share_cache::<CycleParamLabel>();
 
-        path_cells(&mut plan, &structural_cache, config, radius);
-        path_coverage_cells(&mut plan, &structural_cache, config, radius);
-        grid_profile_cells(&mut plan, &structural_cache, config, radius);
-        tree_family_cells(&mut plan, &tree_cache, config, radius)?;
-        promise_cells(&mut plan, &promise_cache, config, radius);
+        path_cells(
+            &mut plan,
+            &structural_cache,
+            config,
+            radius,
+            budget,
+            PATH_STEP,
+        );
+        path_coverage_cells(&mut plan, &structural_cache, config, radius, budget);
+        grid_profile_cells(&mut plan, &structural_cache, config, radius, budget);
+        tree_family_cells(&mut plan, &tree_cache, config, radius, budget)?;
+        promise_cells(&mut plan, &promise_cache, config, radius, budget);
 
         if plan.cells.is_empty() {
             return Err(format!(

@@ -1,13 +1,16 @@
 //! Reading reports back: a version-compatible summary of a persisted run.
 //!
 //! `ldx` has been writing deterministic run records since schema
-//! `ld-runner/report/v1`; the budget/outcome model added in v2 extends the
-//! document (per-cell `budget` objects, an `exhausted` summary counter, and
+//! `ld-runner/report/v1`.  v2 added the budget/outcome model (per-cell
+//! `budget` objects, an `exhausted` summary counter, and
 //! `radius`/`node_budget`/`view_budget` in the config) without changing any
-//! v1 field.  [`ReportSummary::from_json`] reads **both** versions, mapping
-//! the fields v1 lacks to their "unbudgeted" defaults, so tooling that
-//! compares runs across the schema bump — trend dashboards, CI diffs over
-//! archived reports — needs no per-version code.
+//! v1 field; v3 restructured the document for streaming — the counters
+//! moved from the top level into a trailing `summary` object (written
+//! *after* the cells, so the file is an append-only stream) and the config
+//! gained `shard_size`.  [`ReportSummary::from_json`] reads **all three**
+//! versions, mapping fields an older schema lacks to their defaults, so
+//! tooling that compares runs across schema bumps — trend dashboards,
+//! `ldx diff`, CI gates over archived reports — needs no per-version code.
 //!
 //! The reader accepts the deterministic document and the full `to_json`
 //! report alike (the `perf` section is simply ignored).
@@ -15,10 +18,12 @@
 use crate::json::Json;
 use ld_local::enumeration::BudgetUsage;
 
-/// The schema identifier of legacy reports.
+/// The schema identifier of PR 2's legacy reports.
 pub const SCHEMA_V1: &str = "ld-runner/report/v1";
-/// The schema identifier written by this version of the runner.
+/// The schema identifier of the budgeted (pre-streaming) reports.
 pub const SCHEMA_V2: &str = "ld-runner/report/v2";
+/// The streaming schema identifier written by this version of the runner.
+pub const SCHEMA_V3: &str = "ld-runner/report/v3";
 
 /// One cell of a persisted report.
 #[derive(Debug, Clone, PartialEq)]
@@ -55,6 +60,9 @@ pub struct ReportSummary {
     pub node_budget: Option<u64>,
     /// The per-cell view budget, when one was set (always `None` in v1).
     pub view_budget: Option<u64>,
+    /// The streaming shard size (always `None` in v1/v2, which predate the
+    /// sharded pipeline).
+    pub shard_size: Option<u64>,
     /// Summary counters, as recorded in the document.
     pub cell_count: u64,
     /// Cells that completed with a matching verdict.
@@ -130,10 +138,17 @@ impl ReportSummary {
             .and_then(Json::as_str)
             .ok_or("missing 'schema'")?
             .to_string();
-        if schema != SCHEMA_V1 && schema != SCHEMA_V2 {
+        if schema != SCHEMA_V1 && schema != SCHEMA_V2 && schema != SCHEMA_V3 {
             return Err(format!("unknown report schema '{schema}'"));
         }
         let config = doc.get("config").ok_or("missing 'config'")?;
+        // v1/v2 carry the counters at the top level; v3 nests them in a
+        // trailing `summary` object.  Either way the names are identical.
+        let counters = if schema == SCHEMA_V3 {
+            doc.get("summary").ok_or("missing 'summary'")?
+        } else {
+            &doc
+        };
         let cells = doc
             .get("cells")
             .and_then(Json::as_arr)
@@ -152,13 +167,14 @@ impl ReportSummary {
             radius: optional_u64(config, "radius"),
             node_budget: optional_u64(config, "node_budget"),
             view_budget: optional_u64(config, "view_budget"),
-            cell_count: required_u64(&doc, "cell_count")?,
-            passed: required_u64(&doc, "passed")?,
-            failed: required_u64(&doc, "failed")?,
-            panicked: required_u64(&doc, "panicked")?,
+            shard_size: optional_u64(config, "shard_size"),
+            cell_count: required_u64(counters, "cell_count")?,
+            passed: required_u64(counters, "passed")?,
+            failed: required_u64(counters, "failed")?,
+            panicked: required_u64(counters, "panicked")?,
             // v1 predates budgets: absent means no cell could have been
             // budgeted, so zero is exact, not a guess.
-            exhausted: optional_u64(&doc, "exhausted").unwrap_or(0),
+            exhausted: optional_u64(counters, "exhausted").unwrap_or(0),
             schema,
             cells,
         })
@@ -167,6 +183,15 @@ impl ReportSummary {
     /// `true` when the document used the legacy v1 schema.
     pub fn is_v1(&self) -> bool {
         self.schema == SCHEMA_V1
+    }
+
+    /// The numeric schema version (1, 2 or 3).
+    pub fn schema_version(&self) -> u32 {
+        match self.schema.as_str() {
+            s if s == SCHEMA_V1 => 1,
+            s if s == SCHEMA_V2 => 2,
+            _ => 3,
+        }
     }
 }
 
@@ -235,8 +260,61 @@ mod tests {
         assert!(!summary.cells[1].pass);
     }
 
+    /// A verbatim v2 document, as PR 4's reporter wrote it (counters at the
+    /// top level, no `shard_size`).
+    const V2_REPORT: &str = r#"{
+  "schema": "ld-runner/report/v2",
+  "scenario": "section2-sweep-r3",
+  "config": {
+    "max_n": 16,
+    "seed": 1905683,
+    "radius": 3,
+    "node_budget": 512,
+    "view_budget": null
+  },
+  "cell_count": 1,
+  "passed": 1,
+  "failed": 0,
+  "panicked": 0,
+  "exhausted": 1,
+  "cells": [
+    {
+      "id": "a/one",
+      "params": {
+        "n": "8"
+      },
+      "seed": 11,
+      "status": "completed",
+      "verdict": "exhausted",
+      "pass": true,
+      "metrics": {},
+      "budget": {
+        "exhausted": true,
+        "nodes_visited": 512,
+        "views_materialized": 9
+      }
+    }
+  ]
+}
+"#;
+
     #[test]
-    fn v2_reports_roundtrip_through_the_reader() {
+    fn v2_reports_still_parse() {
+        let summary = ReportSummary::from_json(V2_REPORT).unwrap();
+        assert_eq!(summary.schema, SCHEMA_V2);
+        assert_eq!(summary.schema_version(), 2);
+        assert_eq!(summary.radius, Some(3));
+        assert_eq!(summary.node_budget, Some(512));
+        assert_eq!(summary.view_budget, None);
+        assert_eq!(summary.shard_size, None);
+        assert_eq!(summary.exhausted, 1);
+        let budget = summary.cells[0].budget.unwrap();
+        assert!(budget.exhausted);
+        assert_eq!(budget.nodes_visited, 512);
+    }
+
+    #[test]
+    fn v3_reports_roundtrip_through_the_reader() {
         let cells = vec![CellResult {
             spec: CellSpec::new("a/one", [("n", "8".to_string())]),
             seed: 11,
@@ -264,10 +342,14 @@ mod tests {
         // Both renderings parse; the perf section is ignored.
         for text in [report.deterministic_json(), report.to_json()] {
             let summary = ReportSummary::from_json(&text).unwrap();
-            assert_eq!(summary.schema, SCHEMA_V2);
+            assert_eq!(summary.schema, SCHEMA_V3);
+            assert_eq!(summary.schema_version(), 3);
             assert_eq!(summary.radius, Some(3));
             assert_eq!(summary.node_budget, Some(512));
             assert_eq!(summary.view_budget, None);
+            assert_eq!(summary.shard_size, Some(16));
+            assert_eq!(summary.cell_count, 1);
+            assert_eq!(summary.passed, 1);
             assert_eq!(summary.exhausted, 1);
             let budget = summary.cells[0].budget.unwrap();
             assert!(budget.exhausted);

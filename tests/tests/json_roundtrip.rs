@@ -1,0 +1,195 @@
+//! Property tests for the runner's JSON codec (`ld_runner::json::Json`) —
+//! the substrate every persisted report, checkpoint and summary read goes
+//! through.
+//!
+//! The codec's contract is *render-stability*, not value identity: a
+//! rendered document, parsed and re-rendered, must reproduce its bytes
+//! exactly.  (Value identity cannot hold in general — `8.0` renders as
+//! `8`, which correctly re-parses as an integer — but render-stability
+//! composes: it is what makes `ldx diff`, checkpoint digests and the CI
+//! byte-diffs meaningful.)  Where value identity *is* promised — strings
+//! with arbitrary escapes, integers at the 64-bit extremes, non-integral
+//! floats — the tests assert it directly.
+
+use ld_runner::json::Json;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A pool of characters that exercises every escaping path: quotes,
+/// backslashes, control characters, BMP and astral unicode.
+fn arbitrary_string(rng: &mut StdRng) -> String {
+    const POOL: &[char] = &[
+        'a',
+        'Z',
+        '9',
+        ' ',
+        '"',
+        '\\',
+        '/',
+        '\n',
+        '\r',
+        '\t',
+        '\u{1}',
+        '\u{8}',
+        '\u{c}',
+        '\u{1f}',
+        'é',
+        'あ',
+        '\u{fffd}',
+        '😀',
+        '𝔊',
+        '\u{10ffff}',
+    ];
+    let len = rng.gen_range(0..12);
+    (0..len)
+        .map(|_| POOL[rng.gen_range(0..POOL.len())])
+        .collect()
+}
+
+/// A random finite, non-negative-zero float (the two values the renderer
+/// deliberately normalises away: non-finite floats render as `null`, and
+/// `-0.0` would re-parse as integer zero).
+fn arbitrary_float(rng: &mut StdRng) -> f64 {
+    let v = f64::from_bits(rng.gen());
+    if v.is_finite() && v != 0.0 {
+        v
+    } else {
+        f64::from(rng.gen::<u32>()) + 0.5
+    }
+}
+
+/// An arbitrary JSON document of bounded depth.
+fn arbitrary_json(rng: &mut StdRng, depth: usize) -> Json {
+    let scalar_only = depth == 0;
+    match rng.gen_range(0..if scalar_only { 6 } else { 8 }) {
+        0 => Json::Null,
+        1 => Json::Bool(rng.gen()),
+        2 => Json::U64(rng.gen()),
+        3 => Json::I64(rng.gen()),
+        4 => Json::F64(arbitrary_float(rng)),
+        5 => Json::Str(arbitrary_string(rng)),
+        6 => Json::Arr(
+            (0..rng.gen_range(0..5))
+                .map(|_| arbitrary_json(rng, depth - 1))
+                .collect(),
+        ),
+        _ => Json::Obj(
+            (0..rng.gen_range(0..5))
+                .map(|_| (arbitrary_string(rng), arbitrary_json(rng, depth - 1)))
+                .collect(),
+        ),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Rendered documents are a fixed point of parse ∘ render, in both the
+    /// indented and the compact layout.
+    #[test]
+    fn parse_render_is_a_fixed_point(seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let doc = arbitrary_json(&mut rng, 4);
+        let rendered = doc.render();
+        let reparsed = Json::parse(&rendered)
+            .map_err(|e| TestCaseError::fail(format!("{e} in {rendered}")))?;
+        prop_assert_eq!(reparsed.render(), rendered.clone());
+        let compact = doc.render_compact();
+        let reparsed = Json::parse(&compact)
+            .map_err(|e| TestCaseError::fail(format!("{e} in {compact}")))?;
+        prop_assert_eq!(reparsed.render(), rendered);
+    }
+
+    /// Strings round-trip by value through every escape path, and so do
+    /// 64-bit integers at full precision.
+    #[test]
+    fn strings_and_integers_roundtrip_by_value(seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let s = arbitrary_string(&mut rng);
+        let doc = Json::object()
+            .set("s", s.as_str())
+            .set("u", rng.gen::<u64>())
+            .set("hi", u64::MAX)
+            .set("i", -(rng.gen::<i64>().unsigned_abs().max(1) as i64))
+            .set("lo", i64::MIN);
+        let parsed = Json::parse(&doc.render()).map_err(TestCaseError::fail)?;
+        prop_assert_eq!(parsed, doc);
+    }
+
+    /// Non-integral finite floats round-trip by value (Rust renders the
+    /// shortest digits that re-parse exactly).
+    #[test]
+    fn nonintegral_floats_roundtrip_by_value(seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let v = arbitrary_float(&mut rng);
+        let rendered = Json::F64(v).render();
+        if rendered.contains(['.', 'e', 'E']) {
+            let parsed = Json::parse(&rendered).map_err(TestCaseError::fail)?;
+            prop_assert_eq!(parsed, Json::F64(v));
+        } else {
+            // Integral-valued floats re-parse as integers (or, past the
+            // 64-bit range, as floats) with the same numeric value — the
+            // documented normalisation.
+            let parsed = Json::parse(&rendered).map_err(TestCaseError::fail)?;
+            let value = match parsed {
+                Json::U64(u) => u as f64,
+                Json::I64(i) => i as f64,
+                Json::F64(f) => f,
+                other => return Err(TestCaseError::fail(format!("number parsed as {other:?}"))),
+            };
+            prop_assert_eq!(value, v);
+        }
+    }
+
+    /// Astral characters written as UTF-16 surrogate-pair escapes (the way
+    /// standard ASCII-escaping serializers write them) decode to the same
+    /// scalar our renderer emits raw.
+    #[test]
+    fn surrogate_pair_escapes_decode_to_the_raw_scalar(seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let c = char::from_u32(rng.gen_range(0x1_0000..=0x10_ffff))
+            .unwrap_or('\u{1f600}');
+        let v = c as u32 - 0x1_0000;
+        let (hi, lo) = (0xd800 + (v >> 10), 0xdc00 + (v & 0x3ff));
+        let escaped = format!("\"\\u{hi:04x}\\u{lo:04x}\"");
+        let parsed = Json::parse(&escaped).map_err(TestCaseError::fail)?;
+        prop_assert_eq!(parsed, Json::Str(c.to_string()));
+    }
+
+    /// Nesting parses comfortably below the documented depth cap and is
+    /// rejected (with a message, not a stack overflow) far above it.
+    #[test]
+    fn nesting_depth_is_bounded_not_overflowing(
+        shallow in 1usize..=120,
+        deep in 140usize..=4096,
+    ) {
+        let ok = format!("{}1{}", "[".repeat(shallow), "]".repeat(shallow));
+        prop_assert!(Json::parse(&ok).is_ok());
+        let too_deep = format!("{}1{}", "[".repeat(deep), "]".repeat(deep));
+        let err = Json::parse(&too_deep).map(|_| ()).unwrap_err();
+        prop_assert!(err.contains("nesting"), "{}", err);
+    }
+
+    /// Truncating a rendered document anywhere strictly inside it never
+    /// parses — there are no silently-valid prefixes for the resume
+    /// machinery to mistake for a whole report.
+    #[test]
+    fn strict_prefixes_of_documents_do_not_parse(seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        // Wrap in an object so the document always ends with `}` and no
+        // prefix is accidentally a complete scalar.
+        let doc = Json::object().set("payload", arbitrary_json(&mut rng, 3));
+        let rendered = doc.render();
+        let trimmed = rendered.trim_end();
+        let cut = rng.gen_range(1..trimmed.len());
+        if trimmed.is_char_boundary(cut) {
+            prop_assert!(
+                Json::parse(&trimmed[..cut]).is_err(),
+                "prefix of length {} parsed: {:?}",
+                cut,
+                &trimmed[..cut]
+            );
+        }
+    }
+}

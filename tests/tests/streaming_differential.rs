@@ -1,0 +1,135 @@
+//! Differential conformance for the streaming pipeline: for **every**
+//! built-in scenario, the sharded streaming writer must produce output
+//! byte-identical to the legacy in-memory reporter — at every thread
+//! count, and across a mid-sweep interruption plus resume.
+//!
+//! This is the contract that lets the two execution paths coexist: the
+//! in-memory path stays the simple reference (tests, benches, library
+//! callers), the streaming path is what `ldx` ships, and neither can
+//! drift without this suite failing.
+
+use ld_runner::stream::{self, Checkpoint, StreamOptions};
+use ld_runner::{executor, scenarios, SweepConfig};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+fn temp_path(tag: &str) -> PathBuf {
+    static UNIQUE: AtomicU64 = AtomicU64::new(0);
+    let n = UNIQUE.fetch_add(1, Ordering::Relaxed);
+    std::env::temp_dir().join(format!(
+        "ld-tests-stream-{}-{tag}-{n}.json",
+        std::process::id()
+    ))
+}
+
+fn cleanup(path: &PathBuf) {
+    let _ = std::fs::remove_file(path);
+    let _ = std::fs::remove_file(Checkpoint::path_for(path));
+}
+
+fn config(threads: usize) -> SweepConfig {
+    SweepConfig {
+        max_n: 24,
+        threads,
+        seed: 0xd1ff,
+        shard_size: 4,
+        ..SweepConfig::default()
+    }
+}
+
+const DETERMINISTIC: StreamOptions = StreamOptions {
+    deterministic: true,
+    max_shards: None,
+    csv: None,
+};
+
+#[test]
+fn streaming_matches_in_memory_for_every_scenario_at_every_thread_count() {
+    for scenario in scenarios::all() {
+        let reference = executor::execute(scenario.as_ref(), &config(1))
+            .unwrap_or_else(|e| panic!("{}: {e}", scenario.name()))
+            .deterministic_json();
+        for threads in [1, 2, 8] {
+            let path = temp_path(&format!("{}-t{threads}", scenario.name()));
+            let summary = stream::run(scenario.as_ref(), &config(threads), &path, &DETERMINISTIC)
+                .unwrap_or_else(|e| panic!("{}: {e}", scenario.name()));
+            assert!(summary.completed, "{}", scenario.name());
+            let streamed = std::fs::read_to_string(&path).unwrap();
+            assert_eq!(
+                streamed,
+                reference,
+                "{} at {threads} threads: streamed bytes diverge from the in-memory reporter",
+                scenario.name()
+            );
+            assert!(
+                !Checkpoint::path_for(&path).exists(),
+                "{}: checkpoint must be removed after completion",
+                scenario.name()
+            );
+            cleanup(&path);
+        }
+    }
+}
+
+#[test]
+fn interrupted_and_resumed_sweeps_match_for_every_scenario() {
+    for scenario in scenarios::all() {
+        let reference = executor::execute(scenario.as_ref(), &config(1))
+            .unwrap_or_else(|e| panic!("{}: {e}", scenario.name()))
+            .deterministic_json();
+        let path = temp_path(&format!("{}-resume", scenario.name()));
+        let partial = stream::run(
+            scenario.as_ref(),
+            &config(2),
+            &path,
+            &StreamOptions {
+                deterministic: true,
+                max_shards: Some(1),
+                csv: None,
+            },
+        )
+        .unwrap_or_else(|e| panic!("{}: {e}", scenario.name()));
+        if !partial.completed {
+            // Resume on a different thread count than the interrupted run.
+            let resumed = stream::resume(&path, Some(3), None)
+                .unwrap_or_else(|e| panic!("{}: {e}", scenario.name()));
+            assert!(resumed.completed, "{}", scenario.name());
+            assert_eq!(
+                resumed.cell_count,
+                partial.cell_count,
+                "{}",
+                scenario.name()
+            );
+        }
+        let streamed = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(
+            streamed,
+            reference,
+            "{}: kill + resume diverges from an uninterrupted run",
+            scenario.name()
+        );
+        cleanup(&path);
+    }
+}
+
+/// The full (perf-bearing) streamed report differs from the in-memory one
+/// only inside the `perf` section: same schema, same cells, same summary.
+#[test]
+fn full_streamed_reports_carry_an_equivalent_deterministic_core() {
+    use ld_runner::ReportSummary;
+    let scenario = scenarios::find("section2-sweep-xl").unwrap();
+    let path = temp_path("full-perf");
+    let summary = stream::run(
+        scenario.as_ref(),
+        &config(2),
+        &path,
+        &StreamOptions::default(),
+    )
+    .unwrap();
+    assert!(summary.completed);
+    let streamed = ReportSummary::from_json(&std::fs::read_to_string(&path).unwrap()).unwrap();
+    let in_memory = executor::execute(scenario.as_ref(), &config(1)).unwrap();
+    let reference = ReportSummary::from_json(&in_memory.to_json()).unwrap();
+    assert_eq!(streamed, reference);
+    cleanup(&path);
+}
