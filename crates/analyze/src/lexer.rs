@@ -1,0 +1,361 @@
+//! A minimal token-level scanner for Rust source.
+//!
+//! The lint rules in [`crate::rules`] need just enough lexical structure
+//! to avoid the classic grep failure modes: matches inside string
+//! literals, comments, char literals and raw strings must not count as
+//! code.  This scanner produces a flat token stream with line numbers and
+//! nothing else — no parse tree, no spans beyond the line, no semantic
+//! resolution.  It is hand-rolled recursive descent over bytes, the same
+//! idiom as the report parser in `ld-runner`'s `json` module, and handles
+//! the full literal surface the workspace uses: nested block comments,
+//! raw/byte/raw-byte strings, char-vs-lifetime disambiguation, raw
+//! identifiers and numeric literals with suffixes.
+
+/// What a token is, at the granularity the rules need.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// An identifier or keyword (including raw `r#ident` forms).
+    Ident,
+    /// A numeric literal, including any suffix (`42`, `1.5e3`, `0xffu64`).
+    Number,
+    /// Any string-like literal: `"…"`, `r"…"`, `r#"…"#`, `b"…"`, `br#"…"#`.
+    Str,
+    /// A character literal (`'a'`, `'\n'`, `'\u{1F600}'`).
+    CharLit,
+    /// A lifetime (`'a`, `'static`) — *not* a char literal.
+    Lifetime,
+    /// A `//` comment, including `///` and `//!` doc forms.
+    LineComment,
+    /// A `/* … */` comment (nesting handled), including doc forms.
+    BlockComment,
+    /// A single punctuation character (`:`, `(`, `.`, …).
+    Punct,
+}
+
+/// One token: its kind, its exact source text and its 1-based line.
+#[derive(Debug, Clone, Copy)]
+pub struct Token<'a> {
+    /// The token's kind.
+    pub kind: TokenKind,
+    /// The token's text, borrowed from the source.
+    pub text: &'a str,
+    /// The 1-based line the token starts on.
+    pub line: u32,
+}
+
+impl<'a> Token<'a> {
+    /// True when the token is a comment of either form.
+    pub fn is_comment(&self) -> bool {
+        matches!(self.kind, TokenKind::LineComment | TokenKind::BlockComment)
+    }
+}
+
+/// Tokenizes `src` into a flat stream.  The scanner never fails: byte
+/// sequences that are not valid Rust degrade into `Punct`/`Ident` noise
+/// rather than aborting the file, which is the right trade-off for a
+/// linter that must keep going.
+pub fn tokenize(src: &str) -> Vec<Token<'_>> {
+    Scanner {
+        src,
+        bytes: src.as_bytes(),
+        pos: 0,
+        line: 1,
+    }
+    .run()
+}
+
+struct Scanner<'a> {
+    src: &'a str,
+    bytes: &'a [u8],
+    pos: usize,
+    line: u32,
+}
+
+fn is_ident_start(b: u8) -> bool {
+    b.is_ascii_alphabetic() || b == b'_' || b >= 0x80
+}
+
+fn is_ident_continue(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_' || b >= 0x80
+}
+
+impl<'a> Scanner<'a> {
+    fn peek(&self, ahead: usize) -> u8 {
+        self.bytes.get(self.pos + ahead).copied().unwrap_or(0)
+    }
+
+    fn bump(&mut self) -> u8 {
+        let b = self.bytes[self.pos];
+        self.pos += 1;
+        if b == b'\n' {
+            self.line += 1;
+        }
+        b
+    }
+
+    fn run(mut self) -> Vec<Token<'a>> {
+        let mut tokens = Vec::new();
+        while self.pos < self.bytes.len() {
+            let b = self.peek(0);
+            if b.is_ascii_whitespace() {
+                self.bump();
+                continue;
+            }
+            let start = self.pos;
+            let line = self.line;
+            let kind = self.scan_token(b);
+            tokens.push(Token {
+                kind,
+                text: &self.src[start..self.pos],
+                line,
+            });
+        }
+        tokens
+    }
+
+    fn scan_token(&mut self, b: u8) -> TokenKind {
+        match b {
+            b'/' if self.peek(1) == b'/' => self.line_comment(),
+            b'/' if self.peek(1) == b'*' => self.block_comment(),
+            b'r' if self.raw_string_hashes().is_some() => {
+                let hashes = self.raw_string_hashes().unwrap_or(0);
+                self.pos += 1; // r
+                self.raw_string(hashes)
+            }
+            b'b' if self.peek(1) == b'"' => {
+                self.pos += 1; // b
+                self.quoted_string()
+            }
+            b'b' if self.peek(1) == b'r' && self.raw_byte_hashes().is_some() => {
+                let hashes = self.raw_byte_hashes().unwrap_or(0);
+                self.pos += 2; // br
+                self.raw_string(hashes)
+            }
+            b'b' if self.peek(1) == b'\'' => {
+                self.pos += 1; // b
+                self.char_or_lifetime()
+            }
+            b'"' => self.quoted_string(),
+            b'\'' => self.char_or_lifetime(),
+            _ if is_ident_start(b) => self.ident(),
+            _ if b.is_ascii_digit() => self.number(),
+            _ => {
+                self.bump();
+                TokenKind::Punct
+            }
+        }
+    }
+
+    /// For `r"…"` / `r#"…"#` at the cursor (`r` under it): the number of
+    /// `#`s, or `None` when this `r` starts a plain or raw identifier.
+    fn raw_string_hashes(&self) -> Option<usize> {
+        let mut ahead = 1;
+        while self.peek(ahead) == b'#' {
+            ahead += 1;
+        }
+        if self.peek(ahead) == b'"' {
+            // `r#ident` has hashes followed by an ident char, not a quote,
+            // so reaching the quote means a genuine raw string.
+            Some(ahead - 1)
+        } else {
+            None
+        }
+    }
+
+    /// As [`Scanner::raw_string_hashes`], for `br…` byte strings.
+    fn raw_byte_hashes(&self) -> Option<usize> {
+        let mut ahead = 2;
+        while self.peek(ahead) == b'#' {
+            ahead += 1;
+        }
+        (self.peek(ahead) == b'"').then(|| ahead - 2)
+    }
+
+    fn line_comment(&mut self) -> TokenKind {
+        while self.pos < self.bytes.len() && self.peek(0) != b'\n' {
+            self.bump();
+        }
+        TokenKind::LineComment
+    }
+
+    fn block_comment(&mut self) -> TokenKind {
+        self.bump(); // /
+        self.bump(); // *
+        let mut depth = 1usize;
+        while self.pos < self.bytes.len() && depth > 0 {
+            if self.peek(0) == b'/' && self.peek(1) == b'*' {
+                self.bump();
+                self.bump();
+                depth += 1;
+            } else if self.peek(0) == b'*' && self.peek(1) == b'/' {
+                self.bump();
+                self.bump();
+                depth -= 1;
+            } else {
+                self.bump();
+            }
+        }
+        TokenKind::BlockComment
+    }
+
+    /// A `"…"`-quoted string with escapes; the cursor is on the quote.
+    fn quoted_string(&mut self) -> TokenKind {
+        self.bump(); // "
+        while self.pos < self.bytes.len() {
+            match self.bump() {
+                b'\\' if self.pos < self.bytes.len() => {
+                    self.bump();
+                }
+                b'"' => break,
+                _ => {}
+            }
+        }
+        TokenKind::Str
+    }
+
+    /// A raw string body; the cursor is on the hash run (or the quote).
+    fn raw_string(&mut self, hashes: usize) -> TokenKind {
+        for _ in 0..hashes {
+            self.bump(); // #
+        }
+        self.bump(); // "
+        while self.pos < self.bytes.len() {
+            if self.bump() == b'"' {
+                let mut matched = 0;
+                while matched < hashes && self.peek(0) == b'#' {
+                    self.bump();
+                    matched += 1;
+                }
+                if matched == hashes {
+                    break;
+                }
+            }
+        }
+        TokenKind::Str
+    }
+
+    /// Disambiguates `'a'` (char) from `'a` (lifetime): after the quote, an
+    /// ident char not followed by a closing quote is a lifetime.
+    fn char_or_lifetime(&mut self) -> TokenKind {
+        self.bump(); // '
+        if is_ident_start(self.peek(0)) && self.peek(1) != b'\'' {
+            while is_ident_continue(self.peek(0)) {
+                self.bump();
+            }
+            return TokenKind::Lifetime;
+        }
+        while self.pos < self.bytes.len() {
+            match self.bump() {
+                b'\\' if self.pos < self.bytes.len() => {
+                    self.bump();
+                }
+                b'\'' => break,
+                _ => {}
+            }
+        }
+        TokenKind::CharLit
+    }
+
+    fn ident(&mut self) -> TokenKind {
+        // Raw identifier prefix: `r#ident`.
+        if self.peek(0) == b'r' && self.peek(1) == b'#' && is_ident_start(self.peek(2)) {
+            self.bump();
+            self.bump();
+        }
+        while is_ident_continue(self.peek(0)) {
+            self.bump();
+        }
+        TokenKind::Ident
+    }
+
+    fn number(&mut self) -> TokenKind {
+        while is_ident_continue(self.peek(0))
+            || (self.peek(0) == b'.' && self.peek(1).is_ascii_digit())
+        {
+            self.bump();
+        }
+        TokenKind::Number
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokenKind, &str)> {
+        tokenize(src)
+            .into_iter()
+            .map(|t| (t.kind, t.text))
+            .collect()
+    }
+
+    #[test]
+    fn comments_and_strings_are_not_code() {
+        let toks = kinds("let x = \"HashMap\"; // HashMap\n/* HashMap */ y");
+        let code_idents: Vec<&str> = toks
+            .iter()
+            .filter(|(k, _)| *k == TokenKind::Ident)
+            .map(|(_, t)| *t)
+            .collect();
+        assert_eq!(code_idents, ["let", "x", "y"]);
+    }
+
+    #[test]
+    fn raw_strings_swallow_their_content() {
+        let toks = kinds("r#\"inner \" quote HashMap\"# after");
+        assert_eq!(toks[0].0, TokenKind::Str);
+        assert_eq!(toks[1], (TokenKind::Ident, "after"));
+    }
+
+    #[test]
+    fn nested_block_comments_close_correctly() {
+        let toks = kinds("/* outer /* inner */ still */ code");
+        assert_eq!(toks[0].0, TokenKind::BlockComment);
+        assert_eq!(toks[1], (TokenKind::Ident, "code"));
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let toks = kinds("&'a str 'x' '\\n' b'z' 'static");
+        let lifetimes: Vec<&str> = toks
+            .iter()
+            .filter(|(k, _)| *k == TokenKind::Lifetime)
+            .map(|(_, t)| *t)
+            .collect();
+        assert_eq!(lifetimes, ["'a", "'static"]);
+        let chars = toks
+            .iter()
+            .filter(|(k, _)| *k == TokenKind::CharLit)
+            .count();
+        assert_eq!(chars, 3);
+    }
+
+    #[test]
+    fn raw_idents_are_single_tokens() {
+        let toks = kinds("r#type r\"str\" rail");
+        assert_eq!(toks[0], (TokenKind::Ident, "r#type"));
+        assert_eq!(toks[1].0, TokenKind::Str);
+        assert_eq!(toks[2], (TokenKind::Ident, "rail"));
+    }
+
+    #[test]
+    fn lines_are_tracked_across_multiline_tokens() {
+        let toks = tokenize("a\n/* two\nlines */ b\n\"s\ntr\" c");
+        let by_text: Vec<(&str, u32)> = toks.iter().map(|t| (t.text, t.line)).collect();
+        assert_eq!(by_text[0], ("a", 1));
+        assert_eq!(by_text[1].1, 2); // block comment starts on line 2
+        assert_eq!(by_text[2], ("b", 3));
+        assert_eq!(by_text[4], ("c", 5));
+    }
+
+    #[test]
+    fn numbers_with_suffixes_and_ranges() {
+        let toks = kinds("1.5e3 0xffu64 1..4");
+        assert_eq!(toks[0], (TokenKind::Number, "1.5e3"));
+        assert_eq!(toks[1], (TokenKind::Number, "0xffu64"));
+        assert_eq!(toks[2], (TokenKind::Number, "1"));
+        assert_eq!(toks[3], (TokenKind::Punct, "."));
+        assert_eq!(toks[4], (TokenKind::Punct, "."));
+        assert_eq!(toks[5], (TokenKind::Number, "4"));
+    }
+}

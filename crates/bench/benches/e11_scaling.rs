@@ -23,8 +23,7 @@ fn print_fragment_growth() {
         .len();
     let exhaustive =
         FragmentCollection::build(&machine, r, FragmentSource::Exhaustive { cap: 200_000 })
-            .map(|c| c.len().to_string())
-            .unwrap_or_else(|_| "cap exceeded".to_string());
+            .map_or_else(|_| "cap exceeded".to_string(), |c| c.len().to_string());
     eprintln!("  {r}   {windows:>7}  {decoys:>14}  {exhaustive:>12}");
 }
 
@@ -136,7 +135,7 @@ fn write_perf_snapshot() {
                 let center = ball.center();
                 ObliviousView::from_parts(ball.graph().clone(), center, 2, labels)
             })
-            .max_by_key(|view| view.node_count())
+            .max_by_key(local_decision::prelude::ObliviousView::node_count)
             .expect("grid has nodes");
         records.push(perf::measure("canonical_code_grid_view", 20, || {
             interior.canonical_code()
@@ -179,7 +178,7 @@ fn bench(c: &mut Criterion) {
         let labeled = LabeledGraph::uniform(generators::cycle(n), 0u8);
         let input = Input::with_consecutive_ids(labeled).unwrap();
         group.bench_with_input(BenchmarkId::new("ball_extraction_cycle", n), &n, |b, _| {
-            b.iter(|| input.view(NodeId(0), 3))
+            b.iter(|| input.view(NodeId(0), 3));
         });
     }
 
@@ -195,12 +194,12 @@ fn bench(c: &mut Criterion) {
     {
         let labeled = LabeledGraph::uniform(generators::grid(10, 10), 0u8);
         group.bench_function("distinct_views_grid_radius2_canonical", |b| {
-            b.iter(|| enumeration::distinct_oblivious_views_of(&labeled, 2).len())
+            b.iter(|| enumeration::distinct_oblivious_views_of(&labeled, 2).len());
         });
         group.bench_function("distinct_views_grid_radius2_seedpath", |b| {
             b.iter(|| {
                 enumeration::distinct_oblivious_views_pairwise(seed_collect(&labeled, 2)).len()
-            })
+            });
         });
     }
 
@@ -210,13 +209,13 @@ fn bench(c: &mut Criterion) {
         Verdict::from_bool(view.labels().iter().map(|&l| l as u32).sum::<u32>() % 2 == 0)
     });
     group.bench_function("engine_view_function_grid16", |b| {
-        b.iter(|| decision::run_local(&input, &algorithm).accepted())
+        b.iter(|| decision::run_local(&input, &algorithm).accepted());
     });
     group.bench_function("engine_parallel4_grid16", |b| {
-        b.iter(|| decision::run_local_parallel(&input, &algorithm, 4).accepted())
+        b.iter(|| decision::run_local_parallel(&input, &algorithm, 4).accepted());
     });
     group.bench_function("engine_message_passing_grid16", |b| {
-        b.iter(|| engine::run_with_engine(&input, &algorithm).accepted())
+        b.iter(|| engine::run_with_engine(&input, &algorithm).accepted());
     });
     group.finish();
 }

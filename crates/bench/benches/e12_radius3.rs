@@ -172,10 +172,10 @@ fn bench(c: &mut Criterion) {
                     .iter()
                     .map(Vec::len)
                     .sum::<usize>()
-            })
+            });
         });
         group.bench_function("profile_radii0to3_per_radius/11", |b| {
-            b.iter(|| per_radius_profile(&labeled, 3, &cache))
+            b.iter(|| per_radius_profile(&labeled, 3, &cache));
         });
     }
 

@@ -88,19 +88,19 @@ fn bench(c: &mut Criterion) {
         .warm_up_time(Duration::from_millis(200))
         .measurement_time(Duration::from_millis(800));
     group.bench_function("build_large_instance_r1", |b| {
-        b.iter(|| params.large_instance().unwrap())
+        b.iter(|| params.large_instance().unwrap());
     });
     group.bench_function("classify_large_instance_r1", |b| {
         let t = params.large_instance().unwrap();
-        b.iter(|| params.classify(&t))
+        b.iter(|| params.classify(&t));
     });
     group.bench_function("coverage_r1_radius1", |b| {
-        b.iter(|| s2::large_instance_view_coverage(&params, 1, 16).unwrap())
+        b.iter(|| s2::large_instance_view_coverage(&params, 1, 16).unwrap());
     });
     group.bench_function("id_decider_on_large_instance", |b| {
         let inputs = s2::experiment_inputs(&params, 0).unwrap();
         let decider = IdBasedDecider::new(params.clone());
-        b.iter(|| decision::run_local(&inputs[0], &decider).accepted())
+        b.iter(|| decision::run_local(&inputs[0], &decider).accepted());
     });
     group.finish();
 }

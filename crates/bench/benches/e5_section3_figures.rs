@@ -109,21 +109,21 @@ fn bench(c: &mut Criterion) {
         .measurement_time(Duration::from_millis(800));
     let spec = zoo::halts_with_output(3, Symbol(1));
     group.bench_function("build_gmr_walk3", |b| {
-        b.iter(|| c3::build_gmr(&spec.machine, 1, 10_000, SOURCE).unwrap())
+        b.iter(|| c3::build_gmr(&spec.machine, 1, 10_000, SOURCE).unwrap());
     });
     group.bench_function("neighborhood_generator_walk3", |b| {
-        b.iter(|| c3::neighborhood_generator(&spec.machine, 1, SOURCE).unwrap())
+        b.iter(|| c3::neighborhood_generator(&spec.machine, 1, SOURCE).unwrap());
     });
     group.bench_function("two_stage_decider_walk3", |b| {
         let input = s3::gmr_input(&spec.machine, 1, 10_000, SOURCE).unwrap();
         let decider = s3::TwoStageIdDecider::new(10_000);
-        b.iter(|| decision::run_local(&input, &decider).accepted())
+        b.iter(|| decision::run_local(&input, &decider).accepted());
     });
     group.bench_function("pyramid_h4_build_and_verify", |b| {
         b.iter(|| {
             let p = Pyramid::new(4).unwrap();
             p.verify_structure()
-        })
+        });
     });
     group.finish();
 }

@@ -62,7 +62,7 @@ fn bench(c: &mut Criterion) {
     let decider = RandomizedGmrDecider::new(1 << 20);
     group.bench_function("randomised_decider_one_run", |b| {
         let mut rng = StdRng::seed_from_u64(7);
-        b.iter(|| decision::run_randomized(&input, &decider, &mut rng).accepted())
+        b.iter(|| decision::run_randomized(&input, &decider, &mut rng).accepted());
     });
     group.bench_function("astar_simulation_universe8_cycle8", |b| {
         let inner = FnLocal::new("ids-below-16", 1, |view: &View<u8>| {
@@ -71,7 +71,7 @@ fn bench(c: &mut Criterion) {
         let simulated = ObliviousSimulation::new(inner, 8);
         let labeled = LabeledGraph::uniform(generators::cycle(8), 0u8);
         let cycle_input = Input::with_consecutive_ids(labeled).unwrap();
-        b.iter(|| decision::run_oblivious(&cycle_input, &simulated).accepted())
+        b.iter(|| decision::run_oblivious(&cycle_input, &simulated).accepted());
     });
     group.finish();
 }

@@ -74,7 +74,7 @@ fn bench(c: &mut Criterion) {
                 executor::execute(&scenarios::Section2Sweep, &config(threads))
                     .unwrap()
                     .passed()
-            })
+            });
         });
     }
     group.finish();

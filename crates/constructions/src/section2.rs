@@ -20,9 +20,9 @@
 use crate::error::ConstructionError;
 use crate::Result;
 use ld_graph::{generators, Graph, LabeledGraph, NodeId};
+use ld_local::hashing::{FxHashMap, FxHashSet};
 use ld_local::{IdBound, Property};
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
 
 /// A position in a layered complete binary tree: `x` is the horizontal index
 /// within level `y` (`0 <= x < 2^y`).
@@ -227,8 +227,7 @@ impl Section2Params {
     /// neighbour in `T_r` outside the subtree.
     pub fn border_coords(&self, root: Coord) -> Vec<Coord> {
         let depth = self.big_depth();
-        let members: std::collections::HashSet<Coord> =
-            self.subtree_coords(root).into_iter().collect();
+        let members: FxHashSet<Coord> = self.subtree_coords(root).into_iter().collect();
         let mut border: Vec<Coord> = members
             .iter()
             .copied()
@@ -260,7 +259,7 @@ impl Section2Params {
             });
         }
         let coords = self.subtree_coords(root);
-        let index: HashMap<Coord, usize> = coords
+        let index: FxHashMap<Coord, usize> = coords
             .iter()
             .copied()
             .enumerate()
@@ -319,7 +318,7 @@ impl Section2Params {
             .filter_map(|(v, l)| l.coord.is_none().then_some(v))
             .collect();
         // Map coordinates to nodes, rejecting duplicates and invalid coords.
-        let mut coord_of: HashMap<Coord, NodeId> = HashMap::new();
+        let mut coord_of: FxHashMap<Coord, NodeId> = FxHashMap::default();
         for (v, l) in lg.iter() {
             if let Some(c) = l.coord {
                 if c.y > depth || c.x >= (1u64 << c.y) {
@@ -340,7 +339,7 @@ impl Section2Params {
     fn classify_large(
         &self,
         lg: &LabeledGraph<Section2Label>,
-        coord_of: &HashMap<Coord, NodeId>,
+        coord_of: &FxHashMap<Coord, NodeId>,
     ) -> InstanceClass {
         let depth = self.big_depth();
         if lg.node_count() != self.large_instance_size() {
@@ -367,7 +366,7 @@ impl Section2Params {
     fn classify_small(
         &self,
         lg: &LabeledGraph<Section2Label>,
-        coord_of: &HashMap<Coord, NodeId>,
+        coord_of: &FxHashMap<Coord, NodeId>,
         pivot: NodeId,
     ) -> InstanceClass {
         let depth = self.big_depth();
@@ -393,8 +392,7 @@ impl Section2Params {
         {
             return InstanceClass::Invalid;
         }
-        let border: std::collections::HashSet<Coord> =
-            self.border_coords(root).into_iter().collect();
+        let border: FxHashSet<Coord> = self.border_coords(root).into_iter().collect();
         // Check every coordinate node's neighbourhood: its in-subtree tree
         // neighbours, plus the pivot iff it is a border node.
         for (&c, &v) in coord_of {

@@ -348,7 +348,7 @@ fn interchangeable(graph: &Graph, members: &[usize]) -> bool {
     let inside = |v: usize| members.contains(&v);
     let first_outside: Vec<usize> = graph
         .neighbors(NodeId::from(members[0]))
-        .map(|u| u.index())
+        .map(super::graph::NodeId::index)
         .filter(|&u| !inside(u))
         .collect();
     let first_inside_degree = graph

@@ -190,7 +190,7 @@ mod tests {
     #[test]
     fn map_labels_preserves_structure() {
         let g = generators::cycle(5);
-        let lg = LabeledGraph::from_fn(g, |v| v.index());
+        let lg = LabeledGraph::from_fn(g, super::super::graph::NodeId::index);
         let doubled = lg.map_labels(|_, &l| l * 2);
         assert_eq!(doubled.graph().edge_count(), 5);
         assert_eq!(*doubled.label(NodeId(3)), 6);

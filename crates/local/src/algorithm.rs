@@ -142,6 +142,7 @@ impl<L: Clone, A: OrderInvariantAlgorithm<L>> LocalAlgorithm<L> for OrderInvaria
         let ranks: Vec<u64> = view
             .ids()
             .iter()
+            // ld-analyze: allow(D004, reason = "invariant: sorted is a sorted copy of the same ids vector, so every id is found")
             .map(|id| sorted.binary_search(id).expect("id is present") as u64)
             .collect();
         let ranked = View::from_parts(

@@ -28,18 +28,26 @@
 //! this repo sweeps — no longer serialise on a mutex (the convoy that made
 //! 2–4-thread sweeps slower than sequential ones).  Hit/miss counters are
 //! plain atomics and may be read at any time via [`ViewCache::stats`].
+//!
+//! The cache is generic over [`interleave::SyncFacade`]: production code
+//! uses the default [`StdSync`] parameter (plain `std::sync`, zero
+//! overhead), while the model suite instantiates `interleave::ModelSync`
+//! and exhaustively explores worker interleavings to check the publication
+//! invariant — every structural class creates its entry **exactly once**,
+//! and every concurrent lookup observes the same canonical code.
 
 use crate::algorithm::Verdict;
 use crate::hashing::{FxHashMap, FxHasher};
 use crate::view::ObliviousView;
+use interleave::{AtomicU64Api, RwLockApi, StdSync, SyncFacade};
 use ld_graph::canon::CanonicalCode;
 use std::hash::{Hash, Hasher};
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, RwLock};
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
 
-/// Number of independent shards.  A power of two so the shard index is a
-/// mask; 64 keeps write contention negligible for any realistic thread
-/// count (reads are shared and contend only with writes).
+/// Default number of independent shards.  A power of two so the shard
+/// index is a mask; 64 keeps write contention negligible for any realistic
+/// thread count (reads are shared and contend only with writes).
 const SHARDS: usize = 64;
 
 /// A snapshot of cache effectiveness counters.
@@ -96,33 +104,59 @@ struct ClassEntry {
     verdicts: Vec<(String, Verdict)>,
 }
 
+/// One lock-protected shard: exact views mapped to their memoized data.
+type Shard<L> = FxHashMap<ObliviousView<L>, ClassEntry>;
+
 /// A shared canonical-view cache, safe to use from many threads at once.
 ///
 /// One cache serves one label type `L`; a sweep touching several label
 /// families keeps one cache per family and merges their [`CacheStats`].
-pub struct ViewCache<L> {
-    shards: Vec<RwLock<FxHashMap<ObliviousView<L>, ClassEntry>>>,
-    hits: AtomicU64,
-    misses: AtomicU64,
-    entries: AtomicU64,
+///
+/// The second parameter selects the synchronisation family and defaults to
+/// the production [`StdSync`]; only the model suite names it explicitly.
+pub struct ViewCache<L: Send + Sync, S: SyncFacade = StdSync> {
+    shards: Vec<S::RwLock<Shard<L>>>,
+    hits: S::AtomicU64,
+    misses: S::AtomicU64,
+    entries: S::AtomicU64,
 }
 
-impl<L> Default for ViewCache<L> {
+impl<L: Send + Sync> Default for ViewCache<L> {
     fn default() -> Self {
         Self::new()
     }
 }
 
-impl<L> ViewCache<L> {
-    /// Creates an empty cache.
+impl<L: Send + Sync> ViewCache<L> {
+    /// Creates an empty cache with the production shard count.
+    ///
+    /// (Defined for the default `StdSync` family only, so plain
+    /// `ViewCache::new()` call sites never face an ambiguous facade;
+    /// model tests use [`ViewCache::with_shards`] and name their facade.)
     pub fn new() -> Self {
+        Self::with_shards(SHARDS)
+    }
+}
+
+impl<L: Send + Sync, S: SyncFacade> ViewCache<L, S> {
+    /// Creates an empty cache over `shards` independent shards.
+    ///
+    /// `shards` must be a power of two no larger than 64 (the shard index
+    /// is taken from hash bits 51..57 — see [`ViewCache::shard_of`]).
+    /// Production uses [`ViewCache::new`]; the model suite shrinks to two
+    /// shards so schedule exploration actually exercises shard sharing.
+    pub fn with_shards(shards: usize) -> Self {
+        assert!(
+            shards.is_power_of_two() && shards <= 64,
+            "shard count must be a power of two <= 64, got {shards}"
+        );
         ViewCache {
-            shards: (0..SHARDS)
-                .map(|_| RwLock::new(FxHashMap::default()))
+            shards: (0..shards)
+                .map(|_| S::RwLock::new(FxHashMap::default()))
                 .collect(),
-            hits: AtomicU64::new(0),
-            misses: AtomicU64::new(0),
-            entries: AtomicU64::new(0),
+            hits: S::AtomicU64::new(0),
+            misses: S::AtomicU64::new(0),
+            entries: S::AtomicU64::new(0),
         }
     }
 
@@ -136,13 +170,10 @@ impl<L> ViewCache<L> {
     }
 }
 
-impl<L: Clone + Eq + Hash> ViewCache<L> {
+impl<L: Clone + Eq + Hash + Send + Sync, S: SyncFacade> ViewCache<L, S> {
     /// The shard a view lives in.  Any hash works; the view's own `Hash`
     /// impl is exact, so identical views always land in the same shard.
-    fn shard_of(
-        &self,
-        view: &ObliviousView<L>,
-    ) -> &RwLock<FxHashMap<ObliviousView<L>, ClassEntry>> {
+    fn shard_of(&self, view: &ObliviousView<L>) -> &S::RwLock<Shard<L>> {
         let mut hasher = FxHasher::default();
         view.hash(&mut hasher);
         // Multiplicative hashes concentrate entropy in the high bits, but
@@ -150,22 +181,20 @@ impl<L: Clone + Eq + Hash> ViewCache<L> {
         // shard's inner map — deriving the shard from them would leave every
         // key in a shard sharing its tag, degrading probe filtering.  Take
         // bits 51..57 instead: still high-entropy, disjoint from h2.
-        &self.shards[(hasher.finish() >> 51) as usize & (SHARDS - 1)]
+        &self.shards[(hasher.finish() >> 51) as usize & (self.shards.len() - 1)]
     }
 
-    /// Reads memoized data for `view` under the shard's *shared* lock,
-    /// recovering from poison (shard data is complete-or-absent, so a panic
-    /// elsewhere must not cascade into unrelated lookups — that would break
-    /// the executor's panic-isolation contract).  Never runs user code.
+    /// Reads memoized data for `view` under the shard's *shared* lock.
+    /// The facade lock recovers from poison (shard data is
+    /// complete-or-absent, so a panic elsewhere must not cascade into
+    /// unrelated lookups — that would break the executor's
+    /// panic-isolation contract).  Never runs user code.
     fn read<T>(
         &self,
         view: &ObliviousView<L>,
         extract: impl FnOnce(&ClassEntry) -> Option<T>,
     ) -> Option<T> {
-        let shard = self
-            .shard_of(view)
-            .read()
-            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        let shard = self.shard_of(view).read();
         shard.get(view).and_then(extract)
     }
 
@@ -173,10 +202,7 @@ impl<L: Clone + Eq + Hash> ViewCache<L> {
     /// creating the entry on first sight.  Never runs user code under the
     /// lock.
     fn store(&self, view: &ObliviousView<L>, write: impl FnOnce(&mut ClassEntry)) {
-        let mut shard = self
-            .shard_of(view)
-            .write()
-            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        let mut shard = self.shard_of(view).write();
         let entry = shard.entry(view.clone()).or_insert_with(|| {
             self.entries.fetch_add(1, Ordering::Relaxed);
             ClassEntry::default()
@@ -249,10 +275,7 @@ impl<L: Clone + Eq + Hash> ViewCache<L> {
     /// Drops every entry and resets the counters.
     pub fn clear(&self) {
         for shard in &self.shards {
-            shard
-                .write()
-                .unwrap_or_else(std::sync::PoisonError::into_inner)
-                .clear();
+            shard.write().clear();
         }
         self.hits.store(0, Ordering::Relaxed);
         self.misses.store(0, Ordering::Relaxed);
@@ -389,6 +412,67 @@ mod tests {
         assert_eq!(
             cache.verdict("exploder", &views[0], |_| Verdict::No),
             Verdict::No
+        );
+    }
+
+    /// Model suite: two workers race `canonical_code` on the same two
+    /// fresh classes (in opposite orders) under every schedule the
+    /// explorer reaches — the cache must publish each class's entry
+    /// exactly once and serve every lookup the same canonical code, no
+    /// matter how shard-lock acquisitions and counter updates interleave.
+    #[test]
+    fn model_concurrent_publication_is_exactly_once() {
+        use interleave::ModelSync;
+
+        // Two structurally distinct radius-1 views of a path: an end view
+        // (degree-1 centre) and an interior view (degree-2 centre).
+        let labeled = LabeledGraph::uniform(generators::path(5), 0u8);
+        let views = crate::enumeration::collect_oblivious_views(&labeled, 1);
+        let a = views[0].clone();
+        let code_a = a.canonical_code();
+        let b = views
+            .iter()
+            .find(|v| v.canonical_code() != code_a)
+            .expect("a 5-path has at least two view classes at radius 1")
+            .clone();
+        let code_b = b.canonical_code();
+
+        let report = interleave::model_with(interleave::Config::with_max_schedules(2000), || {
+            // Two shards, so distinct classes can both share and split
+            // shards depending on their hashes — either way the invariant
+            // must hold.
+            let cache: ViewCache<u8, ModelSync> = ViewCache::with_shards(2);
+            let worker_fns: Vec<_> = [
+                [(&a, &code_a), (&b, &code_b)],
+                [(&b, &code_b), (&a, &code_a)],
+            ]
+            .into_iter()
+            .map(|order| {
+                let cache = &cache;
+                move || {
+                    for (view, expected) in order {
+                        assert_eq!(
+                            *cache.canonical_code(view),
+                            *expected,
+                            "racing lookup observed a wrong canonical code"
+                        );
+                    }
+                }
+            })
+            .collect();
+            ModelSync::scope_workers(worker_fns, || ());
+            let stats = cache.stats();
+            assert_eq!(
+                stats.entries, 2,
+                "each class must publish its entry exactly once"
+            );
+            assert_eq!(stats.hits + stats.misses, 4);
+            assert!(stats.misses >= 2, "both classes start cold");
+        });
+        assert!(
+            report.schedules >= 1000,
+            "expected >=1000 distinct schedules, explored {}",
+            report.schedules
         );
     }
 

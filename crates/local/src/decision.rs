@@ -112,7 +112,7 @@ pub fn run_oblivious<L: Clone, A: ObliviousAlgorithm<L> + ?Sized>(
 /// expose the same handful of view classes over and over.
 pub fn run_oblivious_cached<L, A>(input: &Input<L>, algorithm: &A, cache: &ViewCache<L>) -> Decision
 where
-    L: Clone + Eq + Hash,
+    L: Clone + Eq + Hash + Send + Sync,
     A: ObliviousAlgorithm<L> + ?Sized,
 {
     let radius = algorithm.radius();

@@ -31,7 +31,6 @@ use crate::input::Input;
 use crate::view::{ObliviousView, View};
 use ld_graph::canon::CanonicalCode;
 use ld_graph::{BallExtractor, LabeledGraph};
-use std::collections::HashMap;
 use std::hash::Hash;
 use std::sync::Arc;
 
@@ -168,6 +167,7 @@ pub fn collect_oblivious_views<L: Clone>(
         .map(|v| {
             let ball = extractor
                 .extract(labeled.graph(), v, radius)
+                // ld-analyze: allow(D004, reason = "invariant: v iterates over this graph's own nodes")
                 .expect("node comes from the graph itself");
             let labels = ball
                 .mapping()
@@ -261,6 +261,7 @@ fn distinct_of_budgeted_impl<L: Clone + Eq + Hash>(
         let cap = usize::try_from(remaining).unwrap_or(usize::MAX);
         let Some(key) = extractor
             .exact_key_within(labeled.graph(), v, radius, cap, |u| label_hash(labeled, u))
+            // ld-analyze: allow(D004, reason = "invariant: v iterates over this graph's own nodes")
             .expect("node comes from the graph itself")
         else {
             usage.exhausted = true;
@@ -309,7 +310,7 @@ pub fn distinct_oblivious_views_of_budgeted<L: Clone + Eq + Hash>(
 
 /// [`distinct_oblivious_views_of_budgeted`], with canonical codes served
 /// from a shared [`ViewCache`].
-pub fn distinct_oblivious_views_of_budgeted_cached<L: Clone + Eq + Hash>(
+pub fn distinct_oblivious_views_of_budgeted_cached<L: Clone + Eq + Hash + Send + Sync>(
     labeled: &LabeledGraph<L>,
     radius: usize,
     cache: &ViewCache<L>,
@@ -328,7 +329,7 @@ pub fn distinct_oblivious_views_of_budgeted_cached<L: Clone + Eq + Hash>(
 /// The budget is shared across all radii (each ball charges its node count
 /// at every radius it is fingerprinted at); on exhaustion the per-radius
 /// results already gathered are returned with `exhausted = true`.
-pub fn distinct_views_by_radius_cached<L: Clone + Eq + Hash>(
+pub fn distinct_views_by_radius_cached<L: Clone + Eq + Hash + Send + Sync>(
     labeled: &LabeledGraph<L>,
     max_radius: usize,
     cache: &ViewCache<L>,
@@ -351,6 +352,7 @@ pub fn distinct_views_by_radius_cached<L: Clone + Eq + Hash>(
             let key = if radius == 0 {
                 match extractor
                     .exact_key_within(graph, v, 0, cap, |u| label_hash(labeled, u))
+                    // ld-analyze: allow(D004, reason = "invariant: v iterates over this graph's own nodes")
                     .expect("node comes from the graph itself")
                 {
                     Some(key) => key,
@@ -395,7 +397,7 @@ pub fn distinct_views_by_radius_cached<L: Clone + Eq + Hash>(
 /// [`distinct_oblivious_views`], with canonical codes served from a shared
 /// [`ViewCache`].  The result is identical; repeated canonicalisation of
 /// structurally identical views across a sweep is computed once.
-pub fn distinct_oblivious_views_cached<L: Clone + Eq + Hash>(
+pub fn distinct_oblivious_views_cached<L: Clone + Eq + Hash + Send + Sync>(
     views: Vec<ObliviousView<L>>,
     cache: &ViewCache<L>,
 ) -> Vec<ObliviousView<L>> {
@@ -414,7 +416,7 @@ pub fn distinct_oblivious_views_cached<L: Clone + Eq + Hash>(
 /// repeated layouts within the graph, and each unique layout's canonical
 /// code is served from (or inserted into) the cache, so repeated instances
 /// across a sweep canonicalise nothing at all.
-pub fn distinct_oblivious_views_of_cached<L: Clone + Eq + Hash>(
+pub fn distinct_oblivious_views_of_cached<L: Clone + Eq + Hash + Send + Sync>(
     labeled: &LabeledGraph<L>,
     radius: usize,
     cache: &ViewCache<L>,
@@ -428,7 +430,7 @@ pub fn distinct_oblivious_views_of_cached<L: Clone + Eq + Hash>(
 pub fn distinct_oblivious_views_pairwise<L: Clone + Eq + Hash>(
     views: Vec<ObliviousView<L>>,
 ) -> Vec<ObliviousView<L>> {
-    let mut buckets: HashMap<u64, Vec<ObliviousView<L>>> = HashMap::new();
+    let mut buckets: FxHashMap<u64, Vec<ObliviousView<L>>> = FxHashMap::default();
     let mut result = Vec::new();
     for view in views {
         let key = view.canonical_key();
@@ -492,7 +494,7 @@ pub fn coverage<L: Clone + Eq + Hash>(
 /// The result is identical to [`coverage`]: equal codes mean isomorphic
 /// views, so membership in the family's code set is exactly occurrence up to
 /// isomorphism.
-pub fn coverage_cached<L: Clone + Eq + Hash>(
+pub fn coverage_cached<L: Clone + Eq + Hash + Send + Sync>(
     targets: &[ObliviousView<L>],
     family: &[ObliviousView<L>],
     cache: &ViewCache<L>,

@@ -74,9 +74,11 @@ impl Hasher for FxHasher {
 pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
 
 /// A `HashMap` keyed by the fast in-process hasher.
+// ld-analyze: allow(D001, reason = "definitional site of the deterministic Fx alias the rule points everyone at")
 pub type FxHashMap<K, V> = std::collections::HashMap<K, V, FxBuildHasher>;
 
 /// A `HashSet` keyed by the fast in-process hasher.
+// ld-analyze: allow(D001, reason = "definitional site of the deterministic Fx alias the rule points everyone at")
 pub type FxHashSet<T> = std::collections::HashSet<T, FxBuildHasher>;
 
 #[cfg(test)]

@@ -2,11 +2,11 @@
 //! assumption (B).
 
 use crate::error::LocalError;
+use crate::hashing::FxHashSet;
 use crate::Result;
 use rand::seq::SliceRandom;
 use rand::Rng;
 use serde::{Deserialize, Serialize};
-use std::collections::HashSet;
 use std::fmt;
 use std::sync::Arc;
 
@@ -30,7 +30,7 @@ impl IdAssignment {
     ///
     /// Returns an error if two nodes receive the same identifier.
     pub fn new(ids: Vec<u64>) -> Result<Self> {
-        let mut seen = HashSet::with_capacity(ids.len());
+        let mut seen = FxHashSet::with_capacity_and_hasher(ids.len(), Default::default());
         for &id in &ids {
             if !seen.insert(id) {
                 return Err(LocalError::DuplicateIdentifier { id });
@@ -72,7 +72,7 @@ impl IdAssignment {
             return Err(LocalError::BoundTooSmall { bound, needed: n });
         }
         // Floyd's algorithm for a uniform distinct sample.
-        let mut chosen = HashSet::with_capacity(n);
+        let mut chosen = FxHashSet::with_capacity_and_hasher(n, Default::default());
         for j in (bound - n as u64)..bound {
             let candidate = rng.gen_range(0..=j);
             if !chosen.insert(candidate) {
@@ -87,7 +87,7 @@ impl IdAssignment {
     /// `n` distinct identifiers drawn from a huge range (a stand-in for
     /// assumption (¬B): identifiers unbounded as a function of `n`).
     pub fn random_unbounded<R: Rng + ?Sized>(n: usize, rng: &mut R) -> Self {
-        let mut seen = HashSet::with_capacity(n);
+        let mut seen = FxHashSet::with_capacity_and_hasher(n, Default::default());
         let mut ids = Vec::with_capacity(n);
         while ids.len() < n {
             let candidate = rng.gen::<u64>() >> 1;

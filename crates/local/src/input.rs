@@ -145,6 +145,7 @@ impl<L> Input<L> {
     {
         let ball = extractor
             .extract(self.graph(), v, radius)
+            // ld-analyze: allow(D004, reason = "caller contract: v must be a node of this input's graph")
             .expect("view node must exist");
         let labels = ball
             .mapping()
@@ -189,6 +190,7 @@ impl<L> Input<L> {
     {
         let ball = extractor
             .extract(self.graph(), v, radius)
+            // ld-analyze: allow(D004, reason = "caller contract: v must be a node of this input's graph")
             .expect("view node must exist");
         let labels = ball
             .mapping()
@@ -205,7 +207,7 @@ mod tests {
     use ld_graph::generators;
 
     fn labeled_cycle(n: usize) -> LabeledGraph<usize> {
-        LabeledGraph::from_fn(generators::cycle(n), |v| v.index())
+        LabeledGraph::from_fn(generators::cycle(n), ld_graph::NodeId::index)
     }
 
     #[test]

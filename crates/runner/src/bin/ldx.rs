@@ -8,6 +8,7 @@
 //!                    [--deterministic] [--max-shards N]
 //! ldx resume <report.json> [--threads T] [--no-bench-json] [--max-shards N]
 //! ldx diff <a.json> <b.json>
+//! ldx analyze [--deny-all] [--json] [--root DIR]
 //! ```
 //!
 //! `run` executes the named scenario through the **streaming sharded
@@ -32,7 +33,7 @@ use std::process::ExitCode;
 
 fn usage() -> String {
     let mut out = String::from(
-        "usage:\n  ldx list\n  ldx run <scenario> [--max-n N] [--threads T] [--seed S] [--radius R]\n                     [--node-budget N] [--view-budget N] [--shard-size N]\n                     [--out FILE.json] [--csv FILE.csv] [--no-bench-json]\n                     [--deterministic] [--max-shards N]\n  ldx resume <report.json> [--threads T] [--no-bench-json] [--max-shards N]\n  ldx diff <a.json> <b.json>\n\nscenarios:\n",
+        "usage:\n  ldx list\n  ldx run <scenario> [--max-n N] [--threads T] [--seed S] [--radius R]\n                     [--node-budget N] [--view-budget N] [--shard-size N]\n                     [--out FILE.json] [--csv FILE.csv] [--no-bench-json]\n                     [--deterministic] [--max-shards N]\n  ldx resume <report.json> [--threads T] [--no-bench-json] [--max-shards N]\n  ldx diff <a.json> <b.json>\n  ldx analyze [--deny-all] [--json] [--root DIR]\n\nscenarios:\n",
     );
     for scenario in scenarios::all() {
         out.push_str(&format!(
@@ -366,6 +367,80 @@ fn cmd_diff(args: &[String]) -> Result<bool, String> {
     }
 }
 
+/// `ldx analyze [--deny-all] [--json] [--root DIR]` — the repo-invariant
+/// lint pass (rules D001–D005, see `docs/ANALYZE_RULES.md`).  Prints
+/// findings and suppressions; with `--deny-all` any unsuppressed finding
+/// fails the process, which is what CI gates on.
+fn cmd_analyze(args: &[String]) -> Result<bool, String> {
+    let mut deny_all = false;
+    let mut json = false;
+    let mut root: Option<PathBuf> = None;
+    let mut iter = args.iter();
+    while let Some(flag) = iter.next() {
+        match flag.as_str() {
+            "--deny-all" => deny_all = true,
+            "--json" => json = true,
+            "--root" => {
+                root = Some(PathBuf::from(iter.next().ok_or("--root expects a value")?));
+            }
+            other => return Err(format!("analyze: unknown flag {other}")),
+        }
+    }
+    let root = match root {
+        Some(root) => root,
+        None => workspace_root()?,
+    };
+    let analysis = ld_analyze::analyze_root(&root)?;
+    if json {
+        print!("{}", analysis.to_json());
+    } else {
+        for finding in &analysis.findings {
+            println!(
+                "{}:{}: {} {}",
+                finding.file,
+                finding.line,
+                finding.rule.id(),
+                finding.message
+            );
+        }
+        for sup in &analysis.suppressed {
+            println!(
+                "{}:{}: {} suppressed: {}",
+                sup.file,
+                sup.line,
+                sup.rule.id(),
+                sup.reason
+            );
+        }
+        println!(
+            "ldx analyze: {} finding(s), {} suppressed, {} files scanned",
+            analysis.findings.len(),
+            analysis.suppressed.len(),
+            analysis.files_scanned
+        );
+    }
+    Ok(analysis.is_clean() || !deny_all)
+}
+
+/// Ascends from the current directory to the first `Cargo.toml` declaring
+/// a `[workspace]` — the root `ldx analyze` scans by default.
+fn workspace_root() -> Result<PathBuf, String> {
+    let mut dir = std::env::current_dir().map_err(|e| format!("current dir: {e}"))?;
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if let Ok(text) = std::fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return Ok(dir);
+            }
+        }
+        if !dir.pop() {
+            return Err(
+                "no workspace Cargo.toml above the current directory; pass --root".to_string(),
+            );
+        }
+    }
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let outcome = match args.first().map(String::as_str) {
@@ -376,6 +451,7 @@ fn main() -> ExitCode {
         Some("run") => cmd_run(&args[1..]),
         Some("resume") => cmd_resume(&args[1..]),
         Some("diff") => cmd_diff(&args[1..]),
+        Some("analyze") => cmd_analyze(&args[1..]),
         _ => {
             eprint!("{}", usage());
             return ExitCode::FAILURE;

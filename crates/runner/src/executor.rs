@@ -26,9 +26,10 @@
 use crate::cell::CellResult;
 use crate::report::RunReport;
 use crate::scenario::{Plan, PlannedCell, Scenario, SweepConfig};
+use interleave::{AtomicUsizeApi, MutexApi, StdSync, SyncFacade};
 use std::panic::AssertUnwindSafe;
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::atomic::Ordering;
+// ld-analyze: allow(D002, reason = "wall-clock timings are reporting-only; no control flow depends on them")
 use std::time::Instant;
 
 /// Derives the seed of cell `index` from the master seed: SplitMix64 over
@@ -114,24 +115,47 @@ fn run_parallel(cells: &[PlannedCell], config: &SweepConfig) -> Vec<CellResult> 
         // sequential path produces the identical report.
         return run_sequential(cells, config);
     }
-    let next = AtomicUsize::new(0);
-    let slots: Vec<Mutex<Option<CellResult>>> = cells.iter().map(|_| Mutex::new(None)).collect();
-    std::thread::scope(|scope| {
-        for _ in 0..workers {
-            scope.spawn(|| loop {
+    run_parallel_sync::<StdSync>(cells, config, workers)
+}
+
+/// The parallel work-queue core, generic over the sync facade: claims come
+/// off one shared atomic counter, results land in pre-sized per-cell slots.
+/// Production monomorphises to plain `std::sync` via [`StdSync`]; the model
+/// suite instantiates [`interleave::ModelSync`] to explore every schedule.
+fn run_parallel_sync<S: SyncFacade>(
+    cells: &[PlannedCell],
+    config: &SweepConfig,
+    workers: usize,
+) -> Vec<CellResult> {
+    let next = S::AtomicUsize::new(0);
+    let slots: Vec<S::Mutex<Option<CellResult>>> =
+        cells.iter().map(|_| S::Mutex::new(None)).collect();
+    let worker_fns: Vec<_> = (0..workers)
+        .map(|_| {
+            let next = &next;
+            let slots = &slots;
+            move || loop {
                 let index = next.fetch_add(1, Ordering::Relaxed);
                 let Some(cell) = cells.get(index) else { break };
                 let result = run_cell(cell, index, config);
-                *slots[index].lock().expect("result slot poisoned") = Some(result);
-            });
-        }
-    });
+                *slots[index].lock() = Some(result);
+            }
+        })
+        .collect();
+    S::scope_workers(worker_fns, || ());
     slots
         .into_iter()
-        .map(|slot| {
-            slot.into_inner()
-                .expect("result slot poisoned")
-                .expect("every queue index was claimed by a worker")
+        .enumerate()
+        .map(|(index, slot)| {
+            // Every index below the final counter value was claimed by
+            // exactly one worker, so the slot is always filled; recover
+            // defensively (as an error outcome) instead of unwrapping.
+            slot.into_inner().unwrap_or_else(|| CellResult {
+                spec: cells[index].spec.clone(),
+                seed: cell_seed(config.seed, index),
+                outcome: Err("internal error: result slot never filled".to_string()),
+                wall: std::time::Duration::ZERO,
+            })
         })
         .collect()
 }
@@ -235,6 +259,45 @@ mod tests {
         if hardware >= 2 {
             assert_eq!(effective_workers(2, 1024), 2);
         }
+    }
+
+    /// Model suite: [`run_parallel_sync`] under every schedule the explorer
+    /// reaches within its cap — the work queue must fill every slot with
+    /// the planning-order result no matter how worker claims interleave.
+    #[test]
+    fn model_parallel_slots_filled_in_order_under_all_schedules() {
+        use interleave::ModelSync;
+
+        let report = interleave::model_with(interleave::Config::with_max_schedules(2000), || {
+            let cells: Vec<PlannedCell> = (0..4)
+                .map(|i| {
+                    PlannedCell::new(
+                        CellSpec::new(format!("model/{i}"), [("i", i.to_string())]),
+                        move |seed| {
+                            CellOutcome::new("ok", true).with_metric("seed_low", (seed % 8) as f64)
+                        },
+                    )
+                })
+                .collect();
+            let config = SweepConfig {
+                max_n: 4,
+                threads: 2,
+                seed: 0xfeed,
+                ..SweepConfig::default()
+            };
+            let results = run_parallel_sync::<ModelSync>(&cells, &config, 2);
+            assert_eq!(results.len(), cells.len());
+            for (index, result) in results.iter().enumerate() {
+                assert_eq!(result.spec, cells[index].spec, "slot {index} out of order");
+                assert_eq!(result.seed, cell_seed(config.seed, index));
+                assert!(result.outcome.is_ok(), "slot {index} never filled");
+            }
+        });
+        assert!(
+            report.schedules >= 1000,
+            "expected >=1000 distinct schedules, explored {}",
+            report.schedules
+        );
     }
 
     #[test]

@@ -37,7 +37,7 @@ use std::sync::Arc;
 /// usage)`.  Shared by every scenario cell that compares two instances'
 /// views (promise-cycle pairs, path coverage).
 #[allow(clippy::type_complexity)]
-pub(crate) fn coverage_pair<L: Clone + Eq + Hash>(
+pub(crate) fn coverage_pair<L: Clone + Eq + Hash + Send + Sync>(
     a: &LabeledGraph<L>,
     b: &LabeledGraph<L>,
     radius: usize,

@@ -81,9 +81,7 @@ impl Scenario for PyramidSweep {
             return Err(format!(
                 "max_n = {} cannot fit the height-1 pyramid ({} nodes)",
                 config.max_n,
-                Pyramid::new(1)
-                    .map(|p| p.labeled().node_count())
-                    .unwrap_or(5)
+                Pyramid::new(1).map_or(5, |p| p.labeled().node_count())
             ));
         }
         Ok(plan)

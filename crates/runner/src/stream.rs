@@ -40,14 +40,17 @@ use crate::executor::{effective_workers, run_cell};
 use crate::json::Json;
 use crate::report::{cell_json, config_json, csv_header, csv_row, perf_json, summary_json, SCHEMA};
 use crate::scenario::{Plan, PlannedCell, Scenario, SweepConfig};
+use interleave::{
+    AtomicBoolApi, AtomicUsizeApi, CondvarApi, MutexApi, ReceiverApi, SenderApi, StdSync,
+    SyncFacade,
+};
 use ld_local::cache::CacheStats;
 use std::collections::BTreeMap;
 use std::fs::{File, OpenOptions};
 use std::io::{Read, Seek, Write};
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::mpsc;
-use std::sync::{Condvar, Mutex};
+use std::sync::atomic::Ordering;
+// ld-analyze: allow(D002, reason = "wall-clock timings are reporting-only; no control flow depends on them")
 use std::time::{Duration, Instant};
 
 /// The schema identifier of checkpoint sidecar files.
@@ -912,19 +915,45 @@ fn run_shards(
         return Ok(());
     }
 
-    let window = workers * 2;
-    let next = AtomicUsize::new(first_shard);
-    let abort = AtomicBool::new(false);
-    let gate = (Mutex::new(first_shard), Condvar::new());
-    let (tx, rx) = mpsc::sync_channel::<(usize, Vec<CellResult>)>(window);
-    let mut emit_error: Option<String> = None;
+    run_shards_sync::<StdSync, _>(
+        &run_shard,
+        first_shard,
+        stop_shard,
+        workers,
+        workers * 2,
+        emit,
+    )
+}
 
-    std::thread::scope(|scope| {
-        for _ in 0..workers {
+/// The claim-gate/bounded-channel/in-order-writer core of [`run_shards`],
+/// generic over the sync facade.  Production monomorphises to plain
+/// `std::sync` via [`StdSync`]; the model suite instantiates
+/// [`interleave::ModelSync`] to check, under every explored schedule, that
+/// shards emit strictly in order, claims stay within `window` of the
+/// emitted frontier, and the pipeline never deadlocks — including under
+/// injected spurious wakeups of the gate's condvar.
+fn run_shards_sync<S, F>(
+    run_shard: &F,
+    first_shard: usize,
+    stop_shard: usize,
+    workers: usize,
+    window: usize,
+    emit: &mut dyn FnMut(usize, Vec<CellResult>) -> Result<(), String>,
+) -> Result<(), String>
+where
+    S: SyncFacade,
+    F: Fn(usize) -> Vec<CellResult> + Sync,
+{
+    let next = S::AtomicUsize::new(first_shard);
+    let abort = S::AtomicBool::new(false);
+    let gate = (S::Mutex::new(first_shard), S::Condvar::new());
+    let (tx, rx) = S::sync_channel::<(usize, Vec<CellResult>)>(window);
+
+    let worker_fns: Vec<_> = (0..workers)
+        .map(|_| {
             let tx = tx.clone();
             let (next, abort, gate) = (&next, &abort, &gate);
-            let run_shard = &run_shard;
-            scope.spawn(move || loop {
+            move || loop {
                 if abort.load(Ordering::Relaxed) {
                     break;
                 }
@@ -934,9 +963,9 @@ fn run_shards(
                 }
                 {
                     let (lock, cvar) = gate;
-                    let mut emitted = lock.lock().expect("gate poisoned");
+                    let mut emitted = lock.lock();
                     while shard >= *emitted + window && !abort.load(Ordering::Relaxed) {
-                        emitted = cvar.wait(emitted).expect("gate poisoned");
+                        emitted = cvar.wait(emitted);
                     }
                 }
                 if abort.load(Ordering::Relaxed) {
@@ -945,10 +974,13 @@ fn run_shards(
                 if tx.send((shard, run_shard(shard))).is_err() {
                     break;
                 }
-            });
-        }
-        drop(tx);
+            }
+        })
+        .collect();
+    drop(tx);
 
+    let emit_error = S::scope_workers(worker_fns, || {
+        let mut emit_error: Option<String> = None;
         let mut buffer: BTreeMap<usize, Vec<CellResult>> = BTreeMap::new();
         let mut next_emit = first_shard;
         while next_emit < stop_shard {
@@ -956,7 +988,7 @@ fn run_shards(
                 match emit(next_emit, results) {
                     Ok(()) => {
                         next_emit += 1;
-                        *gate.0.lock().expect("gate poisoned") = next_emit;
+                        *gate.0.lock() = next_emit;
                         gate.1.notify_all();
                     }
                     Err(e) => {
@@ -970,13 +1002,14 @@ fn run_shards(
                 Ok((shard, results)) => {
                     buffer.insert(shard, results);
                 }
-                Err(_) => break,
+                Err(interleave::RecvError) => break,
             }
         }
         // Unblock and drain every worker before the scope joins them.
         abort.store(true, Ordering::Relaxed);
         gate.1.notify_all();
-        for _ in rx.iter() {}
+        while rx.recv().is_ok() {}
+        emit_error
     });
 
     match emit_error {
@@ -1286,5 +1319,138 @@ mod tests {
         let err = resume(&path, None, None).unwrap_err();
         assert!(err.contains("digest mismatch"), "{err}");
         cleanup(&path);
+    }
+
+    /// Model suite: the claim-gate/bounded-channel/in-order-writer core
+    /// under every schedule the explorer reaches.  Checks the three
+    /// streaming invariants at once — emits strictly in shard order, no
+    /// claim ever runs more than `window` ahead of the emitted frontier,
+    /// and the pipeline drains without deadlock.  The gate's `Condvar`
+    /// waits are also spurious-wakeup candidates here (see the assertion
+    /// on `spurious_injected`), which is the machine-checked form of the
+    /// loop-on-predicate audit.
+    #[test]
+    fn model_shard_pipeline_emits_in_order_within_window() {
+        use interleave::ModelSync;
+        use std::sync::atomic::AtomicUsize as StdAtomicUsize;
+
+        const WORKERS: usize = 2;
+        const WINDOW: usize = WORKERS * 2; // the production 2×workers bound
+        const SHARDS: usize = 6; // > window, so the gate actually engages
+
+        let report = interleave::model_with(interleave::Config::with_max_schedules(2000), || {
+            // Observation counters (plain std atomics: they record state for
+            // assertions but are not scheduling points).
+            let emitted_frontier = StdAtomicUsize::new(0);
+            let run_shard = |shard: usize| -> Vec<CellResult> {
+                let frontier = emitted_frontier.load(Ordering::SeqCst);
+                assert!(
+                    shard < frontier + WINDOW,
+                    "claim gate violated: shard {shard} ran with frontier {frontier}"
+                );
+                Vec::new()
+            };
+            let mut next_expect = 0usize;
+            let mut emit = |shard: usize, _results: Vec<CellResult>| -> Result<(), String> {
+                assert_eq!(shard, next_expect, "writer emitted out of order");
+                next_expect += 1;
+                emitted_frontier.store(next_expect, Ordering::SeqCst);
+                Ok(())
+            };
+            run_shards_sync::<ModelSync, _>(&run_shard, 0, SHARDS, WORKERS, WINDOW, &mut emit)
+                .expect("no emit error in model");
+            assert_eq!(next_expect, SHARDS, "writer did not drain every shard");
+        });
+        assert!(
+            report.schedules >= 1000,
+            "expected >=1000 distinct schedules, explored {}",
+            report.schedules
+        );
+    }
+
+    /// Model suite: same invariants with the gate cinched to a window of 1,
+    /// which forces workers to park on the gate's `Condvar` in essentially
+    /// every schedule — so the explorer's spurious-wakeup injection gets
+    /// real purchase on the production wait loop (satellite: the
+    /// loop-on-predicate audit's regression test).
+    #[test]
+    fn model_tight_gate_survives_spurious_wakeups() {
+        use interleave::ModelSync;
+        use std::sync::atomic::AtomicUsize as StdAtomicUsize;
+
+        const WORKERS: usize = 2;
+        const WINDOW: usize = 1; // tighter than production: every claim gates
+        const SHARDS: usize = 3;
+
+        let report = interleave::model_with(interleave::Config::with_max_schedules(2000), || {
+            let emitted_frontier = StdAtomicUsize::new(0);
+            let run_shard = |shard: usize| -> Vec<CellResult> {
+                let frontier = emitted_frontier.load(Ordering::SeqCst);
+                assert!(
+                    shard < frontier + WINDOW,
+                    "claim gate violated: shard {shard} ran with frontier {frontier}"
+                );
+                Vec::new()
+            };
+            let mut next_expect = 0usize;
+            let mut emit = |shard: usize, _results: Vec<CellResult>| -> Result<(), String> {
+                assert_eq!(shard, next_expect, "writer emitted out of order");
+                next_expect += 1;
+                emitted_frontier.store(next_expect, Ordering::SeqCst);
+                Ok(())
+            };
+            run_shards_sync::<ModelSync, _>(&run_shard, 0, SHARDS, WORKERS, WINDOW, &mut emit)
+                .expect("no emit error in model");
+            assert_eq!(next_expect, SHARDS, "writer did not drain every shard");
+        });
+        assert!(
+            report.spurious_injected > 0,
+            "exploration never exercised a spurious gate wakeup"
+        );
+    }
+
+    /// Regression: the gate's wait MUST be loop-on-predicate.  This model
+    /// reproduces the bug the audit guards against — an `if`-guarded wait
+    /// on the claim gate lets a spurious wakeup run a shard beyond the
+    /// window — and asserts the checker catches it.
+    #[test]
+    fn model_if_guarded_gate_is_caught_by_spurious_wakeup() {
+        use interleave::{Condvar as MCondvar, ModelSync, Mutex as MMutex, SyncFacade};
+        use std::sync::Arc;
+
+        type M = <ModelSync as SyncFacade>::Mutex<usize>;
+
+        let failure = interleave::check(interleave::Config::default(), || {
+            let window = 1usize;
+            let gate: Arc<(M, MCondvar)> = Arc::new((MMutex::new(0), MCondvar::new()));
+            let gate2 = Arc::clone(&gate);
+            let worker = interleave::thread::spawn(move || {
+                let shard = 1usize;
+                let (lock, cvar) = &*gate2;
+                let emitted = lock.lock();
+                // BUG (deliberate): `if` instead of `while` — a spurious
+                // wakeup proceeds with the predicate still false.
+                let emitted = if shard >= *emitted + window {
+                    cvar.wait(emitted)
+                } else {
+                    emitted
+                };
+                assert!(
+                    shard < *emitted + window,
+                    "claim gate violated after wakeup"
+                );
+            });
+            {
+                let (lock, cvar) = &*gate;
+                *lock.lock() = 1; // emit shard 0, advance the frontier
+                cvar.notify_all();
+            }
+            worker.join();
+        })
+        .expect_err("if-guarded gate wait must be caught");
+        assert!(
+            failure.message.contains("claim gate violated"),
+            "unexpected failure: {failure}"
+        );
     }
 }

@@ -64,9 +64,7 @@ fn sigterm_mid_sweep_then_resume_byte_matches_uninterrupted() {
             .expect("spawn ldx");
         let deadline = Instant::now() + Duration::from_secs(30);
         loop {
-            let lines = std::fs::read_to_string(&ckpt)
-                .map(|text| text.lines().count())
-                .unwrap_or(0);
+            let lines = std::fs::read_to_string(&ckpt).map_or(0, |text| text.lines().count());
             // Header plus at least three shard records, so the resume has
             // real completed work to verify and real remaining work to do.
             if lines >= 4 {

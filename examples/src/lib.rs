@@ -1,1 +1,4 @@
 //! Examples crate (binaries live under `examples/bin`).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]

@@ -1,1 +1,4 @@
 //! Integration-test crate (tests live under `tests/tests`).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]

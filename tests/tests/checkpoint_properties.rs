@@ -1,0 +1,175 @@
+//! Property tests for the checkpoint sidecar codec
+//! (`ld_runner::stream::Checkpoint`) — the file a killed streaming sweep
+//! trusts to resume byte-identically.
+//!
+//! The contract under test: a rendered sidecar parses back to the exact
+//! `Checkpoint` value (round-trip); a **torn final line** — the kill
+//! arrived mid-append — is tolerated and costs at most that one shard;
+//! a torn line anywhere *before* the end is corruption and must be
+//! rejected, as must duplicate or out-of-order shard ids (they mean the
+//! file was assembled wrong, and silently resuming from it would
+//! fabricate results).
+
+use ld_runner::stream::{Checkpoint, ShardRecord};
+use ld_runner::SweepConfig;
+use local_decision::local::cache::CacheStats;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A shard record with arbitrary counters; `shard` and the byte offsets
+/// are supplied so callers control ordering.
+fn arbitrary_record(rng: &mut StdRng, shard: usize, end_offset: u64) -> ShardRecord {
+    let cells = rng.gen_range(1..5usize);
+    ShardRecord {
+        shard,
+        cells,
+        passed: rng.gen_range(0..=cells),
+        failed: rng.gen_range(0..2),
+        panicked: rng.gen_range(0..2),
+        exhausted: rng.gen_range(0..2),
+        end_offset,
+        digest: rng.gen(),
+        elapsed_micros: rng.gen_range(0..1_000_000),
+        cache: CacheStats {
+            hits: rng.gen_range(0..1000),
+            misses: rng.gen_range(0..1000),
+            entries: rng.gen_range(0..100),
+        },
+        wall_micros: (0..cells).map(|_| rng.gen_range(0..100_000)).collect(),
+    }
+}
+
+fn arbitrary_checkpoint(rng: &mut StdRng) -> Checkpoint {
+    let shard_count = rng.gen_range(1..6usize);
+    let header_offset = rng.gen_range(10..500u64);
+    let mut offset = header_offset;
+    let shards = (0..shard_count)
+        .map(|i| {
+            offset += rng.gen_range(1..10_000u64);
+            arbitrary_record(rng, i, offset)
+        })
+        .collect();
+    Checkpoint {
+        scenario: ["section2", "pyramid", "table", "s3-sep"][rng.gen_range(0..4)].to_string(),
+        deterministic: rng.gen(),
+        config: SweepConfig {
+            max_n: rng.gen_range(1..64),
+            threads: rng.gen_range(1..16),
+            seed: rng.gen(),
+            radius: if rng.gen() {
+                Some(rng.gen_range(0..4))
+            } else {
+                None
+            },
+            node_budget: rng.gen::<bool>().then(|| rng.gen_range(1..1_000_000)),
+            view_budget: rng.gen::<bool>().then(|| rng.gen_range(1..1_000_000)),
+            shard_size: rng.gen_range(1..32),
+        },
+        cell_count: rng.gen_range(1..200),
+        shard_count,
+        header_offset,
+        header_digest: rng.gen(),
+        shards,
+    }
+}
+
+/// The full sidecar text: header line plus one line per shard.
+fn render(checkpoint: &Checkpoint) -> String {
+    let mut text = checkpoint.render_header();
+    for record in &checkpoint.shards {
+        text.push_str(&Checkpoint::render_shard(record));
+    }
+    text
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Render ∘ parse is the identity on checkpoints: every header field
+    /// (config options included) and every shard counter survives.
+    #[test]
+    fn rendered_sidecars_parse_back_exactly(seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let checkpoint = arbitrary_checkpoint(&mut rng);
+        let parsed = Checkpoint::parse(&render(&checkpoint))
+            .map_err(TestCaseError::fail)?;
+        prop_assert_eq!(parsed, checkpoint);
+    }
+
+    /// Truncating the file anywhere inside the *final* shard line — the
+    /// torn tail a kill leaves behind, including one that cuts a digest
+    /// mid-number — parses cleanly and loses exactly that one shard.
+    #[test]
+    fn torn_final_line_costs_at_most_one_shard(seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let checkpoint = arbitrary_checkpoint(&mut rng);
+        let text = render(&checkpoint);
+        let without_last = &text[..text.len() - 1]; // drop trailing \n
+        let last_line_start = without_last.rfind('\n').map_or(0, |i| i + 1);
+        // Any strict prefix of the final line, the empty cut included.
+        let cut = rng.gen_range(last_line_start..without_last.len());
+        let torn = &text[..cut];
+        let parsed = Checkpoint::parse(torn).map_err(TestCaseError::fail)?;
+        prop_assert_eq!(&parsed.shards, &checkpoint.shards[..checkpoint.shards.len() - 1]);
+        prop_assert_eq!(parsed.header_digest, checkpoint.header_digest);
+    }
+
+    /// A torn line *before* the end is corruption, not a kill artefact:
+    /// later complete lines prove the append was not interrupted there.
+    #[test]
+    fn torn_interior_line_is_rejected(seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut checkpoint = arbitrary_checkpoint(&mut rng);
+        while checkpoint.shards.len() < 2 {
+            checkpoint = arbitrary_checkpoint(&mut rng);
+        }
+        let victim = rng.gen_range(0..checkpoint.shards.len() - 1);
+        let mut text = checkpoint.render_header();
+        for (i, record) in checkpoint.shards.iter().enumerate() {
+            let line = Checkpoint::render_shard(record);
+            if i == victim {
+                // Keep a strict prefix of the line, then the newline, so
+                // the following (complete) lines stay in place.
+                let keep = rng.gen_range(0..line.len() - 1);
+                text.push_str(&line[..keep]);
+                text.push('\n');
+            } else {
+                text.push_str(&line);
+            }
+        }
+        prop_assert!(Checkpoint::parse(&text).is_err(), "interior tear must be rejected");
+    }
+
+    /// Duplicated and skipped shard ids are rejected: records must be the
+    /// exact sequence 0, 1, 2, … or the resume offsets mean nothing.
+    #[test]
+    fn duplicate_or_skipped_shard_ids_are_rejected(seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let checkpoint = arbitrary_checkpoint(&mut rng);
+        let last = checkpoint.shards.last().expect("generator emits >= 1 shard");
+
+        // Duplicate: append the last record again.
+        let mut text = render(&checkpoint);
+        text.push_str(&Checkpoint::render_shard(last));
+        prop_assert!(Checkpoint::parse(&text).is_err(), "duplicate id must be rejected");
+
+        // Skip: append a record whose id jumps past the next expected.
+        let mut skipped = arbitrary_record(&mut rng, last.shard + 2, last.end_offset + 1);
+        skipped.shard = last.shard + 2;
+        let mut text = render(&checkpoint);
+        text.push_str(&Checkpoint::render_shard(&skipped));
+        prop_assert!(Checkpoint::parse(&text).is_err(), "skipped id must be rejected");
+    }
+}
+
+#[test]
+fn missing_header_is_rejected_with_a_schema_error() {
+    let mut rng = StdRng::seed_from_u64(7);
+    let checkpoint = arbitrary_checkpoint(&mut rng);
+    // A file that starts at the first shard line (header lost entirely).
+    let text = Checkpoint::render_shard(&checkpoint.shards[0]);
+    let err = Checkpoint::parse(&text).expect_err("headerless file must fail");
+    assert!(err.contains("schema"), "unexpected error: {err}");
+    assert!(Checkpoint::parse("").is_err());
+}

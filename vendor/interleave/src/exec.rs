@@ -1,0 +1,377 @@
+//! The cooperative execution core.
+//!
+//! One model run ("schedule") executes the user's closure with every task
+//! mapped onto a real OS thread, but with at most one task *running* at any
+//! instant: every instrumented operation parks the task and hands control
+//! to the scheduler, which picks the next task to run.  Each point where
+//! more than one continuation is possible (several runnable tasks, a
+//! `notify_one` with several waiters, a parked `Condvar` waiter that could
+//! wake spuriously) is recorded as a [`Choice`]; the driver in
+//! [`crate::model_with`] replays recorded prefixes and backtracks through
+//! them depth-first, so successive runs enumerate *distinct* schedules.
+//!
+//! The core owns the two failure detectors:
+//!
+//! * **Deadlock** — no task is runnable but unfinished tasks remain.  Tasks
+//!   parked in `Condvar::wait` count as deadlocked: a program that needs a
+//!   spurious wakeup to make progress is wrong.
+//! * **Livelock / runaway** — a single schedule exceeding
+//!   [`crate::Config::max_steps`] scheduling points aborts with a
+//!   diagnostic rather than hanging the test suite.
+
+use std::sync::{Arc, Condvar as OsCondvar, Mutex as OsMutex};
+
+/// A task index within one execution (the main closure is task 0).
+pub(crate) type TaskId = usize;
+
+/// One recorded scheduling decision: which of `total` enabled alternatives
+/// was taken.  The sequence of choices identifies a schedule uniquely.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Choice {
+    /// Index of the alternative taken.
+    pub taken: usize,
+    /// Number of alternatives that were enabled.
+    pub total: usize,
+}
+
+/// How a parked task was released.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Wake {
+    /// A real release: notify, unlock, channel space/data, task exit.
+    Normal,
+    /// An injected spurious wakeup (only ever for `Condvar::wait`).
+    Spurious,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Status {
+    /// Eligible to be scheduled.
+    Runnable,
+    /// Parked on a lock, channel or join; released by `mark_runnable`.
+    Blocked,
+    /// Parked in `Condvar::wait`; released by notify — or spuriously.
+    CondvarWait,
+    /// Parked waiting for other tasks to finish; released by any finish.
+    JoinWait,
+    /// The task's closure returned (or unwound).
+    Finished,
+}
+
+struct Task {
+    status: Status,
+    /// Set when the scheduler releases this task spuriously.
+    spurious_wake: bool,
+    /// The operation the task is parked in, for deadlock diagnostics.
+    op: &'static str,
+}
+
+/// Exploration limits; see [`crate::Config`] for the public knobs.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct Limits {
+    pub max_steps: usize,
+    pub spurious_wakeups: usize,
+}
+
+struct ExecState {
+    tasks: Vec<Task>,
+    /// The task currently allowed to run (`usize::MAX` once all finished).
+    current: usize,
+    /// Decisions to replay from the previous run's backtracked trace.
+    prefix: Vec<Choice>,
+    /// Decisions made by this run (a prefix-extension of `prefix`).
+    trace: Vec<Choice>,
+    spurious_left: usize,
+    spurious_injected: u64,
+    steps: usize,
+    limits: Limits,
+    failure: Option<String>,
+    abort: bool,
+}
+
+/// Panic payload used to unwind tasks of an aborted run.  Carries no
+/// message: the real diagnostic is in [`ExecState::failure`].
+pub(crate) struct Aborted;
+
+/// Shared scheduling state for one model run.
+pub(crate) struct Execution {
+    state: OsMutex<ExecState>,
+    cvar: OsCondvar,
+}
+
+impl Execution {
+    /// A fresh execution that will replay `prefix` and extend it.
+    pub(crate) fn new(limits: Limits, prefix: Vec<Choice>) -> Arc<Execution> {
+        Arc::new(Execution {
+            state: OsMutex::new(ExecState {
+                tasks: vec![Task {
+                    status: Status::Runnable,
+                    spurious_wake: false,
+                    op: "main",
+                }],
+                current: 0,
+                prefix,
+                trace: Vec::new(),
+                spurious_left: limits.spurious_wakeups,
+                spurious_injected: 0,
+                steps: 0,
+                limits,
+                failure: None,
+                abort: false,
+            }),
+            cvar: OsCondvar::new(),
+        })
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, ExecState> {
+        self.state
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    /// Registers a newly spawned task as runnable and returns its id.  The
+    /// spawning task keeps running; the new task parks in
+    /// [`Execution::first_wait`] until scheduled.
+    pub(crate) fn register_task(&self) -> TaskId {
+        let mut st = self.lock();
+        st.tasks.push(Task {
+            status: Status::Runnable,
+            spurious_wake: false,
+            op: "spawned",
+        });
+        st.tasks.len() - 1
+    }
+
+    /// Parks a freshly spawned task until the scheduler selects it.
+    pub(crate) fn first_wait(&self, me: TaskId) {
+        let st = self.lock();
+        self.park(st, me);
+    }
+
+    /// A preemption point: the running task stays runnable, the scheduler
+    /// picks who runs next (possibly the same task).
+    pub(crate) fn yield_now(&self, me: TaskId, op: &'static str) {
+        let mut st = self.lock();
+        st.tasks[me].op = op;
+        self.step_or_abort(&mut st);
+        self.choose_next(&mut st);
+        self.park(st, me);
+    }
+
+    /// Parks the running task with `status` until released; returns how it
+    /// was woken.  `status` must be a parked status, never `Runnable`.
+    pub(crate) fn block(&self, me: TaskId, status: Status, op: &'static str) -> Wake {
+        let mut st = self.lock();
+        st.tasks[me].status = status;
+        st.tasks[me].op = op;
+        self.step_or_abort(&mut st);
+        self.choose_next(&mut st);
+        let mut st = self.park_inner(st, me);
+        let wake = if st.tasks[me].spurious_wake {
+            Wake::Spurious
+        } else {
+            Wake::Normal
+        };
+        st.tasks[me].spurious_wake = false;
+        drop(st);
+        wake
+    }
+
+    /// Releases a parked task (lock handoff, channel space/data, notify,
+    /// join target finished).  Idempotent; never a scheduling point, so it
+    /// is safe to call from `Drop` impls and during unwinding.
+    pub(crate) fn mark_runnable(&self, task: TaskId) {
+        let mut st = self.lock();
+        if matches!(
+            st.tasks[task].status,
+            Status::Blocked | Status::CondvarWait | Status::JoinWait
+        ) {
+            st.tasks[task].status = Status::Runnable;
+            st.tasks[task].spurious_wake = false;
+        }
+    }
+
+    /// A pure decision among `n` alternatives (e.g. which waiter a
+    /// `notify_one` releases).  Recorded and explored like any branch.
+    pub(crate) fn choose(&self, n: usize) -> usize {
+        let mut st = self.lock();
+        self.step_or_abort(&mut st);
+        self.decide(&mut st, n)
+    }
+
+    /// Marks `me` finished, releases joiners, and schedules a successor.
+    /// Safe to call during unwinding (it never parks `me` again).
+    pub(crate) fn finish_task(&self, me: TaskId) {
+        let mut st = self.lock();
+        st.tasks[me].status = Status::Finished;
+        st.tasks[me].op = "finished";
+        for task in &mut st.tasks {
+            if task.status == Status::JoinWait {
+                task.status = Status::Runnable;
+            }
+        }
+        if !st.abort {
+            self.choose_next(&mut st);
+        }
+        drop(st);
+        self.cvar.notify_all();
+    }
+
+    /// Whether every task other than `me` has finished.
+    pub(crate) fn others_finished(&self, me: TaskId) -> bool {
+        let st = self.lock();
+        st.tasks
+            .iter()
+            .enumerate()
+            .all(|(id, t)| id == me || t.status == Status::Finished)
+    }
+
+    /// Whether `task` has finished.
+    pub(crate) fn is_finished(&self, task: TaskId) -> bool {
+        self.lock().tasks[task].status == Status::Finished
+    }
+
+    /// Records `message` as the run's failure (first writer wins) and
+    /// releases every parked task into an [`Aborted`] unwind.
+    pub(crate) fn abort_with(&self, message: String) {
+        let mut st = self.lock();
+        if st.failure.is_none() {
+            st.failure = Some(message);
+        }
+        st.abort = true;
+        drop(st);
+        self.cvar.notify_all();
+    }
+
+    /// The run's failure, trace, and spurious-injection count, consumed by
+    /// the driver after the closure returns.
+    pub(crate) fn results(&self) -> (Option<String>, Vec<Choice>, u64) {
+        let mut st = self.lock();
+        let failure = st.failure.take();
+        let trace = std::mem::take(&mut st.trace);
+        (failure, trace, st.spurious_injected)
+    }
+
+    /// Parks until `me` is selected and runnable; panics with [`Aborted`]
+    /// when the run is being torn down.
+    fn park(&self, st: std::sync::MutexGuard<'_, ExecState>, me: TaskId) {
+        drop(self.park_inner(st, me));
+    }
+
+    fn park_inner<'a>(
+        &'a self,
+        mut st: std::sync::MutexGuard<'a, ExecState>,
+        me: TaskId,
+    ) -> std::sync::MutexGuard<'a, ExecState> {
+        self.cvar.notify_all();
+        loop {
+            if st.abort {
+                drop(st);
+                std::panic::panic_any(Aborted);
+            }
+            if st.current == me && st.tasks[me].status == Status::Runnable {
+                return st;
+            }
+            st = self
+                .cvar
+                .wait(st)
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+        }
+    }
+
+    fn step_or_abort(&self, st: &mut ExecState) {
+        st.steps += 1;
+        if st.steps > st.limits.max_steps && st.failure.is_none() {
+            st.failure = Some(format!(
+                "schedule exceeded {} scheduling points (livelock?)",
+                st.limits.max_steps
+            ));
+            st.abort = true;
+        }
+        if st.abort {
+            std::panic::panic_any(Aborted);
+        }
+    }
+
+    /// Takes (and records) the next branch decision among `n` alternatives.
+    fn decide(&self, st: &mut ExecState, n: usize) -> usize {
+        if n <= 1 {
+            return 0;
+        }
+        let depth = st.trace.len();
+        let taken = if depth < st.prefix.len() {
+            let replay = st.prefix[depth];
+            if replay.total != n {
+                // The model closure is nondeterministic: the same decision
+                // prefix reached a state with a different branch count.
+                st.failure = Some(format!(
+                    "nondeterministic model: decision {depth} had {n} alternatives \
+                     on replay but {} originally — model closures must be pure \
+                     functions of the schedule",
+                    replay.total
+                ));
+                st.abort = true;
+                std::panic::panic_any(Aborted);
+            }
+            replay.taken
+        } else {
+            0
+        };
+        st.trace.push(Choice { taken, total: n });
+        taken
+    }
+
+    /// Selects the next task to run, branching when several are enabled.
+    /// Also the deadlock detector: parked-only states fail the run.
+    ///
+    /// Candidates are ordered round-robin after the previously-running
+    /// task.  The default (all-zeros) schedule therefore hands control
+    /// onward instead of re-picking the lowest id, which drives pipelines
+    /// into their blocking states (full channels, closed gates) early —
+    /// exactly where condvar parks live — so the depth-first tail
+    /// backtracking explores wakeup and spurious-wakeup branches even
+    /// under tight schedule caps.
+    fn choose_next(&self, st: &mut ExecState) {
+        let prev = if st.current == usize::MAX {
+            0
+        } else {
+            st.current
+        };
+        let mut runnable: Vec<TaskId> = (0..st.tasks.len())
+            .filter(|&t| st.tasks[t].status == Status::Runnable)
+            .collect();
+        runnable.sort_by_key(|&t| (t <= prev, t));
+        let mut candidates: Vec<(TaskId, bool)> = runnable.iter().map(|&t| (t, false)).collect();
+        if st.spurious_left > 0 {
+            candidates.extend(
+                (0..st.tasks.len())
+                    .filter(|&t| st.tasks[t].status == Status::CondvarWait)
+                    .map(|t| (t, true)),
+            );
+        }
+        if runnable.is_empty() {
+            if st.tasks.iter().all(|t| t.status == Status::Finished) {
+                st.current = usize::MAX;
+                return;
+            }
+            let stuck: Vec<String> = st
+                .tasks
+                .iter()
+                .enumerate()
+                .filter(|(_, t)| t.status != Status::Finished)
+                .map(|(id, t)| format!("task {id} {:?} in {}", t.status, t.op))
+                .collect();
+            st.failure = Some(format!("deadlock: {}", stuck.join(", ")));
+            st.abort = true;
+            std::panic::panic_any(Aborted);
+        }
+        let index = self.decide(st, candidates.len());
+        let (next, spurious) = candidates[index];
+        if spurious {
+            st.tasks[next].status = Status::Runnable;
+            st.tasks[next].spurious_wake = true;
+            st.spurious_left -= 1;
+            st.spurious_injected += 1;
+        }
+        st.current = next;
+    }
+}

@@ -1,0 +1,341 @@
+//! The `SyncFacade` abstraction: one trait bundle that production code is
+//! generic over, with two implementations.
+//!
+//! * [`StdSync`] maps every associated type straight onto `std::sync` /
+//!   `std::thread`; all methods are `#[inline]` single calls, so a
+//!   monomorphised production path is byte-for-byte the code it replaced.
+//! * [`crate::ModelSync`] maps them onto instrumented shims whose every
+//!   operation is a scheduling point of the bounded-DFS explorer.
+//!
+//! The traits deliberately cover only the subset of the `std::sync`
+//! surface this workspace uses (poison-recovering locks, `sync_channel`,
+//! scoped spawn), keeping both implementations small and auditable.
+
+use std::sync::atomic::Ordering;
+use std::sync::PoisonError;
+
+/// Facade over `AtomicUsize`.
+pub trait AtomicUsizeApi: Send + Sync {
+    /// A new atomic holding `value`.
+    fn new(value: usize) -> Self;
+    /// Atomic load.
+    fn load(&self, order: Ordering) -> usize;
+    /// Atomic store.
+    fn store(&self, value: usize, order: Ordering);
+    /// Atomic add returning the previous value.
+    fn fetch_add(&self, value: usize, order: Ordering) -> usize;
+}
+
+/// Facade over `AtomicBool`.
+pub trait AtomicBoolApi: Send + Sync {
+    /// A new atomic holding `value`.
+    fn new(value: bool) -> Self;
+    /// Atomic load.
+    fn load(&self, order: Ordering) -> bool;
+    /// Atomic store.
+    fn store(&self, value: bool, order: Ordering);
+}
+
+/// Facade over `AtomicU64`.
+pub trait AtomicU64Api: Send + Sync {
+    /// A new atomic holding `value`.
+    fn new(value: u64) -> Self;
+    /// Atomic load.
+    fn load(&self, order: Ordering) -> u64;
+    /// Atomic store.
+    fn store(&self, value: u64, order: Ordering);
+    /// Atomic add returning the previous value.
+    fn fetch_add(&self, value: u64, order: Ordering) -> u64;
+}
+
+/// Facade over `Mutex`, poison-recovering (lock acquisition never fails;
+/// a poisoned lock yields the inner data, matching this repo's idiom).
+pub trait MutexApi<T: Send>: Send + Sync + Sized {
+    /// The RAII guard; unlocks on drop.
+    type Guard<'a>: std::ops::DerefMut<Target = T>
+    where
+        Self: 'a,
+        T: 'a;
+    /// A new mutex holding `value`.
+    fn new(value: T) -> Self;
+    /// Acquires the lock, blocking until available.
+    fn lock(&self) -> Self::Guard<'_>;
+    /// Consumes the mutex, returning the inner value.
+    fn into_inner(self) -> T;
+}
+
+/// Facade over `RwLock`, poison-recovering like [`MutexApi`].
+pub trait RwLockApi<T: Send + Sync>: Send + Sync + Sized {
+    /// The shared-read guard.
+    type ReadGuard<'a>: std::ops::Deref<Target = T>
+    where
+        Self: 'a,
+        T: 'a;
+    /// The exclusive-write guard.
+    type WriteGuard<'a>: std::ops::DerefMut<Target = T>
+    where
+        Self: 'a,
+        T: 'a;
+    /// A new lock holding `value`.
+    fn new(value: T) -> Self;
+    /// Acquires a shared read lock.
+    fn read(&self) -> Self::ReadGuard<'_>;
+    /// Acquires an exclusive write lock.
+    fn write(&self) -> Self::WriteGuard<'_>;
+}
+
+/// Facade over `Condvar`, tied to the facade's mutex type.
+pub trait CondvarApi<S: SyncFacade>: Send + Sync {
+    /// A new condition variable.
+    fn new() -> Self;
+    /// Atomically releases `guard` and parks until notified (or, under the
+    /// model, spuriously woken); reacquires the lock before returning.
+    fn wait<'a, T>(
+        &self,
+        guard: <S::Mutex<T> as MutexApi<T>>::Guard<'a>,
+    ) -> <S::Mutex<T> as MutexApi<T>>::Guard<'a>
+    where
+        T: Send + 'a,
+        S::Mutex<T>: 'a;
+    /// Wakes one parked waiter, if any.
+    fn notify_one(&self);
+    /// Wakes every parked waiter.
+    fn notify_all(&self);
+}
+
+/// Facade over the sending half of a bounded channel.
+pub trait SenderApi<T: Send>: Send + Clone {
+    /// Sends `value`, blocking while the channel is full; `Err(value)`
+    /// means the receiver disconnected.
+    fn send(&self, value: T) -> Result<(), T>;
+}
+
+/// The error [`ReceiverApi::recv`] returns once every sender has
+/// disconnected and the queue is drained — the channel's only failure
+/// mode, mirroring `std::sync::mpsc::RecvError`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecvError;
+
+impl std::fmt::Display for RecvError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("receiving on an empty channel with no senders left")
+    }
+}
+
+/// Facade over the receiving half of a bounded channel.
+pub trait ReceiverApi<T: Send>: Send {
+    /// Receives the next value, blocking while the channel is empty;
+    /// `Err(RecvError)` means every sender disconnected and the queue
+    /// drained.
+    fn recv(&self) -> Result<T, RecvError>;
+}
+
+/// The facade bundle: a zero-sized type selecting one coherent family of
+/// synchronisation primitives.  Production code takes `S: SyncFacade`
+/// (defaulted to [`StdSync`]); model tests instantiate with
+/// [`crate::ModelSync`].
+pub trait SyncFacade: Send + Sync + Sized + 'static {
+    /// `AtomicUsize` for this family.
+    type AtomicUsize: AtomicUsizeApi;
+    /// `AtomicBool` for this family.
+    type AtomicBool: AtomicBoolApi;
+    /// `AtomicU64` for this family.
+    type AtomicU64: AtomicU64Api;
+    /// `Mutex<T>` for this family.
+    type Mutex<T: Send>: MutexApi<T>;
+    /// `RwLock<T>` for this family.
+    type RwLock<T: Send + Sync>: RwLockApi<T>;
+    /// `Condvar` for this family.
+    type Condvar: CondvarApi<Self>;
+    /// Sending half of `sync_channel` for this family.
+    type Sender<T: Send>: SenderApi<T>;
+    /// Receiving half of `sync_channel` for this family.
+    type Receiver<T: Send>: ReceiverApi<T>;
+
+    /// A bounded channel with capacity `bound`.
+    fn sync_channel<T: Send>(bound: usize) -> (Self::Sender<T>, Self::Receiver<T>);
+
+    /// Structured concurrency: spawns every closure in `workers` on its
+    /// own thread, runs `body` on the current thread, and joins all
+    /// workers before returning `body`'s result.  (Worker closures may
+    /// borrow from the caller's stack — no `'static` bound.)
+    fn scope_workers<W, B, R>(workers: Vec<W>, body: B) -> R
+    where
+        W: FnOnce() + Send,
+        B: FnOnce() -> R;
+}
+
+// ---------------------------------------------------------------------------
+// StdSync: the production family.  Every method is an #[inline] delegation,
+// so generic call sites monomorphise to exactly the plain-std code.
+// ---------------------------------------------------------------------------
+
+/// The production [`SyncFacade`]: plain `std::sync` / `std::thread`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct StdSync;
+
+impl AtomicUsizeApi for std::sync::atomic::AtomicUsize {
+    #[inline]
+    fn new(value: usize) -> Self {
+        std::sync::atomic::AtomicUsize::new(value)
+    }
+    #[inline]
+    fn load(&self, order: Ordering) -> usize {
+        std::sync::atomic::AtomicUsize::load(self, order)
+    }
+    #[inline]
+    fn store(&self, value: usize, order: Ordering) {
+        std::sync::atomic::AtomicUsize::store(self, value, order);
+    }
+    #[inline]
+    fn fetch_add(&self, value: usize, order: Ordering) -> usize {
+        std::sync::atomic::AtomicUsize::fetch_add(self, value, order)
+    }
+}
+
+impl AtomicBoolApi for std::sync::atomic::AtomicBool {
+    #[inline]
+    fn new(value: bool) -> Self {
+        std::sync::atomic::AtomicBool::new(value)
+    }
+    #[inline]
+    fn load(&self, order: Ordering) -> bool {
+        std::sync::atomic::AtomicBool::load(self, order)
+    }
+    #[inline]
+    fn store(&self, value: bool, order: Ordering) {
+        std::sync::atomic::AtomicBool::store(self, value, order);
+    }
+}
+
+impl AtomicU64Api for std::sync::atomic::AtomicU64 {
+    #[inline]
+    fn new(value: u64) -> Self {
+        std::sync::atomic::AtomicU64::new(value)
+    }
+    #[inline]
+    fn load(&self, order: Ordering) -> u64 {
+        std::sync::atomic::AtomicU64::load(self, order)
+    }
+    #[inline]
+    fn store(&self, value: u64, order: Ordering) {
+        std::sync::atomic::AtomicU64::store(self, value, order);
+    }
+    #[inline]
+    fn fetch_add(&self, value: u64, order: Ordering) -> u64 {
+        std::sync::atomic::AtomicU64::fetch_add(self, value, order)
+    }
+}
+
+impl<T: Send> MutexApi<T> for std::sync::Mutex<T> {
+    type Guard<'a>
+        = std::sync::MutexGuard<'a, T>
+    where
+        T: 'a;
+    #[inline]
+    fn new(value: T) -> Self {
+        std::sync::Mutex::new(value)
+    }
+    #[inline]
+    fn lock(&self) -> Self::Guard<'_> {
+        std::sync::Mutex::lock(self).unwrap_or_else(PoisonError::into_inner)
+    }
+    #[inline]
+    fn into_inner(self) -> T {
+        std::sync::Mutex::into_inner(self).unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+impl<T: Send + Sync> RwLockApi<T> for std::sync::RwLock<T> {
+    type ReadGuard<'a>
+        = std::sync::RwLockReadGuard<'a, T>
+    where
+        T: 'a;
+    type WriteGuard<'a>
+        = std::sync::RwLockWriteGuard<'a, T>
+    where
+        T: 'a;
+    #[inline]
+    fn new(value: T) -> Self {
+        std::sync::RwLock::new(value)
+    }
+    #[inline]
+    fn read(&self) -> Self::ReadGuard<'_> {
+        std::sync::RwLock::read(self).unwrap_or_else(PoisonError::into_inner)
+    }
+    #[inline]
+    fn write(&self) -> Self::WriteGuard<'_> {
+        std::sync::RwLock::write(self).unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+impl CondvarApi<StdSync> for std::sync::Condvar {
+    #[inline]
+    fn new() -> Self {
+        std::sync::Condvar::new()
+    }
+    #[inline]
+    fn wait<'a, T>(&self, guard: std::sync::MutexGuard<'a, T>) -> std::sync::MutexGuard<'a, T>
+    where
+        T: Send + 'a,
+        <StdSync as SyncFacade>::Mutex<T>: 'a,
+    {
+        std::sync::Condvar::wait(self, guard).unwrap_or_else(PoisonError::into_inner)
+    }
+    #[inline]
+    fn notify_one(&self) {
+        std::sync::Condvar::notify_one(self);
+    }
+    #[inline]
+    fn notify_all(&self) {
+        std::sync::Condvar::notify_all(self);
+    }
+}
+
+impl<T: Send> SenderApi<T> for std::sync::mpsc::SyncSender<T> {
+    #[inline]
+    fn send(&self, value: T) -> Result<(), T> {
+        std::sync::mpsc::SyncSender::send(self, value).map_err(|e| e.0)
+    }
+}
+
+impl<T: Send> ReceiverApi<T> for std::sync::mpsc::Receiver<T> {
+    #[inline]
+    fn recv(&self) -> Result<T, RecvError> {
+        std::sync::mpsc::Receiver::recv(self).map_err(|_| RecvError)
+    }
+}
+
+impl SyncFacade for StdSync {
+    type AtomicUsize = std::sync::atomic::AtomicUsize;
+    type AtomicBool = std::sync::atomic::AtomicBool;
+    type AtomicU64 = std::sync::atomic::AtomicU64;
+    type Mutex<T: Send> = std::sync::Mutex<T>;
+    type RwLock<T: Send + Sync> = std::sync::RwLock<T>;
+    type Condvar = std::sync::Condvar;
+    type Sender<T: Send> = std::sync::mpsc::SyncSender<T>;
+    type Receiver<T: Send> = std::sync::mpsc::Receiver<T>;
+
+    #[inline]
+    fn sync_channel<T: Send>(bound: usize) -> (Self::Sender<T>, Self::Receiver<T>) {
+        std::sync::mpsc::sync_channel(bound)
+    }
+
+    #[inline]
+    fn scope_workers<W, B, R>(workers: Vec<W>, body: B) -> R
+    where
+        W: FnOnce() + Send,
+        B: FnOnce() -> R,
+    {
+        std::thread::scope(|scope| {
+            for worker in workers {
+                scope.spawn(worker);
+            }
+            body()
+        })
+    }
+}
+
+/// Convenience alias: a short way for call sites to name the mutex guard
+/// of a facade.
+pub type MutexGuardOf<'a, S, T> = <<S as SyncFacade>::Mutex<T> as MutexApi<T>>::Guard<'a>;

@@ -1,0 +1,518 @@
+//! Offline loom-lite: exhaustive(-ish) schedule exploration for the
+//! workspace's concurrent machinery, on stable Rust with no registry
+//! dependencies.
+//!
+//! # Model
+//!
+//! [`model`] runs a closure repeatedly, each run under a cooperative
+//! scheduler that permits exactly one task to execute at a time.  Every
+//! operation on the instrumented primitives ([`ModelSync`]'s `Mutex`,
+//! `RwLock`, `Condvar`, atomics and bounded channel) is a *scheduling
+//! point*; whenever more than one continuation is enabled, the choice is
+//! recorded.  Completed runs backtrack the deepest non-exhausted choice
+//! (bounded DFS), so successive runs enumerate distinct interleavings
+//! until the space is exhausted or [`Config::max_schedules`] is reached.
+//!
+//! Additionally every `Condvar::wait` is a *spurious wakeup* candidate
+//! (up to [`Config::spurious_wakeups`] injections per schedule): the
+//! explorer branches into waking the waiter with no notify, so predicates
+//! guarded by `if` instead of `while` are caught mechanically.
+//!
+//! Detected failures — deadlock, livelock (step budget), a panicked
+//! task, or a failed assertion in the closure — abort the run and are
+//! reported with the decision trace that reached them.
+//!
+//! # Production code
+//!
+//! Code under test is written once, generic over [`SyncFacade`]:
+//! instantiated with [`StdSync`] it monomorphises to plain `std::sync`
+//! calls (every method is an `#[inline]` delegation — zero overhead);
+//! instantiated with [`ModelSync`] inside a [`model`] closure it runs
+//! under the explorer.
+//!
+//! ```
+//! use interleave::{model, AtomicUsizeApi, ModelSync, SyncFacade};
+//! use std::sync::atomic::Ordering;
+//! use std::sync::Arc;
+//!
+//! let report = model(|| {
+//!     let counter = Arc::new(<ModelSync as SyncFacade>::AtomicUsize::new(0));
+//!     let handles: Vec<_> = (0..2)
+//!         .map(|_| {
+//!             let counter = Arc::clone(&counter);
+//!             interleave::thread::spawn(move || {
+//!                 counter.fetch_add(1, Ordering::SeqCst);
+//!             })
+//!         })
+//!         .collect();
+//!     for handle in handles {
+//!         handle.join();
+//!     }
+//!     assert_eq!(counter.load(Ordering::SeqCst), 2);
+//! });
+//! assert!(report.complete);
+//! ```
+//!
+//! # Limits
+//!
+//! No partial-order reduction: equivalent schedules are re-explored, so
+//! keep models small (2–4 tasks, short critical paths) and cap them with
+//! [`Config::max_schedules`].  Atomics are modelled as sequentially
+//! consistent regardless of the ordering passed.  Rendezvous (bound 0)
+//! channels and `try_lock` are unsupported.  Spin loops without a
+//! blocking primitive trip the step budget rather than exploring fairly.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod exec;
+mod facade;
+mod shim;
+pub mod thread;
+
+pub use exec::Choice;
+pub use facade::{
+    AtomicBoolApi, AtomicU64Api, AtomicUsizeApi, CondvarApi, MutexApi, MutexGuardOf, ReceiverApi,
+    RecvError, RwLockApi, SenderApi, StdSync, SyncFacade,
+};
+pub use shim::{
+    AtomicBool, AtomicU64, AtomicUsize, Condvar, ModelSync, Mutex, MutexGuard, Receiver, RwLock,
+    RwLockReadGuard, RwLockWriteGuard, Sender,
+};
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+/// Exploration limits for one [`model_with`] / [`check`] call.
+#[derive(Debug, Clone, Copy)]
+pub struct Config {
+    /// Stop after this many schedules even if the space is not exhausted.
+    pub max_schedules: usize,
+    /// Fail a single schedule that exceeds this many scheduling points.
+    pub max_steps: usize,
+    /// Spurious-wakeup injections available per schedule.
+    pub spurious_wakeups: usize,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            max_schedules: 2000,
+            max_steps: 50_000,
+            spurious_wakeups: 2,
+        }
+    }
+}
+
+impl Config {
+    /// A config with the given schedule cap and the remaining defaults.
+    pub fn with_max_schedules(max_schedules: usize) -> Self {
+        Config {
+            max_schedules,
+            ..Config::default()
+        }
+    }
+}
+
+/// Outcome of a successful exploration.
+#[derive(Debug, Clone, Copy)]
+pub struct Report {
+    /// Number of distinct schedules executed.
+    pub schedules: usize,
+    /// Whether the schedule space was exhausted (false: cap reached).
+    pub complete: bool,
+    /// Total spurious wakeups injected across all schedules.
+    pub spurious_injected: u64,
+}
+
+/// A failing schedule: what went wrong and the decisions that reached it.
+#[derive(Debug, Clone)]
+pub struct Failure {
+    /// The failure diagnostic (deadlock report, panic message, …).
+    pub message: String,
+    /// 1-based index of the failing schedule.
+    pub schedule: usize,
+    /// The decision trace of the failing schedule.
+    pub trace: Vec<Choice>,
+}
+
+impl std::fmt::Display for Failure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} (schedule {}; trace", self.message, self.schedule)?;
+        for (i, c) in self.trace.iter().enumerate() {
+            if i >= 40 {
+                write!(f, " …")?;
+                break;
+            }
+            write!(f, " {}/{}", c.taken, c.total)?;
+        }
+        write!(f, ")")
+    }
+}
+
+impl std::error::Error for Failure {}
+
+/// Explores `f` under [`Config::default`], panicking on the first
+/// failing schedule.  Returns the exploration [`Report`].
+pub fn model<F: Fn()>(f: F) -> Report {
+    model_with(Config::default(), f)
+}
+
+/// Explores `f` under `config`, panicking on the first failing schedule.
+pub fn model_with<F: Fn()>(config: Config, f: F) -> Report {
+    match check(config, f) {
+        Ok(report) => report,
+        Err(failure) => panic!("model check failed: {failure}"),
+    }
+}
+
+/// Explores `f` under `config`, returning the first failing schedule
+/// instead of panicking.  This is the assertable form used to prove that
+/// a *broken* model (e.g. an `if`-guarded `Condvar::wait`) is caught.
+pub fn check<F: Fn()>(config: Config, f: F) -> Result<Report, Failure> {
+    let limits = exec::Limits {
+        max_steps: config.max_steps,
+        spurious_wakeups: config.spurious_wakeups,
+    };
+    let mut prefix: Vec<Choice> = Vec::new();
+    let mut schedules = 0usize;
+    let mut spurious_injected = 0u64;
+    let mut complete = false;
+    loop {
+        let execution = exec::Execution::new(limits, std::mem::take(&mut prefix));
+        thread::set_current(std::sync::Arc::clone(&execution), 0);
+        let run = catch_unwind(AssertUnwindSafe(|| {
+            f();
+            // Wait (under the scheduler) for plain-spawned stragglers so
+            // every schedule observes complete executions.
+            thread::join_all(&execution, 0);
+        }));
+        if let Err(payload) = run {
+            // Record a real panic (and set abort) BEFORE finishing task 0:
+            // with abort set, finish_task skips scheduling, so the driver
+            // thread cannot trip the deadlock detector during teardown.
+            if payload.downcast_ref::<exec::Aborted>().is_none() {
+                execution.abort_with(format!(
+                    "main task panicked: {}",
+                    thread::panic_message(payload.as_ref())
+                ));
+            }
+        }
+        execution.finish_task(0);
+        thread::clear_current();
+        let (failure, trace, spurious) = execution.results();
+        schedules += 1;
+        spurious_injected += spurious;
+        if let Some(message) = failure {
+            return Err(Failure {
+                message,
+                schedule: schedules,
+                trace,
+            });
+        }
+        // Backtrack: advance the deepest non-exhausted decision.
+        let mut next = trace;
+        let mut advanced = false;
+        while let Some(last) = next.last_mut() {
+            if last.taken + 1 < last.total {
+                last.taken += 1;
+                advanced = true;
+                break;
+            }
+            next.pop();
+        }
+        if !advanced {
+            complete = true;
+            break;
+        }
+        if schedules >= config.max_schedules {
+            break;
+        }
+        prefix = next;
+    }
+    Ok(Report {
+        schedules,
+        complete,
+        spurious_injected,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::Ordering;
+    use std::sync::Arc;
+
+    type MMutex<T> = <ModelSync as SyncFacade>::Mutex<T>;
+    type MCondvar = <ModelSync as SyncFacade>::Condvar;
+    type MAtomic = <ModelSync as SyncFacade>::AtomicUsize;
+
+    #[test]
+    fn single_task_explores_one_schedule() {
+        let report = model(|| {
+            let m = MMutex::new(1);
+            assert_eq!(*m.lock(), 1);
+        });
+        assert_eq!(report.schedules, 1);
+        assert!(report.complete);
+    }
+
+    #[test]
+    fn two_increments_never_lose_an_update() {
+        let report = model(|| {
+            let m = Arc::new(MMutex::new(0usize));
+            let handles: Vec<_> = (0..2)
+                .map(|_| {
+                    let m = Arc::clone(&m);
+                    thread::spawn(move || {
+                        let mut g = m.lock();
+                        *g += 1;
+                    })
+                })
+                .collect();
+            for h in handles {
+                h.join();
+            }
+            assert_eq!(*m.lock(), 2);
+        });
+        assert!(report.complete);
+        assert!(report.schedules >= 2, "expected >1 interleaving");
+    }
+
+    #[test]
+    fn atomics_branch_over_orderings() {
+        // Two racing fetch_adds plus a read: the read must observe 0, 1
+        // or 2 — and across schedules it observes more than one value.
+        let seen = std::sync::Mutex::new(std::collections::BTreeSet::new());
+        let report = model(|| {
+            let a = Arc::new(MAtomic::new(0));
+            let h: Vec<_> = (0..2)
+                .map(|_| {
+                    let a = Arc::clone(&a);
+                    thread::spawn(move || {
+                        a.fetch_add(1, Ordering::SeqCst);
+                    })
+                })
+                .collect();
+            let observed = a.load(Ordering::SeqCst);
+            assert!(observed <= 2);
+            seen.lock().unwrap().insert(observed);
+            for h in h {
+                h.join();
+            }
+            assert_eq!(a.load(Ordering::SeqCst), 2);
+        });
+        assert!(report.complete);
+        assert!(seen.lock().unwrap().len() > 1, "read never raced the adds");
+    }
+
+    #[test]
+    fn ab_ba_deadlock_is_detected() {
+        let failure = check(Config::default(), || {
+            let a = Arc::new(MMutex::new(()));
+            let b = Arc::new(MMutex::new(()));
+            let (a2, b2) = (Arc::clone(&a), Arc::clone(&b));
+            let h = thread::spawn(move || {
+                let _ga = a2.lock();
+                let _gb = b2.lock();
+            });
+            {
+                let _gb = b.lock();
+                let _ga = a.lock();
+            }
+            h.join();
+        })
+        .expect_err("AB-BA locking must deadlock in some schedule");
+        assert!(
+            failure.message.contains("deadlock"),
+            "unexpected failure: {failure}"
+        );
+    }
+
+    #[test]
+    fn assertion_failures_surface_with_a_trace() {
+        let failure = check(Config::default(), || {
+            let a = Arc::new(MAtomic::new(0));
+            let a2 = Arc::clone(&a);
+            let h = thread::spawn(move || {
+                a2.fetch_add(1, Ordering::SeqCst);
+            });
+            // Wrong: the spawned task may not have run yet.
+            assert_eq!(a.load(Ordering::SeqCst), 1, "increment not visible");
+            h.join();
+        })
+        .expect_err("racy assertion must fail in some schedule");
+        assert!(
+            failure.message.contains("increment not visible"),
+            "unexpected failure: {failure}"
+        );
+    }
+
+    #[test]
+    fn condvar_if_instead_of_while_is_caught_by_spurious_wakeup() {
+        let failure = check(Config::default(), || {
+            let pair = Arc::new((MMutex::new(false), MCondvar::new()));
+            let pair2 = Arc::clone(&pair);
+            let h = thread::spawn(move || {
+                let (lock, cvar) = &*pair2;
+                *lock.lock() = true;
+                cvar.notify_one();
+            });
+            let (lock, cvar) = &*pair;
+            let mut ready = lock.lock();
+            // Wrong: `if` instead of `while` — a spurious wakeup slips
+            // through with ready still false.
+            if !*ready {
+                ready = cvar.wait(ready);
+            }
+            assert!(*ready, "woke with predicate false");
+            drop(ready);
+            h.join();
+        })
+        .expect_err("if-guarded wait must be broken by spurious wakeup");
+        assert!(
+            failure.message.contains("woke with predicate false"),
+            "unexpected failure: {failure}"
+        );
+    }
+
+    #[test]
+    fn condvar_while_loop_survives_spurious_wakeups() {
+        let report = model(|| {
+            let pair = Arc::new((MMutex::new(false), MCondvar::new()));
+            let pair2 = Arc::clone(&pair);
+            let h = thread::spawn(move || {
+                let (lock, cvar) = &*pair2;
+                *lock.lock() = true;
+                cvar.notify_all();
+            });
+            let (lock, cvar) = &*pair;
+            let mut ready = lock.lock();
+            while !*ready {
+                ready = cvar.wait(ready);
+            }
+            drop(ready);
+            h.join();
+        });
+        assert!(report.complete);
+        assert!(
+            report.spurious_injected > 0,
+            "exploration never injected a spurious wakeup"
+        );
+    }
+
+    #[test]
+    fn channel_preserves_per_sender_order_and_disconnect() {
+        let report = model(|| {
+            let (tx, rx) = ModelSync::sync_channel::<usize>(1);
+            let h = thread::spawn(move || {
+                for i in 0..3 {
+                    tx.send(i).expect("receiver alive");
+                }
+            });
+            let mut got = Vec::new();
+            while let Ok(v) = rx.recv() {
+                got.push(v);
+            }
+            assert_eq!(got, vec![0, 1, 2]);
+            h.join();
+        });
+        assert!(report.complete);
+        assert!(report.schedules >= 2);
+    }
+
+    #[test]
+    fn send_to_dropped_receiver_returns_the_value() {
+        let report = model(|| {
+            let (tx, rx) = ModelSync::sync_channel::<usize>(1);
+            drop(rx);
+            assert_eq!(tx.send(7), Err(7));
+        });
+        assert!(report.complete);
+    }
+
+    #[test]
+    fn scoped_spawn_runs_under_the_scheduler() {
+        let report = model(|| {
+            let counter = MAtomic::new(0);
+            let workers: Vec<_> = (0..2)
+                .map(|_| {
+                    let counter = &counter;
+                    move || {
+                        counter.fetch_add(1, Ordering::SeqCst);
+                    }
+                })
+                .collect();
+            ModelSync::scope_workers(workers, || ());
+            assert_eq!(counter.load(Ordering::SeqCst), 2);
+        });
+        assert!(report.complete);
+        assert!(report.schedules >= 2);
+    }
+
+    #[test]
+    fn rwlock_readers_share_and_writers_exclude() {
+        let report = model(|| {
+            let lock = Arc::new(<ModelSync as SyncFacade>::RwLock::new(0usize));
+            let writer = {
+                let lock = Arc::clone(&lock);
+                thread::spawn(move || {
+                    *lock.write() += 1;
+                })
+            };
+            let reader = {
+                let lock = Arc::clone(&lock);
+                thread::spawn(move || *lock.read())
+            };
+            let seen = reader.join();
+            assert!(seen <= 1);
+            writer.join();
+            assert_eq!(*lock.read(), 1);
+        });
+        assert!(report.complete);
+        assert!(report.schedules >= 2);
+    }
+
+    #[test]
+    fn schedule_cap_reports_incomplete() {
+        let report = model_with(Config::with_max_schedules(3), || {
+            let a = Arc::new(MAtomic::new(0));
+            let handles: Vec<_> = (0..3)
+                .map(|_| {
+                    let a = Arc::clone(&a);
+                    thread::spawn(move || {
+                        a.fetch_add(1, Ordering::SeqCst);
+                    })
+                })
+                .collect();
+            for h in handles {
+                h.join();
+            }
+        });
+        assert_eq!(report.schedules, 3);
+        assert!(!report.complete);
+    }
+
+    #[test]
+    fn std_sync_facade_compiles_and_runs_the_same_generic_code() {
+        // The same generic body must run under both facades.
+        fn add_two<S: SyncFacade>() -> usize {
+            let counter = S::AtomicUsize::new(0);
+            let workers: Vec<_> = (0..2)
+                .map(|_| {
+                    let counter = &counter;
+                    move || {
+                        counter.fetch_add(1, Ordering::SeqCst);
+                    }
+                })
+                .collect();
+            S::scope_workers(workers, || ());
+            counter.load(Ordering::SeqCst)
+        }
+        assert_eq!(add_two::<StdSync>(), 2);
+        let report = model(|| {
+            assert_eq!(add_two::<ModelSync>(), 2);
+        });
+        assert!(report.complete);
+        assert!(report.schedules >= 2);
+    }
+}

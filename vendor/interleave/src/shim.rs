@@ -1,0 +1,619 @@
+//! Instrumented synchronisation shims: the [`ModelSync`] family.
+//!
+//! Every shim keeps its *protocol* state (ownership, waiter lists, queue
+//! occupancy) in a plain `std::sync` mutex of its own, and turns every
+//! visible operation into a scheduling point of the cooperative explorer
+//! (`yield` before the operation, `block` while it cannot proceed).  The
+//! user *data* behind a model `Mutex`/`RwLock` lives in a real
+//! `std::sync` lock: because the model protocol grants exclusive (or
+//! shared-read) ownership before the inner lock is touched, the inner
+//! acquisition is always uncontended — `try_lock` must succeed — and
+//! holding its guard across scheduler parks is safe without `unsafe`.
+//!
+//! Wake-ups are *barging*: releasing a resource marks every waiter
+//! runnable and lets the scheduler branch over who reacquires first,
+//! which is exactly the schedule diversity the explorer wants.
+
+use std::collections::VecDeque;
+use std::sync::atomic::Ordering;
+use std::sync::{Arc, Mutex as OsMutex, PoisonError, RwLock as OsRwLock, TryLockError};
+
+use crate::exec::{Execution, Status, TaskId, Wake};
+use crate::facade::{
+    AtomicBoolApi, AtomicU64Api, AtomicUsizeApi, CondvarApi, MutexApi, ReceiverApi, RecvError,
+    RwLockApi, SenderApi, SyncFacade,
+};
+use crate::thread::{current, join_all, panic_message, run_task, try_current};
+
+/// The model [`SyncFacade`]: instrumented shims under the bounded-DFS
+/// schedule explorer.  Usable only inside [`crate::model`] closures.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ModelSync;
+
+fn lock_os<T>(m: &OsMutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+// ---------------------------------------------------------------------------
+// Atomics
+// ---------------------------------------------------------------------------
+
+macro_rules! model_atomic {
+    ($name:ident, $api:ident, $std:ty, $prim:ty, $($extra:tt)*) => {
+        /// Instrumented atomic: every access is a scheduling point.
+        #[derive(Debug, Default)]
+        pub struct $name {
+            inner: $std,
+        }
+
+        impl $api for $name {
+            fn new(value: $prim) -> Self {
+                $name { inner: <$std>::new(value) }
+            }
+            fn load(&self, _order: Ordering) -> $prim {
+                let (exec, me) = current();
+                exec.yield_now(me, concat!(stringify!($name), "::load"));
+                self.inner.load(Ordering::SeqCst)
+            }
+            fn store(&self, value: $prim, _order: Ordering) {
+                let (exec, me) = current();
+                exec.yield_now(me, concat!(stringify!($name), "::store"));
+                self.inner.store(value, Ordering::SeqCst);
+            }
+            $($extra)*
+        }
+    };
+}
+
+model_atomic!(
+    AtomicUsize,
+    AtomicUsizeApi,
+    std::sync::atomic::AtomicUsize,
+    usize,
+    fn fetch_add(&self, value: usize, _order: Ordering) -> usize {
+        let (exec, me) = current();
+        exec.yield_now(me, "AtomicUsize::fetch_add");
+        self.inner.fetch_add(value, Ordering::SeqCst)
+    }
+);
+
+model_atomic!(
+    AtomicBool,
+    AtomicBoolApi,
+    std::sync::atomic::AtomicBool,
+    bool,
+);
+
+model_atomic!(
+    AtomicU64,
+    AtomicU64Api,
+    std::sync::atomic::AtomicU64,
+    u64,
+    fn fetch_add(&self, value: u64, _order: Ordering) -> u64 {
+        let (exec, me) = current();
+        exec.yield_now(me, "AtomicU64::fetch_add");
+        self.inner.fetch_add(value, Ordering::SeqCst)
+    }
+);
+
+// ---------------------------------------------------------------------------
+// Mutex
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Default)]
+struct MutexCtl {
+    owner: Option<TaskId>,
+    waiters: Vec<TaskId>,
+}
+
+/// Instrumented mutex; acquisition order is explored by the scheduler.
+#[derive(Debug)]
+pub struct Mutex<T> {
+    ctl: OsMutex<MutexCtl>,
+    data: OsMutex<T>,
+}
+
+/// RAII guard of a model [`Mutex`].
+pub struct MutexGuard<'a, T: Send> {
+    mutex: &'a Mutex<T>,
+    inner: Option<std::sync::MutexGuard<'a, T>>,
+}
+
+impl<T: Send> Mutex<T> {
+    /// Grants model-level ownership to `me`, blocking under the scheduler
+    /// while another task owns the lock.
+    fn acquire(&self, exec: &Execution, me: TaskId) {
+        loop {
+            let mut ctl = lock_os(&self.ctl);
+            if ctl.owner.is_none() {
+                ctl.owner = Some(me);
+                return;
+            }
+            ctl.waiters.push(me);
+            drop(ctl);
+            exec.block(me, Status::Blocked, "Mutex::lock");
+        }
+    }
+
+    fn inner_guard(&self) -> std::sync::MutexGuard<'_, T> {
+        match self.data.try_lock() {
+            Ok(guard) => guard,
+            Err(TryLockError::Poisoned(poisoned)) => poisoned.into_inner(),
+            Err(TryLockError::WouldBlock) => {
+                unreachable!("model mutex granted ownership while inner lock held")
+            }
+        }
+    }
+
+    /// Releases model-level ownership and wakes every waiter (barging).
+    fn release(&self) {
+        let wakes: Vec<TaskId> = {
+            let mut ctl = lock_os(&self.ctl);
+            ctl.owner = None;
+            ctl.waiters.drain(..).collect()
+        };
+        if let Some((exec, _)) = try_current() {
+            for task in wakes {
+                exec.mark_runnable(task);
+            }
+        }
+    }
+}
+
+impl<T: Send> MutexApi<T> for Mutex<T> {
+    type Guard<'a>
+        = MutexGuard<'a, T>
+    where
+        T: 'a;
+
+    fn new(value: T) -> Self {
+        Mutex {
+            ctl: OsMutex::new(MutexCtl::default()),
+            data: OsMutex::new(value),
+        }
+    }
+
+    fn lock(&self) -> MutexGuard<'_, T> {
+        let (exec, me) = current();
+        exec.yield_now(me, "Mutex::lock");
+        self.acquire(&exec, me);
+        MutexGuard {
+            mutex: self,
+            inner: Some(self.inner_guard()),
+        }
+    }
+
+    fn into_inner(self) -> T {
+        self.data
+            .into_inner()
+            .unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+impl<T: Send> std::ops::Deref for MutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        self.inner
+            .as_ref()
+            .expect("model mutex guard already released")
+    }
+}
+
+impl<T: Send> std::ops::DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        self.inner
+            .as_mut()
+            .expect("model mutex guard already released")
+    }
+}
+
+impl<T: Send> Drop for MutexGuard<'_, T> {
+    fn drop(&mut self) {
+        if self.inner.take().is_some() {
+            self.mutex.release();
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// RwLock
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Default)]
+struct RwCtl {
+    writer: Option<TaskId>,
+    readers: usize,
+    waiters: Vec<TaskId>,
+}
+
+/// Instrumented reader–writer lock (barging, no writer preference — the
+/// explorer branches over admission orders instead).
+#[derive(Debug)]
+pub struct RwLock<T> {
+    ctl: OsMutex<RwCtl>,
+    data: OsRwLock<T>,
+}
+
+/// Shared-read guard of a model [`RwLock`].
+pub struct RwLockReadGuard<'a, T: Send + Sync> {
+    lock: &'a RwLock<T>,
+    inner: Option<std::sync::RwLockReadGuard<'a, T>>,
+}
+
+/// Exclusive-write guard of a model [`RwLock`].
+pub struct RwLockWriteGuard<'a, T: Send + Sync> {
+    lock: &'a RwLock<T>,
+    inner: Option<std::sync::RwLockWriteGuard<'a, T>>,
+}
+
+impl<T: Send + Sync> RwLock<T> {
+    fn wake_waiters(&self) {
+        let wakes: Vec<TaskId> = lock_os(&self.ctl).waiters.drain(..).collect();
+        if let Some((exec, _)) = try_current() {
+            for task in wakes {
+                exec.mark_runnable(task);
+            }
+        }
+    }
+}
+
+impl<T: Send + Sync> RwLockApi<T> for RwLock<T> {
+    type ReadGuard<'a>
+        = RwLockReadGuard<'a, T>
+    where
+        T: 'a;
+    type WriteGuard<'a>
+        = RwLockWriteGuard<'a, T>
+    where
+        T: 'a;
+
+    fn new(value: T) -> Self {
+        RwLock {
+            ctl: OsMutex::new(RwCtl::default()),
+            data: OsRwLock::new(value),
+        }
+    }
+
+    fn read(&self) -> RwLockReadGuard<'_, T> {
+        let (exec, me) = current();
+        exec.yield_now(me, "RwLock::read");
+        loop {
+            let mut ctl = lock_os(&self.ctl);
+            if ctl.writer.is_none() {
+                ctl.readers += 1;
+                drop(ctl);
+                let inner = match self.data.try_read() {
+                    Ok(guard) => guard,
+                    Err(TryLockError::Poisoned(poisoned)) => poisoned.into_inner(),
+                    Err(TryLockError::WouldBlock) => {
+                        unreachable!("model rwlock admitted reader while writer held")
+                    }
+                };
+                return RwLockReadGuard {
+                    lock: self,
+                    inner: Some(inner),
+                };
+            }
+            ctl.waiters.push(me);
+            drop(ctl);
+            exec.block(me, Status::Blocked, "RwLock::read");
+        }
+    }
+
+    fn write(&self) -> RwLockWriteGuard<'_, T> {
+        let (exec, me) = current();
+        exec.yield_now(me, "RwLock::write");
+        loop {
+            let mut ctl = lock_os(&self.ctl);
+            if ctl.writer.is_none() && ctl.readers == 0 {
+                ctl.writer = Some(me);
+                drop(ctl);
+                let inner = match self.data.try_write() {
+                    Ok(guard) => guard,
+                    Err(TryLockError::Poisoned(poisoned)) => poisoned.into_inner(),
+                    Err(TryLockError::WouldBlock) => {
+                        unreachable!("model rwlock admitted writer while lock held")
+                    }
+                };
+                return RwLockWriteGuard {
+                    lock: self,
+                    inner: Some(inner),
+                };
+            }
+            ctl.waiters.push(me);
+            drop(ctl);
+            exec.block(me, Status::Blocked, "RwLock::write");
+        }
+    }
+}
+
+impl<T: Send + Sync> std::ops::Deref for RwLockReadGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        self.inner
+            .as_ref()
+            .expect("model read guard already released")
+    }
+}
+
+impl<T: Send + Sync> Drop for RwLockReadGuard<'_, T> {
+    fn drop(&mut self) {
+        if self.inner.take().is_some() {
+            lock_os(&self.lock.ctl).readers -= 1;
+            self.lock.wake_waiters();
+        }
+    }
+}
+
+impl<T: Send + Sync> std::ops::Deref for RwLockWriteGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        self.inner
+            .as_ref()
+            .expect("model write guard already released")
+    }
+}
+
+impl<T: Send + Sync> std::ops::DerefMut for RwLockWriteGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        self.inner
+            .as_mut()
+            .expect("model write guard already released")
+    }
+}
+
+impl<T: Send + Sync> Drop for RwLockWriteGuard<'_, T> {
+    fn drop(&mut self) {
+        if self.inner.take().is_some() {
+            lock_os(&self.lock.ctl).writer = None;
+            self.lock.wake_waiters();
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Condvar
+// ---------------------------------------------------------------------------
+
+/// Instrumented condition variable.  Every `wait` is a spurious-wakeup
+/// candidate (up to the execution's injection budget), so predicates that
+/// are checked with `if` instead of `while` fail the model.
+#[derive(Debug, Default)]
+pub struct Condvar {
+    waiters: OsMutex<Vec<TaskId>>,
+}
+
+impl CondvarApi<ModelSync> for Condvar {
+    fn new() -> Self {
+        Condvar::default()
+    }
+
+    fn wait<'a, T>(&self, mut guard: MutexGuard<'a, T>) -> MutexGuard<'a, T>
+    where
+        T: Send + 'a,
+        <ModelSync as SyncFacade>::Mutex<T>: 'a,
+    {
+        let (exec, me) = current();
+        let mutex = guard.mutex;
+        lock_os(&self.waiters).push(me);
+        // Atomically (at model granularity) release the mutex and park.
+        if guard.inner.take().is_some() {
+            mutex.release();
+        }
+        drop(guard);
+        let wake = exec.block(me, Status::CondvarWait, "Condvar::wait");
+        if wake == Wake::Spurious {
+            lock_os(&self.waiters).retain(|&task| task != me);
+        }
+        // Reacquire (contending with everyone else) before returning.
+        exec.yield_now(me, "Condvar::wait (relock)");
+        mutex.acquire(&exec, me);
+        MutexGuard {
+            mutex,
+            inner: Some(mutex.inner_guard()),
+        }
+    }
+
+    fn notify_one(&self) {
+        let (exec, me) = current();
+        exec.yield_now(me, "Condvar::notify_one");
+        let task = {
+            let mut waiters = lock_os(&self.waiters);
+            if waiters.is_empty() {
+                return;
+            }
+            let index = exec.choose(waiters.len());
+            waiters.remove(index)
+        };
+        exec.mark_runnable(task);
+    }
+
+    fn notify_all(&self) {
+        let (exec, me) = current();
+        exec.yield_now(me, "Condvar::notify_all");
+        let wakes: Vec<TaskId> = lock_os(&self.waiters).drain(..).collect();
+        for task in wakes {
+            exec.mark_runnable(task);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Bounded channel
+// ---------------------------------------------------------------------------
+
+#[derive(Debug)]
+struct ChanState<T> {
+    queue: VecDeque<T>,
+    cap: usize,
+    senders: usize,
+    rx_alive: bool,
+    send_waiters: Vec<TaskId>,
+    recv_waiters: Vec<TaskId>,
+}
+
+/// Sending half of a model bounded channel.
+#[derive(Debug)]
+pub struct Sender<T> {
+    chan: Arc<OsMutex<ChanState<T>>>,
+}
+
+/// Receiving half of a model bounded channel.
+#[derive(Debug)]
+pub struct Receiver<T> {
+    chan: Arc<OsMutex<ChanState<T>>>,
+}
+
+fn wake_all(tasks: Vec<TaskId>) {
+    if let Some((exec, _)) = try_current() {
+        for task in tasks {
+            exec.mark_runnable(task);
+        }
+    }
+}
+
+impl<T: Send> SenderApi<T> for Sender<T> {
+    fn send(&self, value: T) -> Result<(), T> {
+        let (exec, me) = current();
+        exec.yield_now(me, "Sender::send");
+        let mut value = Some(value);
+        loop {
+            let mut st = lock_os(&self.chan);
+            if !st.rx_alive {
+                return Err(value.take().expect("send value consumed twice"));
+            }
+            if st.queue.len() < st.cap {
+                let v = value.take().expect("send value consumed twice");
+                st.queue.push_back(v);
+                let wakes: Vec<TaskId> = st.recv_waiters.drain(..).collect();
+                drop(st);
+                wake_all(wakes);
+                return Ok(());
+            }
+            st.send_waiters.push(me);
+            drop(st);
+            exec.block(me, Status::Blocked, "Sender::send (channel full)");
+        }
+    }
+}
+
+impl<T> Clone for Sender<T> {
+    fn clone(&self) -> Self {
+        lock_os(&self.chan).senders += 1;
+        Sender {
+            chan: Arc::clone(&self.chan),
+        }
+    }
+}
+
+impl<T> Drop for Sender<T> {
+    fn drop(&mut self) {
+        let wakes: Vec<TaskId> = {
+            let mut st = lock_os(&self.chan);
+            st.senders -= 1;
+            if st.senders == 0 {
+                st.recv_waiters.drain(..).collect()
+            } else {
+                Vec::new()
+            }
+        };
+        wake_all(wakes);
+    }
+}
+
+impl<T: Send> ReceiverApi<T> for Receiver<T> {
+    fn recv(&self) -> Result<T, RecvError> {
+        let (exec, me) = current();
+        exec.yield_now(me, "Receiver::recv");
+        loop {
+            let mut st = lock_os(&self.chan);
+            if let Some(value) = st.queue.pop_front() {
+                let wakes: Vec<TaskId> = st.send_waiters.drain(..).collect();
+                drop(st);
+                wake_all(wakes);
+                return Ok(value);
+            }
+            if st.senders == 0 {
+                return Err(RecvError);
+            }
+            st.recv_waiters.push(me);
+            drop(st);
+            exec.block(me, Status::Blocked, "Receiver::recv (channel empty)");
+        }
+    }
+}
+
+impl<T> Drop for Receiver<T> {
+    fn drop(&mut self) {
+        let wakes: Vec<TaskId> = {
+            let mut st = lock_os(&self.chan);
+            st.rx_alive = false;
+            st.send_waiters.drain(..).collect()
+        };
+        wake_all(wakes);
+    }
+}
+
+impl SyncFacade for ModelSync {
+    type AtomicUsize = AtomicUsize;
+    type AtomicBool = AtomicBool;
+    type AtomicU64 = AtomicU64;
+    type Mutex<T: Send> = Mutex<T>;
+    type RwLock<T: Send + Sync> = RwLock<T>;
+    type Condvar = Condvar;
+    type Sender<T: Send> = Sender<T>;
+    type Receiver<T: Send> = Receiver<T>;
+
+    fn sync_channel<T: Send>(bound: usize) -> (Sender<T>, Receiver<T>) {
+        assert!(bound > 0, "rendezvous (bound 0) channels are not modelled");
+        let chan = Arc::new(OsMutex::new(ChanState {
+            queue: VecDeque::new(),
+            cap: bound,
+            senders: 1,
+            rx_alive: true,
+            send_waiters: Vec::new(),
+            recv_waiters: Vec::new(),
+        }));
+        (
+            Sender {
+                chan: Arc::clone(&chan),
+            },
+            Receiver { chan },
+        )
+    }
+
+    fn scope_workers<W, B, R>(workers: Vec<W>, body: B) -> R
+    where
+        W: FnOnce() + Send,
+        B: FnOnce() -> R,
+    {
+        let (exec, me) = current();
+        std::thread::scope(|scope| {
+            for worker in workers {
+                let id = exec.register_task();
+                let worker_exec = Arc::clone(&exec);
+                scope.spawn(move || run_task(worker_exec, id, worker));
+            }
+            let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(body));
+            match result {
+                Ok(value) => {
+                    // Wait (under the scheduler) for every child before the
+                    // std scope's implicit join would block the OS thread.
+                    join_all(&exec, me);
+                    value
+                }
+                Err(payload) => {
+                    if payload.downcast_ref::<crate::exec::Aborted>().is_none() {
+                        exec.abort_with(format!(
+                            "scope body panicked: {}",
+                            panic_message(payload.as_ref())
+                        ));
+                    }
+                    // Abort is set either way: parked children unwind, the
+                    // std scope join completes, and the panic propagates.
+                    std::panic::resume_unwind(payload)
+                }
+            }
+        })
+    }
+}

@@ -1,0 +1,147 @@
+//! Model-thread plumbing: the thread-local task context, the wrapper that
+//! runs a task body under the scheduler, and `spawn`/`JoinHandle` for
+//! `'static` closures (scoped spawn lives in [`crate::shim`]).
+
+use std::cell::RefCell;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Mutex as OsMutex, PoisonError};
+
+use crate::exec::{Aborted, Execution, Status, TaskId};
+
+thread_local! {
+    static CTX: RefCell<Option<(Arc<Execution>, TaskId)>> = const { RefCell::new(None) };
+}
+
+/// Binds this OS thread to `task` of `exec` for the duration of the run.
+pub(crate) fn set_current(exec: Arc<Execution>, task: TaskId) {
+    CTX.with(|c| *c.borrow_mut() = Some((exec, task)));
+}
+
+/// Unbinds this OS thread from its execution.
+pub(crate) fn clear_current() {
+    CTX.with(|c| *c.borrow_mut() = None);
+}
+
+/// The execution and task id of the calling thread; panics with a usage
+/// hint when called outside a model run.
+pub(crate) fn current() -> (Arc<Execution>, TaskId) {
+    try_current().unwrap_or_else(|| {
+        panic!(
+            "interleave primitives may only be used inside interleave::model() \
+             (no execution is bound to this thread)"
+        )
+    })
+}
+
+/// Like [`current`], but `None` outside a model run.  Used by `Drop`
+/// impls, which must never panic.
+pub(crate) fn try_current() -> Option<(Arc<Execution>, TaskId)> {
+    CTX.with(|c| c.borrow().clone())
+}
+
+/// Renders a panic payload for diagnostics.
+pub(crate) fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Runs a task body on its own OS thread: binds the context, parks until
+/// first scheduled, records panics as model failures (aborting the run),
+/// and always marks the task finished.
+pub(crate) fn run_task<F: FnOnce()>(exec: Arc<Execution>, id: TaskId, body: F) {
+    set_current(exec.clone(), id);
+    let result = catch_unwind(AssertUnwindSafe(|| {
+        exec.first_wait(id);
+        body();
+    }));
+    if let Err(payload) = result {
+        if payload.downcast_ref::<Aborted>().is_none() {
+            exec.abort_with(format!(
+                "task {id} panicked: {}",
+                panic_message(payload.as_ref())
+            ));
+        }
+    }
+    exec.finish_task(id);
+    clear_current();
+}
+
+/// Scheduler-aware wait until every task other than `me` has finished.
+pub(crate) fn join_all(exec: &Execution, me: TaskId) {
+    loop {
+        if exec.others_finished(me) {
+            return;
+        }
+        exec.block(me, Status::JoinWait, "join (all tasks)");
+    }
+}
+
+/// Handle to a model thread spawned with [`spawn`].
+pub struct JoinHandle<T> {
+    task: TaskId,
+    result: Arc<OsMutex<Option<T>>>,
+    os: std::thread::JoinHandle<()>,
+}
+
+impl<T: Send + 'static> JoinHandle<T> {
+    /// Waits (under the scheduler) for the thread to finish and returns
+    /// its value.  A panic in the thread aborts the whole model run.
+    pub fn join(self) -> T {
+        let (exec, me) = current();
+        exec.yield_now(me, "JoinHandle::join");
+        loop {
+            if exec.is_finished(self.task) {
+                break;
+            }
+            exec.block(me, Status::JoinWait, "JoinHandle::join");
+        }
+        drop(exec);
+        let _ = self.os.join();
+        self.result
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .take()
+            .expect("model task finished without producing a result")
+    }
+}
+
+/// Spawns a model thread running `f`; the counterpart of
+/// `std::thread::spawn` inside a model run.
+pub fn spawn<F, T>(f: F) -> JoinHandle<T>
+where
+    F: FnOnce() -> T + Send + 'static,
+    T: Send + 'static,
+{
+    let (exec, _) = current();
+    let id = exec.register_task();
+    let result = Arc::new(OsMutex::new(None));
+    let thread_exec = Arc::clone(&exec);
+    let thread_result = Arc::clone(&result);
+    let os = std::thread::Builder::new()
+        .name(format!("interleave-task-{id}"))
+        .spawn(move || {
+            run_task(thread_exec, id, move || {
+                let value = f();
+                *thread_result.lock().unwrap_or_else(PoisonError::into_inner) = Some(value);
+            });
+        })
+        .expect("failed to spawn model thread");
+    JoinHandle {
+        task: id,
+        result,
+        os,
+    }
+}
+
+impl<T> std::fmt::Debug for JoinHandle<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("JoinHandle")
+            .field("task", &self.task)
+            .finish_non_exhaustive()
+    }
+}

@@ -4,6 +4,9 @@
 //! traits and nothing in the workspace bounds on them, so the derives can
 //! accept any input (including `#[serde(...)]` attributes) and emit nothing.
 
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
 use proc_macro::TokenStream;
 
 /// Accepts `#[derive(Serialize)]` and emits no code.
