@@ -59,7 +59,7 @@
 //! ```
 //!
 //! The same sweeps are available from the command line via the `ldx` binary
-//! (`cargo run --release -p ld-runner --bin ldx -- list`).
+//! (`cargo run --release -p ld-serve --bin ldx -- list`).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

@@ -142,7 +142,7 @@ impl<L: Send + Sync, S: SyncFacade> ViewCache<L, S> {
     /// Creates an empty cache over `shards` independent shards.
     ///
     /// `shards` must be a power of two no larger than 64 (the shard index
-    /// is taken from hash bits 51..57 — see [`ViewCache::shard_of`]).
+    /// is taken from hash bits 51..57 — see `ViewCache::shard_of`).
     /// Production uses [`ViewCache::new`]; the model suite shrinks to two
     /// shards so schedule exploration actually exercises shard sharing.
     pub fn with_shards(shards: usize) -> Self {
@@ -280,6 +280,71 @@ impl<L: Clone + Eq + Hash + Send + Sync, S: SyncFacade> ViewCache<L, S> {
         self.hits.store(0, Ordering::Relaxed);
         self.misses.store(0, Ordering::Relaxed);
         self.entries.store(0, Ordering::Relaxed);
+    }
+}
+
+/// A process-wide pool of [`ViewCache`]s, one per label type.
+///
+/// A long-running service multiplexes many sweep jobs over one process;
+/// without a pool every job's plan builds fresh caches and re-derives the
+/// same canonical codes.  The pool hands out one shared
+/// `Arc<ViewCache<L>>` per label type `L`, so concurrent and subsequent
+/// jobs warm each other's lookups.  Sharing is sound because entries are
+/// keyed by the exact view value (see the module docs): a pooled cache can
+/// only change timings and hit counters, never report bytes.
+pub struct CachePool {
+    slots: std::sync::Mutex<FxHashMap<std::any::TypeId, Arc<dyn std::any::Any + Send + Sync>>>,
+}
+
+impl CachePool {
+    /// An empty pool.
+    pub fn new() -> Self {
+        CachePool {
+            slots: std::sync::Mutex::new(FxHashMap::default()),
+        }
+    }
+
+    /// The shared cache for label type `L`, created on first request.
+    ///
+    /// Every call with the same `L` returns a clone of the same `Arc`, so
+    /// all plans drawing from one pool converge on one cache per label
+    /// family.
+    pub fn view_cache<L: Send + Sync + 'static>(&self) -> Arc<ViewCache<L>> {
+        let mut slots = self
+            .slots
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        let slot = slots.entry(std::any::TypeId::of::<L>()).or_insert_with(|| {
+            Arc::new(ViewCache::<L>::new()) as Arc<dyn std::any::Any + Send + Sync>
+        });
+        if let Ok(cache) = Arc::clone(slot).downcast::<ViewCache<L>>() {
+            return cache;
+        }
+        // Impossible — the slot for `TypeId::of::<L>()` always holds a
+        // `ViewCache<L>` — but recover by installing a fresh cache rather
+        // than panicking inside a service worker.
+        let fresh = Arc::new(ViewCache::<L>::new());
+        *slot = fresh.clone();
+        fresh
+    }
+
+    /// Number of label families the pool currently holds caches for.
+    pub fn len(&self) -> usize {
+        self.slots
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .len()
+    }
+
+    /// Whether the pool has handed out no caches yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl Default for CachePool {
+    fn default() -> Self {
+        Self::new()
     }
 }
 
@@ -474,6 +539,50 @@ mod tests {
             "expected >=1000 distinct schedules, explored {}",
             report.schedules
         );
+    }
+
+    #[test]
+    fn pool_hands_out_one_cache_per_label_type() {
+        let pool = CachePool::new();
+        assert!(pool.is_empty());
+        let a = pool.view_cache::<u8>();
+        let b = pool.view_cache::<u8>();
+        assert!(Arc::ptr_eq(&a, &b), "same label type must share one cache");
+        let c = pool.view_cache::<u16>();
+        assert_eq!(pool.len(), 2);
+        // Distinct label families get independent caches (and counters).
+        let views = cycle_views(8, 1);
+        a.canonical_code(&views[0]);
+        assert_eq!(
+            b.stats().misses,
+            1,
+            "warmth is visible through every handle"
+        );
+        assert_eq!(c.stats(), CacheStats::default());
+    }
+
+    #[test]
+    fn pooled_cache_stays_warm_across_jobs() {
+        let pool = CachePool::new();
+        let views = cycle_views(16, 2);
+        // "Job 1" draws a cache from the pool and populates it.
+        for view in &views {
+            pool.view_cache::<u8>().canonical_code(view);
+        }
+        let after_first = pool.view_cache::<u8>().stats();
+        // "Job 2" re-requests the cache; every lookup is now a hit and no
+        // new classes are published.
+        for view in &views {
+            assert_eq!(
+                *pool.view_cache::<u8>().canonical_code(view),
+                view.canonical_code()
+            );
+        }
+        let after_second = pool.view_cache::<u8>().stats();
+        let delta = after_second.since(&after_first);
+        assert_eq!(delta.misses, 0, "second job must run fully warm");
+        assert_eq!(delta.hits, 16);
+        assert_eq!(delta.entries, 0);
     }
 
     #[test]

@@ -85,7 +85,7 @@ pub use algorithm::{
     FnLocal, FnOblivious, LocalAlgorithm, ObliviousAlgorithm, ObliviousAsLocal,
     OrderInvariantAlgorithm, OrderInvariantAsLocal, RandomizedObliviousAlgorithm, Verdict,
 };
-pub use cache::{CacheStats, ViewCache};
+pub use cache::{CachePool, CacheStats, ViewCache};
 pub use decision::{Decision, DecisionOutcome};
 pub use enumeration::{BudgetUsage, EnumerationBudget};
 pub use error::LocalError;

@@ -78,6 +78,6 @@ pub mod summary;
 
 pub use cell::{CellOutcome, CellResult, CellSpec};
 pub use report::RunReport;
-pub use scenario::{ConfigError, Plan, PlannedCell, Scenario, SweepConfig};
+pub use scenario::{with_cache_pool, ConfigError, Plan, PlannedCell, Scenario, SweepConfig};
 pub use stream::{StreamOptions, StreamSummary};
 pub use summary::{CellSummary, ReportSummary};

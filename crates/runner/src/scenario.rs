@@ -7,10 +7,44 @@
 //! the plans.
 
 use crate::cell::{CellOutcome, CellSpec};
-use ld_local::cache::{CacheStats, ViewCache};
+use ld_local::cache::{CachePool, CacheStats, ViewCache};
 use ld_local::enumeration::EnumerationBudget;
+use std::cell::RefCell;
 use std::hash::Hash;
 use std::sync::Arc;
+
+thread_local! {
+    /// The cache pool consulted by [`Plan::share_cache`] on this thread
+    /// (installed by [`with_cache_pool`], absent by default).
+    static CACHE_POOL: RefCell<Option<Arc<CachePool>>> = const { RefCell::new(None) };
+}
+
+/// Restores the previously installed pool when [`with_cache_pool`] exits,
+/// including by panic — a poisoned job must not leak its pool into
+/// unrelated plans built later on the same worker thread.
+struct PoolGuard(Option<Arc<CachePool>>);
+
+impl Drop for PoolGuard {
+    fn drop(&mut self) {
+        CACHE_POOL.with(|slot| *slot.borrow_mut() = self.0.take());
+    }
+}
+
+/// Runs `f` with `pool` installed as the canonical-view cache source for
+/// every [`Plan::share_cache`] call on this thread.
+///
+/// One-shot CLI sweeps never call this: each plan builds private caches,
+/// exactly as before.  A long-running service wraps each job's planning and
+/// execution in it so concurrent and subsequent jobs share one warmed cache
+/// per label family.  Sharing never changes report bytes (pool caches are
+/// exact-keyed — see `ld_local::cache`); it *does* mean a plan's merged
+/// [`CacheStats`] include activity from every job drawing on the pool, so
+/// per-run hit-rate deltas become pool-wide figures.
+pub fn with_cache_pool<R>(pool: &Arc<CachePool>, f: impl FnOnce() -> R) -> R {
+    let previous = CACHE_POOL.with(|slot| slot.borrow_mut().replace(Arc::clone(pool)));
+    let _guard = PoolGuard(previous);
+    f()
+}
 
 /// The largest view radius any sweep may request.  Radius-4 balls of the
 /// swept families are already large enough that enumeration cost is
@@ -50,6 +84,33 @@ impl std::fmt::Display for ConfigError {
 }
 
 impl std::error::Error for ConfigError {}
+
+impl ConfigError {
+    /// A stable, machine-readable identifier for the variant.  `ldx` prints
+    /// it alongside the message, and `ld-serve` returns it as the `error`
+    /// field of HTTP 400 bodies, so clients can dispatch on the token
+    /// without parsing prose.
+    pub fn token(&self) -> &'static str {
+        match self {
+            ConfigError::ZeroMaxN => "zero-max-n",
+            ConfigError::RadiusTooLarge { .. } => "radius-too-large",
+            ConfigError::ZeroShardSize => "zero-shard-size",
+        }
+    }
+
+    /// The process exit code `ldx run` / `ldx resume` terminate with for
+    /// this variant.  The range starts past 64 (`EX_USAGE`, which `ldx`
+    /// keeps for argument-parsing failures) so each configuration defect is
+    /// distinguishable in scripts; `ld-serve` embeds the same code in 400
+    /// bodies so a client can exit with it verbatim.
+    pub fn exit_code(&self) -> u8 {
+        match self {
+            ConfigError::ZeroMaxN => 65,
+            ConfigError::RadiusTooLarge { .. } => 66,
+            ConfigError::ZeroShardSize => 67,
+        }
+    }
+}
 
 /// Configuration shared by every sweep: the instance-size budget, the
 /// parallelism level, the master seed from which all per-cell seeds are
@@ -208,11 +269,19 @@ impl Plan {
 
     /// Registers a shared cache for stats reporting and returns it for cell
     /// closures to capture.
+    ///
+    /// When a [`with_cache_pool`] scope is active on the calling thread the
+    /// cache is drawn from the pool (one shared instance per label family,
+    /// warm across jobs); otherwise the plan gets a private, empty cache.
     pub fn share_cache<L>(&mut self) -> Arc<ViewCache<L>>
     where
         L: Clone + Eq + Hash + Send + Sync + 'static,
     {
-        let cache = Arc::new(ViewCache::new());
+        let cache = CACHE_POOL.with(|slot| {
+            slot.borrow()
+                .as_ref()
+                .map_or_else(|| Arc::new(ViewCache::new()), |pool| pool.view_cache::<L>())
+        });
         self.caches.push(cache.clone());
         cache
     }
@@ -323,6 +392,65 @@ mod tests {
             ..SweepConfig::default()
         };
         assert_eq!(no_shards.validate(), Err(ConfigError::ZeroShardSize));
+    }
+
+    #[test]
+    fn config_errors_map_to_distinct_exit_codes_and_tokens() {
+        let variants = [
+            ConfigError::ZeroMaxN,
+            ConfigError::RadiusTooLarge { radius: 9 },
+            ConfigError::ZeroShardSize,
+        ];
+        let codes: Vec<u8> = variants.iter().map(ConfigError::exit_code).collect();
+        let tokens: Vec<&str> = variants.iter().map(ConfigError::token).collect();
+        assert_eq!(codes, vec![65, 66, 67]);
+        assert_eq!(
+            tokens,
+            vec!["zero-max-n", "radius-too-large", "zero-shard-size"]
+        );
+        for code in &codes {
+            assert!(*code > 64, "codes stay clear of EX_USAGE and below");
+        }
+    }
+
+    #[test]
+    fn share_cache_draws_from_an_installed_pool() {
+        use ld_local::cache::CachePool;
+
+        // Without a pool: two plans get independent caches.
+        let mut plan_a = Plan::new();
+        let mut plan_b = Plan::new();
+        let a = plan_a.share_cache::<u8>();
+        let b = plan_b.share_cache::<u8>();
+        assert!(!Arc::ptr_eq(&a, &b), "private caches must not be shared");
+
+        // With a pool: every plan built in the scope shares one cache per
+        // label family, and the scope restores cleanly.
+        let pool = Arc::new(CachePool::new());
+        let (a, b) = super::with_cache_pool(&pool, || {
+            let mut plan_a = Plan::new();
+            let mut plan_b = Plan::new();
+            (plan_a.share_cache::<u8>(), plan_b.share_cache::<u8>())
+        });
+        assert!(Arc::ptr_eq(&a, &b), "pooled caches must be shared");
+        assert!(Arc::ptr_eq(&a, &pool.view_cache::<u8>()));
+        let outside = Plan::new().share_cache::<u8>();
+        assert!(
+            !Arc::ptr_eq(&outside, &a),
+            "the pool must not leak past its scope"
+        );
+
+        // Nested scopes restore the *outer* pool, not an empty slot.
+        let outer = Arc::new(CachePool::new());
+        let inner = Arc::new(CachePool::new());
+        super::with_cache_pool(&outer, || {
+            super::with_cache_pool(&inner, || {
+                let cache = Plan::new().share_cache::<u8>();
+                assert!(Arc::ptr_eq(&cache, &inner.view_cache::<u8>()));
+            });
+            let cache = Plan::new().share_cache::<u8>();
+            assert!(Arc::ptr_eq(&cache, &outer.view_cache::<u8>()));
+        });
     }
 
     #[test]

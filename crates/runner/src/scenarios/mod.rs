@@ -131,6 +131,26 @@ pub fn find(name: &str) -> Option<Box<dyn Scenario>> {
     all().into_iter().find(|s| s.name() == name)
 }
 
+/// The machine-readable registry listing shared by `ldx list --json` and
+/// the service's `GET /scenarios` endpoint: one `{name, description}`
+/// object per scenario, in `ldx list` order.
+pub fn listing_json() -> crate::json::Json {
+    use crate::json::Json;
+    Json::object().set("schema", "ld-runner/scenarios/v1").set(
+        "scenarios",
+        Json::Arr(
+            all()
+                .iter()
+                .map(|s| {
+                    Json::object()
+                        .set("name", s.name())
+                        .set("description", s.description())
+                })
+                .collect(),
+        ),
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -155,6 +175,32 @@ mod tests {
         for scenario in all() {
             assert!(!scenario.description().is_empty());
             assert!(!scenario.description().contains('\n'));
+        }
+    }
+
+    #[test]
+    fn listing_json_mirrors_the_registry_and_round_trips() {
+        let rendered = listing_json().render();
+        let parsed = crate::json::Json::parse(&rendered).expect("listing must parse");
+        assert_eq!(
+            parsed.get("schema").and_then(crate::json::Json::as_str),
+            Some("ld-runner/scenarios/v1")
+        );
+        let entries = parsed
+            .get("scenarios")
+            .and_then(crate::json::Json::as_arr)
+            .expect("scenarios array");
+        let registry = all();
+        assert_eq!(entries.len(), registry.len());
+        for (entry, scenario) in entries.iter().zip(&registry) {
+            assert_eq!(
+                entry.get("name").and_then(crate::json::Json::as_str),
+                Some(scenario.name())
+            );
+            assert_eq!(
+                entry.get("description").and_then(crate::json::Json::as_str),
+                Some(scenario.description())
+            );
         }
     }
 }

@@ -1,0 +1,752 @@
+//! `ldx` — list, run, resume, diff, analyze, and serve experiment sweeps.
+//!
+//! ```text
+//! ldx list [--json]
+//! ldx run <scenario> [--max-n N] [--threads T] [--seed S] [--radius R]
+//!                    [--node-budget N] [--view-budget N] [--shard-size N]
+//!                    [--out FILE.json] [--csv FILE.csv] [--no-bench-json]
+//!                    [--deterministic] [--max-shards N]
+//! ldx resume <report.json> [--threads T] [--no-bench-json] [--max-shards N]
+//! ldx diff <a.json> <b.json>
+//! ldx analyze [--deny-all] [--json] [--root DIR]
+//! ldx serve [--addr HOST:PORT] [--spool DIR] [--workers N]
+//! ldx submit <scenario> [--addr HOST:PORT] [--priority P] [--wait] [--out FILE]
+//!                       [config flags as for run]
+//! ldx shutdown [--addr HOST:PORT]
+//! ```
+//!
+//! `run` executes the named scenario through the **streaming sharded
+//! pipeline**: cells are executed shard by shard and appended to the JSON
+//! report (schema `ld-runner/report/v3`) as they complete, so peak memory
+//! is bounded by the shard window, not the sweep — and a checkpoint
+//! sidecar (`<report>.ckpt`) records every flushed shard.  A killed run
+//! therefore loses at most one shard of work: `resume` verifies the
+//! report prefix against the checkpoint digest and continues, producing a
+//! file byte-identical to an uninterrupted run.  With `--deterministic`
+//! the report omits every timing- and parallelism-dependent field, so runs
+//! differing only in `--threads` (or in where they were killed) must
+//! produce byte-identical files — CI diffs exactly that.  `diff` compares
+//! any two persisted reports (any schema version: v1, v2 or v3) cell by
+//! cell.  The process exits nonzero when any cell fails or panics, and
+//! after an incomplete (`--max-shards`-limited) run.
+//!
+//! `serve` starts the long-running daemon (`ld-serve`): a priority job
+//! queue over the same streaming pipeline, with per-job spool files so a
+//! killed daemon resumes in-flight jobs on restart.  `submit` and
+//! `shutdown` are thin HTTP clients for it.
+//!
+//! Invalid sweep configurations exit with the typed `ConfigError` codes
+//! (65 zero-max-n, 66 radius-too-large, 67 zero-shard-size); generic usage
+//! errors exit 64; operational failures exit 1.  The daemon's `400`
+//! bodies carry the same `token`/`exit_code` mapping, and `submit`
+//! propagates them.
+
+use ld_runner::json::Json;
+use ld_runner::stream::{self, Checkpoint, StreamOptions, StreamSummary};
+use ld_runner::{scenarios, ConfigError, ReportSummary, SweepConfig};
+use ld_serve::client;
+use ld_serve::{JobSpec, ServeOptions, Server};
+use std::path::PathBuf;
+use std::process::ExitCode;
+use std::time::Duration;
+
+/// The default daemon address shared by `serve`, `submit` and `shutdown`.
+const DEFAULT_ADDR: &str = "127.0.0.1:7117";
+
+/// Decodes a daemon response body as JSON.
+fn parse_response(response: &client::Response) -> Result<Json, CliError> {
+    Json::parse(&response.text()).map_err(|e| CliError::Message(format!("bad response body: {e}")))
+}
+
+/// A CLI failure with its exit code.
+enum CliError {
+    /// A generic usage/parse error (exit 64).
+    Usage(String),
+    /// An operational failure (exit 1).
+    Message(String),
+    /// A typed configuration error (exit 65–67, see [`ConfigError`]).
+    Config(ConfigError),
+    /// A server-provided exit code (e.g. from a `400` body).
+    Exit {
+        /// The exit code to use.
+        code: u8,
+        /// The message to print.
+        message: String,
+    },
+}
+
+impl From<String> for CliError {
+    fn from(message: String) -> CliError {
+        CliError::Message(message)
+    }
+}
+
+impl CliError {
+    fn exit_code(&self) -> u8 {
+        match self {
+            CliError::Usage(_) => 64,
+            CliError::Message(_) => 1,
+            CliError::Config(e) => e.exit_code(),
+            CliError::Exit { code, .. } => *code,
+        }
+    }
+
+    fn message(&self) -> String {
+        match self {
+            CliError::Usage(m) | CliError::Message(m) | CliError::Exit { message: m, .. } => {
+                m.clone()
+            }
+            CliError::Config(e) => format!("{e} [{}]", e.token()),
+        }
+    }
+}
+
+fn usage() -> String {
+    let mut out = String::from(
+        "usage:\n  ldx list [--json]\n  ldx run <scenario> [--max-n N] [--threads T] [--seed S] [--radius R]\n                     [--node-budget N] [--view-budget N] [--shard-size N]\n                     [--out FILE.json] [--csv FILE.csv] [--no-bench-json]\n                     [--deterministic] [--max-shards N]\n  ldx resume <report.json> [--threads T] [--no-bench-json] [--max-shards N]\n  ldx diff <a.json> <b.json>\n  ldx analyze [--deny-all] [--json] [--root DIR]\n  ldx serve [--addr HOST:PORT] [--spool DIR] [--workers N]\n  ldx submit <scenario> [--addr HOST:PORT] [--priority P] [--wait] [--out FILE]\n             [config flags as for run]\n  ldx shutdown [--addr HOST:PORT]\n\nscenarios:\n",
+    );
+    for scenario in scenarios::all() {
+        out.push_str(&format!(
+            "  {:<20} {}\n",
+            scenario.name(),
+            scenario.description()
+        ));
+    }
+    out
+}
+
+struct RunArgs {
+    scenario: String,
+    config: SweepConfig,
+    out: Option<PathBuf>,
+    csv: Option<PathBuf>,
+    bench_json: bool,
+    deterministic: bool,
+    max_shards: Option<usize>,
+}
+
+/// Applies one `--max-n`-style sweep-config flag; returns `Ok(false)` when
+/// the flag is not a config flag (the caller handles it).
+fn parse_config_flag(
+    config: &mut SweepConfig,
+    flag: &str,
+    iter: &mut std::slice::Iter<'_, String>,
+) -> Result<bool, String> {
+    let mut value = |name: &str| {
+        iter.next()
+            .map(String::as_str)
+            .ok_or_else(|| format!("{name} expects a value"))
+            .map(str::to_string)
+    };
+    match flag {
+        "--max-n" => {
+            config.max_n = value("--max-n")?
+                .parse()
+                .map_err(|e| format!("--max-n: {e}"))?;
+        }
+        "--threads" => {
+            config.threads = value("--threads")?
+                .parse()
+                .map_err(|e| format!("--threads: {e}"))?;
+            if config.threads == 0 {
+                return Err("--threads must be at least 1".to_string());
+            }
+        }
+        "--seed" => {
+            config.seed = value("--seed")?
+                .parse()
+                .map_err(|e| format!("--seed: {e}"))?;
+        }
+        "--radius" => {
+            config.radius = Some(
+                value("--radius")?
+                    .parse()
+                    .map_err(|e| format!("--radius: {e}"))?,
+            );
+        }
+        "--node-budget" => {
+            config.node_budget = Some(
+                value("--node-budget")?
+                    .parse()
+                    .map_err(|e| format!("--node-budget: {e}"))?,
+            );
+        }
+        "--view-budget" => {
+            config.view_budget = Some(
+                value("--view-budget")?
+                    .parse()
+                    .map_err(|e| format!("--view-budget: {e}"))?,
+            );
+        }
+        "--shard-size" => {
+            config.shard_size = value("--shard-size")?
+                .parse()
+                .map_err(|e| format!("--shard-size: {e}"))?;
+        }
+        _ => return Ok(false),
+    }
+    Ok(true)
+}
+
+fn parse_run_args(args: &[String]) -> Result<RunArgs, CliError> {
+    let mut iter = args.iter();
+    let scenario = iter
+        .next()
+        .ok_or_else(|| CliError::Usage("run: missing scenario name".to_string()))?
+        .clone();
+    let mut run = RunArgs {
+        scenario,
+        config: SweepConfig::default(),
+        out: None,
+        csv: None,
+        bench_json: true,
+        deterministic: false,
+        max_shards: None,
+    };
+    while let Some(flag) = iter.next() {
+        if parse_config_flag(&mut run.config, flag, &mut iter).map_err(CliError::Usage)? {
+            continue;
+        }
+        let mut value = |name: &str| {
+            iter.next()
+                .map(String::as_str)
+                .ok_or_else(|| CliError::Usage(format!("{name} expects a value")))
+                .map(str::to_string)
+        };
+        match flag.as_str() {
+            "--max-shards" => {
+                run.max_shards = Some(
+                    value("--max-shards")?
+                        .parse()
+                        .map_err(|e| CliError::Usage(format!("--max-shards: {e}")))?,
+                );
+            }
+            "--out" => run.out = Some(PathBuf::from(value("--out")?)),
+            "--csv" => run.csv = Some(PathBuf::from(value("--csv")?)),
+            "--no-bench-json" => run.bench_json = false,
+            "--deterministic" => run.deterministic = true,
+            other => return Err(CliError::Usage(format!("unknown flag {other}"))),
+        }
+    }
+    run.config.validate().map_err(CliError::Config)?;
+    Ok(run)
+}
+
+/// The workspace root this binary was built from; `BENCH_runner.json` lands
+/// there so the perf trajectory lives next to the sources.
+fn repo_root() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("..")
+        .join("..")
+}
+
+fn print_summary(summary: &StreamSummary) {
+    println!(
+        "{}: {} cells in {} shard(s) on {} thread(s) in {:.2?}{}",
+        summary.scenario,
+        summary.cell_count,
+        summary.shard_count,
+        summary.config.threads,
+        summary.total_wall,
+        if summary.cells_run < summary.cell_count && summary.completed {
+            format!(
+                " ({} restored from checkpoint)",
+                summary.cell_count - summary.cells_run
+            )
+        } else {
+            String::new()
+        }
+    );
+    println!(
+        "  passed {}  failed {}  panicked {}  budget-exhausted {}",
+        summary.passed, summary.failed, summary.panicked, summary.exhausted
+    );
+    println!(
+        "  canonical-view cache: {} hits, {} misses, hit rate {:.1}%",
+        summary.cache.hits,
+        summary.cache.misses,
+        100.0 * summary.cache.hit_rate()
+    );
+    for (id, what) in &summary.failures {
+        println!("  FAIL {id} -> {what}");
+    }
+    if !summary.completed {
+        println!(
+            "  INTERRUPTED after {}/{} shards — continue with `ldx resume`",
+            summary.shards_written, summary.shard_count
+        );
+    }
+}
+
+fn write_bench_snapshot(summary: &StreamSummary) {
+    // The snapshot is best-effort: the repo root is baked in at compile
+    // time, so a relocated binary must not fail an otherwise green run.
+    let bench = repo_root().join("BENCH_runner.json");
+    match std::fs::write(&bench, summary.bench_snapshot_json()) {
+        Ok(()) => println!("  perf snapshot: {}", bench.display()),
+        Err(e) => eprintln!("ldx: skipping perf snapshot {}: {e}", bench.display()),
+    }
+}
+
+fn finish(summary: &StreamSummary, bench_json: bool) -> bool {
+    if bench_json && summary.completed {
+        write_bench_snapshot(summary);
+    }
+    summary.completed && summary.failed == 0 && summary.panicked == 0
+}
+
+fn cmd_run(args: &[String]) -> Result<bool, CliError> {
+    let run = parse_run_args(args)?;
+    let scenario = scenarios::find(&run.scenario).ok_or_else(|| {
+        CliError::Usage(format!(
+            "unknown scenario '{}'\n\n{}",
+            run.scenario,
+            usage()
+        ))
+    })?;
+    let out = run
+        .out
+        .unwrap_or_else(|| PathBuf::from(format!("ldx-{}.json", scenario.name())));
+    let opts = StreamOptions {
+        deterministic: run.deterministic,
+        max_shards: run.max_shards,
+        csv: run.csv.clone(),
+    };
+    let summary = stream::run(scenario.as_ref(), &run.config, &out, &opts)?;
+    print_summary(&summary);
+    println!("  report: {}", out.display());
+    if let Some(csv) = &run.csv {
+        println!("  csv: {}", csv.display());
+    }
+    Ok(finish(&summary, run.bench_json))
+}
+
+fn cmd_resume(args: &[String]) -> Result<bool, CliError> {
+    let mut iter = args.iter();
+    let report = PathBuf::from(
+        iter.next()
+            .ok_or_else(|| CliError::Usage("resume: missing report path".to_string()))?,
+    );
+    let mut threads = None;
+    let mut bench_json = true;
+    let mut max_shards = None;
+    while let Some(flag) = iter.next() {
+        let mut value = |name: &str| {
+            iter.next()
+                .map(String::as_str)
+                .ok_or_else(|| CliError::Usage(format!("{name} expects a value")))
+                .map(str::to_string)
+        };
+        match flag.as_str() {
+            "--threads" => {
+                let t: usize = value("--threads")?
+                    .parse()
+                    .map_err(|e| CliError::Usage(format!("--threads: {e}")))?;
+                if t == 0 {
+                    return Err(CliError::Usage("--threads must be at least 1".to_string()));
+                }
+                threads = Some(t);
+            }
+            "--max-shards" => {
+                max_shards = Some(
+                    value("--max-shards")?
+                        .parse()
+                        .map_err(|e| CliError::Usage(format!("--max-shards: {e}")))?,
+                );
+            }
+            "--no-bench-json" => bench_json = false,
+            other => return Err(CliError::Usage(format!("unknown flag {other}"))),
+        }
+    }
+    // Peek at the checkpoint so configuration errors exit with their typed
+    // codes before any file is touched; a missing/corrupt checkpoint falls
+    // through to stream::resume's own diagnostics.
+    if let Ok(text) = std::fs::read_to_string(Checkpoint::path_for(&report)) {
+        if let Ok(ckpt) = Checkpoint::parse(&text) {
+            let mut config = ckpt.config;
+            if let Some(t) = threads {
+                config.threads = t;
+            }
+            config.validate().map_err(CliError::Config)?;
+        }
+    }
+    let summary = stream::resume(&report, threads, max_shards)?;
+    print_summary(&summary);
+    println!("  report: {}", report.display());
+    Ok(finish(&summary, bench_json))
+}
+
+/// Compares two persisted reports (any schema version) and prints what
+/// differs.  Returns `true` when they are equivalent.
+fn cmd_diff(args: &[String]) -> Result<bool, CliError> {
+    let [a_path, b_path] = args else {
+        return Err(CliError::Usage(
+            "diff: expected exactly two report paths".to_string(),
+        ));
+    };
+    let read = |path: &String| -> Result<ReportSummary, String> {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+        ReportSummary::from_json(&text).map_err(|e| format!("parsing {path}: {e}"))
+    };
+    let a = read(a_path)?;
+    let b = read(b_path)?;
+    let mut differences: Vec<String> = Vec::new();
+    let mut field = |name: &str, left: String, right: String| {
+        if left != right {
+            differences.push(format!("{name}: {left} != {right}"));
+        }
+    };
+    field("scenario", a.scenario.clone(), b.scenario.clone());
+    field("max_n", a.max_n.to_string(), b.max_n.to_string());
+    field("seed", a.seed.to_string(), b.seed.to_string());
+    field(
+        "radius",
+        format!("{:?}", a.radius),
+        format!("{:?}", b.radius),
+    );
+    field(
+        "node_budget",
+        format!("{:?}", a.node_budget),
+        format!("{:?}", b.node_budget),
+    );
+    field(
+        "view_budget",
+        format!("{:?}", a.view_budget),
+        format!("{:?}", b.view_budget),
+    );
+    field(
+        "cell_count",
+        a.cell_count.to_string(),
+        b.cell_count.to_string(),
+    );
+    field("passed", a.passed.to_string(), b.passed.to_string());
+    field("failed", a.failed.to_string(), b.failed.to_string());
+    field("panicked", a.panicked.to_string(), b.panicked.to_string());
+    field(
+        "exhausted",
+        a.exhausted.to_string(),
+        b.exhausted.to_string(),
+    );
+    if a.cells.len() != b.cells.len() {
+        differences.push(format!(
+            "cells array length: {} != {}",
+            a.cells.len(),
+            b.cells.len()
+        ));
+    }
+    const SHOWN: usize = 10;
+    let mut cell_differences = 0usize;
+    for (i, (ca, cb)) in a.cells.iter().zip(&b.cells).enumerate() {
+        if ca != cb {
+            cell_differences += 1;
+            if cell_differences <= SHOWN {
+                let what = if ca.id != cb.id {
+                    format!("'{}' != '{}'", ca.id, cb.id)
+                } else {
+                    format!(
+                        "'{}': verdict {:?}/{:?}, pass {}/{}, seed {}/{}",
+                        ca.id, ca.verdict, cb.verdict, ca.pass, cb.pass, ca.seed, cb.seed
+                    )
+                };
+                differences.push(format!("cell {i}: {what}"));
+            }
+        }
+    }
+    if cell_differences > SHOWN {
+        differences.push(format!(
+            "... and {} more differing cells",
+            cell_differences - SHOWN
+        ));
+    }
+    if a.schema != b.schema {
+        println!(
+            "note: comparing across schemas ({} vs {})",
+            a.schema, b.schema
+        );
+    }
+    if differences.is_empty() {
+        println!(
+            "reports are equivalent: {} cells, {} passed, {} failed, {} panicked",
+            a.cell_count, a.passed, a.failed, a.panicked
+        );
+        Ok(true)
+    } else {
+        for difference in &differences {
+            println!("DIFF {difference}");
+        }
+        Ok(false)
+    }
+}
+
+/// `ldx analyze [--deny-all] [--json] [--root DIR]` — the repo-invariant
+/// lint pass (rules D001–D005, see `docs/ANALYZE_RULES.md`).  Prints
+/// findings and suppressions; with `--deny-all` any unsuppressed finding
+/// fails the process, which is what CI gates on.
+fn cmd_analyze(args: &[String]) -> Result<bool, CliError> {
+    let mut deny_all = false;
+    let mut json = false;
+    let mut root: Option<PathBuf> = None;
+    let mut iter = args.iter();
+    while let Some(flag) = iter.next() {
+        match flag.as_str() {
+            "--deny-all" => deny_all = true,
+            "--json" => json = true,
+            "--root" => {
+                root = Some(PathBuf::from(iter.next().ok_or_else(|| {
+                    CliError::Usage("--root expects a value".to_string())
+                })?));
+            }
+            other => return Err(CliError::Usage(format!("analyze: unknown flag {other}"))),
+        }
+    }
+    let root = match root {
+        Some(root) => root,
+        None => workspace_root().map_err(CliError::Message)?,
+    };
+    let analysis = ld_analyze::analyze_root(&root)?;
+    if json {
+        print!("{}", analysis.to_json());
+    } else {
+        for finding in &analysis.findings {
+            println!(
+                "{}:{}: {} {}",
+                finding.file,
+                finding.line,
+                finding.rule.id(),
+                finding.message
+            );
+        }
+        for sup in &analysis.suppressed {
+            println!(
+                "{}:{}: {} suppressed: {}",
+                sup.file,
+                sup.line,
+                sup.rule.id(),
+                sup.reason
+            );
+        }
+        println!(
+            "ldx analyze: {} finding(s), {} suppressed, {} files scanned",
+            analysis.findings.len(),
+            analysis.suppressed.len(),
+            analysis.files_scanned
+        );
+    }
+    Ok(analysis.is_clean() || !deny_all)
+}
+
+/// Ascends from the current directory to the first `Cargo.toml` declaring
+/// a `[workspace]` — the root `ldx analyze` scans by default.
+fn workspace_root() -> Result<PathBuf, String> {
+    let mut dir = std::env::current_dir().map_err(|e| format!("current dir: {e}"))?;
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if let Ok(text) = std::fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return Ok(dir);
+            }
+        }
+        if !dir.pop() {
+            return Err(
+                "no workspace Cargo.toml above the current directory; pass --root".to_string(),
+            );
+        }
+    }
+}
+
+/// `ldx serve`: bind, announce, run until drained.
+fn cmd_serve(args: &[String]) -> Result<bool, CliError> {
+    let mut options = ServeOptions {
+        addr: DEFAULT_ADDR.to_string(),
+        spool: PathBuf::from("ldx-spool"),
+        workers: 2,
+    };
+    let mut iter = args.iter();
+    while let Some(flag) = iter.next() {
+        let mut value = |name: &str| {
+            iter.next()
+                .map(String::as_str)
+                .ok_or_else(|| CliError::Usage(format!("{name} expects a value")))
+                .map(str::to_string)
+        };
+        match flag.as_str() {
+            "--addr" => options.addr = value("--addr")?,
+            "--spool" => options.spool = PathBuf::from(value("--spool")?),
+            "--workers" => {
+                options.workers = value("--workers")?
+                    .parse()
+                    .map_err(|e| CliError::Usage(format!("--workers: {e}")))?;
+                if options.workers == 0 {
+                    return Err(CliError::Usage("--workers must be at least 1".to_string()));
+                }
+            }
+            other => return Err(CliError::Usage(format!("serve: unknown flag {other}"))),
+        }
+    }
+    let server = Server::bind(&options)?;
+    // The address line goes first on stdout (line-buffered, so it flushes
+    // immediately): scripts bind `--addr 127.0.0.1:0` and parse the
+    // ephemeral port from here.
+    println!("ld-serve listening on {}", server.local_addr());
+    println!(
+        "  spool: {}  workers: {}",
+        options.spool.display(),
+        options.workers
+    );
+    server.run()?;
+    println!("ld-serve drained");
+    Ok(true)
+}
+
+/// `ldx submit`: POST a job spec; with `--wait`, follow it to a terminal
+/// state and download the report.
+fn cmd_submit(args: &[String]) -> Result<bool, CliError> {
+    let mut iter = args.iter();
+    let scenario = iter
+        .next()
+        .ok_or_else(|| CliError::Usage("submit: missing scenario name".to_string()))?
+        .clone();
+    let mut spec = JobSpec::new(&scenario);
+    let mut addr = DEFAULT_ADDR.to_string();
+    let mut wait = false;
+    let mut out: Option<PathBuf> = None;
+    while let Some(flag) = iter.next() {
+        if parse_config_flag(&mut spec.config, flag, &mut iter).map_err(CliError::Usage)? {
+            continue;
+        }
+        let mut value = |name: &str| {
+            iter.next()
+                .map(String::as_str)
+                .ok_or_else(|| CliError::Usage(format!("{name} expects a value")))
+                .map(str::to_string)
+        };
+        match flag.as_str() {
+            "--addr" => addr = value("--addr")?,
+            "--priority" => {
+                spec.priority = value("--priority")?
+                    .parse()
+                    .map_err(|e| CliError::Usage(format!("--priority: {e}")))?;
+            }
+            "--wait" => wait = true,
+            "--out" => out = Some(PathBuf::from(value("--out")?)),
+            other => return Err(CliError::Usage(format!("submit: unknown flag {other}"))),
+        }
+    }
+    let body = spec.to_json().render_compact();
+    let response = client::request(&addr, "POST", "/jobs", Some(&body))?;
+    let json = parse_response(&response)?;
+    if response.status != 201 {
+        let code = json
+            .get("exit_code")
+            .and_then(ld_runner::json::Json::as_u64)
+            .map_or(1, |c| u8::try_from(c).unwrap_or(1));
+        let message = json
+            .get("message")
+            .and_then(ld_runner::json::Json::as_str)
+            .unwrap_or("submission rejected")
+            .to_string();
+        return Err(CliError::Exit {
+            code,
+            message: format!("submit: {} ({message})", response.status),
+        });
+    }
+    let id = json
+        .get("id")
+        .and_then(ld_runner::json::Json::as_u64)
+        .ok_or_else(|| "submit: response without a job id".to_string())?;
+    println!("job {id} queued on {addr} (priority {})", spec.priority);
+    if !wait {
+        println!("  status: GET http://{addr}/jobs/{id}");
+        return Ok(true);
+    }
+    loop {
+        let status = client::request(&addr, "GET", &format!("/jobs/{id}"), None)?;
+        let json = parse_response(&status)?;
+        let state = json
+            .get("state")
+            .and_then(ld_runner::json::Json::as_str)
+            .unwrap_or("unknown")
+            .to_string();
+        match state.as_str() {
+            "completed" => break,
+            "failed" | "canceled" => {
+                let message = json
+                    .get("message")
+                    .and_then(ld_runner::json::Json::as_str)
+                    .unwrap_or("no message");
+                return Err(CliError::Message(format!("job {id} {state}: {message}")));
+            }
+            _ => std::thread::sleep(Duration::from_millis(200)),
+        }
+    }
+    let report = client::request(&addr, "GET", &format!("/jobs/{id}/report"), None)?;
+    let out = out.unwrap_or_else(|| PathBuf::from(format!("ldx-{scenario}-job{id}.json")));
+    std::fs::write(&out, &report.body).map_err(|e| format!("writing {}: {e}", out.display()))?;
+    println!("job {id} completed");
+    println!("  report: {}", out.display());
+    Ok(true)
+}
+
+/// `ldx shutdown`: ask the daemon to drain.
+fn cmd_shutdown(args: &[String]) -> Result<bool, CliError> {
+    let mut addr = DEFAULT_ADDR.to_string();
+    let mut iter = args.iter();
+    while let Some(flag) = iter.next() {
+        match flag.as_str() {
+            "--addr" => {
+                addr = iter
+                    .next()
+                    .ok_or_else(|| CliError::Usage("--addr expects a value".to_string()))?
+                    .clone();
+            }
+            other => return Err(CliError::Usage(format!("shutdown: unknown flag {other}"))),
+        }
+    }
+    let response = client::request(&addr, "POST", "/shutdown", None)?;
+    if response.status == 200 {
+        println!("ld-serve on {addr} is draining");
+        Ok(true)
+    } else {
+        Err(CliError::Message(format!(
+            "shutdown: {} ({})",
+            response.status,
+            response.text().trim()
+        )))
+    }
+}
+
+/// `ldx list [--json]`.
+fn cmd_list(args: &[String]) -> Result<bool, CliError> {
+    match args {
+        [] => print!("{}", usage()),
+        [flag] if flag == "--json" => print!("{}", scenarios::listing_json().render()),
+        _ => return Err(CliError::Usage("list: only --json is accepted".to_string())),
+    }
+    Ok(true)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let outcome = match args.first().map(String::as_str) {
+        Some("list") => cmd_list(&args[1..]),
+        Some("run") => cmd_run(&args[1..]),
+        Some("resume") => cmd_resume(&args[1..]),
+        Some("diff") => cmd_diff(&args[1..]),
+        Some("analyze") => cmd_analyze(&args[1..]),
+        Some("serve") => cmd_serve(&args[1..]),
+        Some("submit") => cmd_submit(&args[1..]),
+        Some("shutdown") => cmd_shutdown(&args[1..]),
+        _ => {
+            eprint!("{}", usage());
+            return ExitCode::from(64);
+        }
+    };
+    match outcome {
+        Ok(true) => ExitCode::SUCCESS,
+        Ok(false) => ExitCode::FAILURE,
+        Err(error) => {
+            eprintln!("ldx: {}", error.message());
+            ExitCode::from(error.exit_code())
+        }
+    }
+}

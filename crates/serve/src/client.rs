@@ -1,0 +1,189 @@
+//! A minimal HTTP/1.1 client for `ldx submit`/`ldx shutdown` and the
+//! integration tests.
+//!
+//! One request per connection, mirroring the server's `Connection: close`
+//! discipline.  Responses are decoded by `Content-Length`, chunked
+//! transfer coding (the report stream), or read-to-EOF.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+/// A decoded response.
+#[derive(Debug)]
+pub struct Response {
+    /// The status code.
+    pub status: u16,
+    /// Header name/value pairs, in receive order.
+    pub headers: Vec<(String, String)>,
+    /// The decoded body bytes.
+    pub body: Vec<u8>,
+}
+
+impl Response {
+    /// The first value of `name`, case-insensitively.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(k, _)| k.eq_ignore_ascii_case(name))
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// The body as UTF-8 (lossy — error bodies are always UTF-8 JSON).
+    pub fn text(&self) -> String {
+        String::from_utf8_lossy(&self.body).into_owned()
+    }
+}
+
+/// Sends one `method path` request to `addr` with an optional JSON body
+/// and decodes the response.
+///
+/// Connect and per-read socket timeouts are 30 s: a report stream of a
+/// running job keeps delivering chunks, so a healthy server never lets a
+/// read starve that long.
+///
+/// # Errors
+///
+/// Returns a message on connection, framing or I/O failures.
+pub fn request(
+    addr: &str,
+    method: &str,
+    path: &str,
+    body: Option<&str>,
+) -> Result<Response, String> {
+    let stream = TcpStream::connect(addr).map_err(|e| format!("connecting {addr}: {e}"))?;
+    stream
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .map_err(|e| format!("socket timeout: {e}"))?;
+    let mut writer = stream
+        .try_clone()
+        .map_err(|e| format!("cloning socket: {e}"))?;
+    let body = body.unwrap_or("");
+    write!(
+        writer,
+        "{method} {path} HTTP/1.1\r\nHost: {addr}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    )
+    .map_err(|e| format!("sending request: {e}"))?;
+    writer
+        .flush()
+        .map_err(|e| format!("sending request: {e}"))?;
+    read_response(&mut BufReader::new(stream))
+}
+
+/// Decodes one response off `reader`.
+///
+/// # Errors
+///
+/// Returns a message on framing or I/O failures.
+pub fn read_response(reader: &mut impl BufRead) -> Result<Response, String> {
+    let mut line = String::new();
+    reader
+        .read_line(&mut line)
+        .map_err(|e| format!("reading status line: {e}"))?;
+    let status = line
+        .split(' ')
+        .nth(1)
+        .and_then(|s| s.parse::<u16>().ok())
+        .ok_or_else(|| format!("bad status line '{}'", line.trim_end()))?;
+    let mut headers = Vec::new();
+    loop {
+        let mut line = String::new();
+        let n = reader
+            .read_line(&mut line)
+            .map_err(|e| format!("reading headers: {e}"))?;
+        if n == 0 {
+            return Err("eof inside response headers".to_string());
+        }
+        let line = line.trim_end_matches(['\r', '\n']);
+        if line.is_empty() {
+            break;
+        }
+        if let Some((name, value)) = line.split_once(':') {
+            headers.push((name.trim().to_string(), value.trim().to_string()));
+        }
+    }
+    let chunked = headers.iter().any(|(k, v)| {
+        k.eq_ignore_ascii_case("transfer-encoding") && v.eq_ignore_ascii_case("chunked")
+    });
+    let length = headers
+        .iter()
+        .find(|(k, _)| k.eq_ignore_ascii_case("content-length"))
+        .and_then(|(_, v)| v.parse::<usize>().ok());
+    let mut body = Vec::new();
+    if chunked {
+        loop {
+            let mut size_line = String::new();
+            reader
+                .read_line(&mut size_line)
+                .map_err(|e| format!("reading chunk size: {e}"))?;
+            let size = usize::from_str_radix(size_line.trim(), 16)
+                .map_err(|_| format!("bad chunk size '{}'", size_line.trim()))?;
+            if size == 0 {
+                let mut trailer = String::new();
+                let _ = reader.read_line(&mut trailer);
+                break;
+            }
+            let mut chunk = vec![0u8; size];
+            reader
+                .read_exact(&mut chunk)
+                .map_err(|e| format!("reading chunk: {e}"))?;
+            body.extend_from_slice(&chunk);
+            let mut crlf = [0u8; 2];
+            reader
+                .read_exact(&mut crlf)
+                .map_err(|e| format!("reading chunk terminator: {e}"))?;
+        }
+    } else if let Some(length) = length {
+        let mut exact = vec![0u8; length];
+        reader
+            .read_exact(&mut exact)
+            .map_err(|e| format!("reading body: {e}"))?;
+        body = exact;
+    } else {
+        reader
+            .read_to_end(&mut body)
+            .map_err(|e| format!("reading body: {e}"))?;
+    }
+    Ok(Response {
+        status,
+        headers,
+        body,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::BufReader;
+
+    #[test]
+    fn decodes_fixed_length_bodies() {
+        let raw = b"HTTP/1.1 201 Created\r\nContent-Type: application/json\r\nContent-Length: 2\r\n\r\n{}";
+        let response = read_response(&mut BufReader::new(&raw[..])).expect("decode");
+        assert_eq!(response.status, 201);
+        assert_eq!(response.body, b"{}");
+        assert_eq!(response.header("content-type"), Some("application/json"));
+    }
+
+    #[test]
+    fn decodes_chunked_bodies() {
+        let raw = b"HTTP/1.1 200 OK\r\nTransfer-Encoding: chunked\r\n\r\n6\r\nhello \r\n5\r\nworld\r\n0\r\n\r\n";
+        let response = read_response(&mut BufReader::new(&raw[..])).expect("decode");
+        assert_eq!(response.status, 200);
+        assert_eq!(response.text(), "hello world");
+    }
+
+    #[test]
+    fn decodes_to_eof_without_framing_headers() {
+        let raw = b"HTTP/1.1 200 OK\r\n\r\nrest";
+        let response = read_response(&mut BufReader::new(&raw[..])).expect("decode");
+        assert_eq!(response.body, b"rest");
+    }
+
+    #[test]
+    fn rejects_garbage_status_lines() {
+        let raw = b"NOPE\r\n\r\n";
+        assert!(read_response(&mut BufReader::new(&raw[..])).is_err());
+    }
+}

@@ -1,0 +1,289 @@
+//! The spool directory: everything a restarted daemon needs to pick up
+//! where a killed one left off.
+//!
+//! Per job `<id>` the spool holds up to four files:
+//!
+//! ```text
+//! job-000042.job        the JobSpec, compact JSON, written atomically at submit
+//! job-000042.json       the streamed v3 report (grows while running)
+//! job-000042.json.ckpt  the ld-runner checkpoint sidecar (present while in flight)
+//! job-000042.err        the failure message (present only for failed jobs)
+//! ```
+//!
+//! Recovery ([`Spool::scan`]) classifies each `.job` by which siblings
+//! exist: an `.err` means the job failed; a `.ckpt` means it was in flight
+//! (resume through `ld_runner::stream::resume`, byte-identical by the
+//! checkpoint contract); a report that parses as a complete v3 document
+//! means it finished; anything else re-queues from scratch.  The `.job`
+//! spec is the source of truth for the config, so a recovered job re-plans
+//! exactly what was submitted.
+
+use crate::job::JobSpec;
+use ld_runner::json::Json;
+use ld_runner::ReportSummary;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// A job's classification at recovery time.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RecoveredState {
+    /// The report is complete; nothing to do.
+    Completed,
+    /// The job failed with the recorded message.
+    Failed(String),
+    /// A checkpoint sidecar exists: the job was in flight and must resume.
+    Resumable,
+    /// Never started (or left no usable partial state): run from scratch.
+    Queued,
+}
+
+/// One job found in the spool at startup.
+#[derive(Debug)]
+pub struct RecoveredJob {
+    /// The job id (also the filename stem).
+    pub id: u64,
+    /// The persisted spec.
+    pub spec: JobSpec,
+    /// What the sibling files say happened to it.
+    pub state: RecoveredState,
+}
+
+/// A handle on the spool directory.
+#[derive(Debug, Clone)]
+pub struct Spool {
+    dir: PathBuf,
+}
+
+impl Spool {
+    /// Opens (creating if needed) the spool at `dir`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message when the directory cannot be created.
+    pub fn open(dir: impl Into<PathBuf>) -> Result<Spool, String> {
+        let dir = dir.into();
+        fs::create_dir_all(&dir).map_err(|e| format!("creating spool {}: {e}", dir.display()))?;
+        Ok(Spool { dir })
+    }
+
+    /// The spool directory itself.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// The filename stem for `id` (`job-000042`).
+    fn stem(id: u64) -> String {
+        format!("job-{id:06}")
+    }
+
+    /// Path of the persisted spec.
+    pub fn spec_path(&self, id: u64) -> PathBuf {
+        self.dir.join(format!("{}.job", Self::stem(id)))
+    }
+
+    /// Path of the streamed report.
+    pub fn report_path(&self, id: u64) -> PathBuf {
+        self.dir.join(format!("{}.json", Self::stem(id)))
+    }
+
+    /// Path of the checkpoint sidecar (`ld_runner::stream` appends `.ckpt`
+    /// to the report path; keep the two derivations in lockstep).
+    pub fn ckpt_path(&self, id: u64) -> PathBuf {
+        self.dir.join(format!("{}.json.ckpt", Self::stem(id)))
+    }
+
+    /// Path of the failure-message sidecar.
+    pub fn err_path(&self, id: u64) -> PathBuf {
+        self.dir.join(format!("{}.err", Self::stem(id)))
+    }
+
+    /// Persists `spec` for `id` atomically (write-then-rename), so a crash
+    /// mid-submit never leaves a torn spec to recover.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message on I/O failures.
+    pub fn write_spec(&self, id: u64, spec: &JobSpec) -> Result<(), String> {
+        let path = self.spec_path(id);
+        let tmp = self.dir.join(format!("{}.job.tmp", Self::stem(id)));
+        let mut text = spec.to_json().render_compact();
+        text.push('\n');
+        fs::write(&tmp, text).map_err(|e| format!("writing {}: {e}", tmp.display()))?;
+        fs::rename(&tmp, &path).map_err(|e| format!("renaming {}: {e}", path.display()))
+    }
+
+    /// Reads the persisted spec for `id`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message when the file is missing or does not parse.
+    pub fn read_spec(&self, id: u64) -> Result<JobSpec, String> {
+        let path = self.spec_path(id);
+        let text =
+            fs::read_to_string(&path).map_err(|e| format!("reading {}: {e}", path.display()))?;
+        let json = Json::parse(&text).map_err(|e| format!("parsing {}: {e}", path.display()))?;
+        JobSpec::from_json(&json).map_err(|e| format!("spec {}: {e}", path.display()))
+    }
+
+    /// Records a failure message for `id` (best-effort: recovery falls back
+    /// to a generic message if the write was lost).
+    pub fn write_error(&self, id: u64, message: &str) {
+        let _ = fs::write(self.err_path(id), message);
+    }
+
+    /// Removes every file belonging to `id`.
+    pub fn remove_job(&self, id: u64) {
+        for path in [
+            self.spec_path(id),
+            self.report_path(id),
+            self.ckpt_path(id),
+            self.err_path(id),
+        ] {
+            let _ = fs::remove_file(path);
+        }
+    }
+
+    /// Finds every persisted job and classifies it (see the module docs).
+    /// Jobs are returned in id order.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message when the directory cannot be read or a spec file
+    /// is corrupt — a spool that cannot be trusted must fail loudly at
+    /// startup, not silently drop jobs.
+    pub fn scan(&self) -> Result<Vec<RecoveredJob>, String> {
+        let mut ids = Vec::new();
+        let entries = fs::read_dir(&self.dir)
+            .map_err(|e| format!("reading spool {}: {e}", self.dir.display()))?;
+        for entry in entries {
+            let entry = entry.map_err(|e| format!("reading spool {}: {e}", self.dir.display()))?;
+            let name = entry.file_name();
+            let Some(name) = name.to_str() else { continue };
+            let Some(stem) = name.strip_suffix(".job") else {
+                continue;
+            };
+            let Some(digits) = stem.strip_prefix("job-") else {
+                continue;
+            };
+            let Ok(id) = digits.parse::<u64>() else {
+                continue;
+            };
+            ids.push(id);
+        }
+        ids.sort_unstable();
+        let mut recovered = Vec::with_capacity(ids.len());
+        for id in ids {
+            let spec = self.read_spec(id)?;
+            let state = self.classify(id);
+            recovered.push(RecoveredJob { id, spec, state });
+        }
+        Ok(recovered)
+    }
+
+    /// Classifies one job by its sibling files.
+    fn classify(&self, id: u64) -> RecoveredState {
+        if let Ok(message) = fs::read_to_string(self.err_path(id)) {
+            return RecoveredState::Failed(message);
+        }
+        if self.ckpt_path(id).exists() {
+            return RecoveredState::Resumable;
+        }
+        // No checkpoint: either the run finished (checkpoints are removed
+        // on completion) or it never wrote one.  Only a report that parses
+        // as a complete document counts as finished — a torn header from a
+        // kill between report creation and the first checkpoint flush
+        // re-queues from scratch.
+        if let Ok(text) = fs::read_to_string(self.report_path(id)) {
+            if ReportSummary::from_json(&text).is_ok() {
+                return RecoveredState::Completed;
+            }
+        }
+        RecoveredState::Queued
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ld_runner::SweepConfig;
+
+    fn temp_spool(tag: &str) -> Spool {
+        let dir = std::env::temp_dir().join(format!("ld-serve-spool-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        Spool::open(dir).expect("open spool")
+    }
+
+    #[test]
+    fn specs_round_trip_and_scan_in_id_order() {
+        let spool = temp_spool("roundtrip");
+        let mut spec = JobSpec::new("section2-sweep");
+        spec.priority = 3;
+        spec.config = SweepConfig {
+            max_n: 32,
+            ..SweepConfig::default()
+        };
+        spool.write_spec(2, &spec).expect("write 2");
+        spool
+            .write_spec(1, &JobSpec::new("section3-sweep"))
+            .expect("write 1");
+        assert_eq!(spool.read_spec(2).expect("read"), spec);
+        let recovered = spool.scan().expect("scan");
+        assert_eq!(recovered.len(), 2);
+        assert_eq!(recovered[0].id, 1);
+        assert_eq!(recovered[1].id, 2);
+        assert_eq!(recovered[0].state, RecoveredState::Queued);
+        let _ = fs::remove_dir_all(spool.dir());
+    }
+
+    #[test]
+    fn classification_follows_sibling_files() {
+        let spool = temp_spool("classify");
+        for id in 1..=4 {
+            spool
+                .write_spec(id, &JobSpec::new("section2-sweep"))
+                .expect("write spec");
+        }
+        // 1: failed (err sidecar wins even if other files exist).
+        spool.write_error(1, "exploded");
+        // 2: resumable (checkpoint present).
+        fs::write(spool.ckpt_path(2), "ld-runner/ckpt/v1 ...").expect("ckpt");
+        // 3: torn report, no checkpoint -> requeue from scratch.
+        fs::write(
+            spool.report_path(3),
+            "{\n  \"schema\": \"ld-runner/report/v3\"",
+        )
+        .expect("torn");
+        // 4: nothing -> queued.
+        let recovered = spool.scan().expect("scan");
+        let states: Vec<&RecoveredState> = recovered.iter().map(|r| &r.state).collect();
+        assert_eq!(*states[0], RecoveredState::Failed("exploded".to_string()));
+        assert_eq!(*states[1], RecoveredState::Resumable);
+        assert_eq!(*states[2], RecoveredState::Queued);
+        assert_eq!(*states[3], RecoveredState::Queued);
+        let _ = fs::remove_dir_all(spool.dir());
+    }
+
+    #[test]
+    fn remove_job_clears_every_sidecar() {
+        let spool = temp_spool("remove");
+        spool
+            .write_spec(5, &JobSpec::new("section2-sweep"))
+            .expect("write spec");
+        spool.write_error(5, "nope");
+        fs::write(spool.report_path(5), "{}").expect("report");
+        spool.remove_job(5);
+        assert!(!spool.spec_path(5).exists());
+        assert!(!spool.err_path(5).exists());
+        assert!(!spool.report_path(5).exists());
+        assert!(spool.scan().expect("scan").is_empty());
+        let _ = fs::remove_dir_all(spool.dir());
+    }
+
+    #[test]
+    fn ckpt_path_matches_the_stream_derivation() {
+        let spool = temp_spool("ckpt");
+        let derived = ld_runner::stream::Checkpoint::path_for(&spool.report_path(7));
+        assert_eq!(derived, spool.ckpt_path(7));
+        let _ = fs::remove_dir_all(spool.dir());
+    }
+}

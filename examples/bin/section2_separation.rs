@@ -25,7 +25,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("== Section 2: separation under bounded identifiers (runner sweep) ==");
     let config = SweepConfig {
         max_n: 64,
-        threads: std::thread::available_parallelism().map_or(1, std::num::NonZero::get),
+        threads: std::thread::available_parallelism().map_or(1, usize::from),
         ..SweepConfig::default()
     };
     let report = sweep_executor::execute(&scenarios::Section2Sweep, &config)?;

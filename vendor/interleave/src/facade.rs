@@ -34,6 +34,9 @@ pub trait AtomicBoolApi: Send + Sync {
     fn load(&self, order: Ordering) -> bool;
     /// Atomic store.
     fn store(&self, value: bool, order: Ordering);
+    /// Atomic exchange returning the previous value — the one-shot claim
+    /// primitive (`swap(true)` returns `false` for exactly one caller).
+    fn swap(&self, value: bool, order: Ordering) -> bool;
 }
 
 /// Facade over `AtomicU64`.
@@ -205,6 +208,10 @@ impl AtomicBoolApi for std::sync::atomic::AtomicBool {
     #[inline]
     fn store(&self, value: bool, order: Ordering) {
         std::sync::atomic::AtomicBool::store(self, value, order);
+    }
+    #[inline]
+    fn swap(&self, value: bool, order: Ordering) -> bool {
+        std::sync::atomic::AtomicBool::swap(self, value, order)
     }
 }
 

@@ -306,6 +306,36 @@ mod tests {
     }
 
     #[test]
+    fn bool_swap_claims_exactly_once() {
+        type MBool = <ModelSync as SyncFacade>::AtomicBool;
+        let report = model(|| {
+            let claimed = Arc::new(MBool::new(false));
+            let wins = Arc::new(MAtomic::new(0));
+            let handles: Vec<_> = (0..2)
+                .map(|_| {
+                    let claimed = Arc::clone(&claimed);
+                    let wins = Arc::clone(&wins);
+                    thread::spawn(move || {
+                        if !claimed.swap(true, Ordering::SeqCst) {
+                            wins.fetch_add(1, Ordering::SeqCst);
+                        }
+                    })
+                })
+                .collect();
+            for h in handles {
+                h.join();
+            }
+            assert_eq!(
+                wins.load(Ordering::SeqCst),
+                1,
+                "swap must admit exactly one claimant"
+            );
+        });
+        assert!(report.complete);
+        assert!(report.schedules >= 2, "expected racing claimants");
+    }
+
+    #[test]
     fn ab_ba_deadlock_is_detected() {
         let failure = check(Config::default(), || {
             let a = Arc::new(MMutex::new(()));

@@ -82,6 +82,11 @@ model_atomic!(
     AtomicBoolApi,
     std::sync::atomic::AtomicBool,
     bool,
+    fn swap(&self, value: bool, _order: Ordering) -> bool {
+        let (exec, me) = current();
+        exec.yield_now(me, "AtomicBool::swap");
+        self.inner.swap(value, Ordering::SeqCst)
+    }
 );
 
 model_atomic!(

@@ -1,6 +1,6 @@
 //! Model-thread plumbing: the thread-local task context, the wrapper that
 //! runs a task body under the scheduler, and `spawn`/`JoinHandle` for
-//! `'static` closures (scoped spawn lives in [`crate::shim`]).
+//! `'static` closures (scoped spawn lives in `crate::shim`).
 
 use std::cell::RefCell;
 use std::panic::{catch_unwind, AssertUnwindSafe};
