@@ -73,11 +73,13 @@ pub mod json;
 pub mod report;
 pub mod scenario;
 pub mod scenarios;
+pub mod spool_io;
 pub mod stream;
 pub mod summary;
 
 pub use cell::{CellOutcome, CellResult, CellSpec};
 pub use report::RunReport;
 pub use scenario::{with_cache_pool, ConfigError, Plan, PlannedCell, Scenario, SweepConfig};
+pub use spool_io::{FaultIo, RealIo, SpoolFile, SpoolIo};
 pub use stream::{StreamOptions, StreamSummary};
 pub use summary::{CellSummary, ReportSummary};

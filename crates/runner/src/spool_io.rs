@@ -1,0 +1,415 @@
+//! Pluggable report/checkpoint file I/O, with a deterministic
+//! fault-injection implementation.
+//!
+//! Every byte the streaming pipeline persists — the v3 report, its `.ckpt`
+//! sidecar, and (in `ld-serve`) the spool's job-spec sidecars — flows
+//! through the [`SpoolIo`] trait.  Production uses [`RealIo`], a thin
+//! delegation to `std::fs`.  The fault-injection suite uses [`FaultIo`],
+//! which performs the same operations on the same real paths but consults
+//! an [`interleave::fault::FaultPlan`] before each primitive: the scripted
+//! operation suffers a torn write (prefix persisted, then process death),
+//! a short read (the handle sees a truncated file), or a clean `ENOSPC`.
+//! Because `FaultIo` leaves its torn state on the real filesystem, a test
+//! can crash a pipeline at operation *k* and then recover it with
+//! [`RealIo`] — exactly what a restarted process would see.
+//!
+//! The trait is object-safe on purpose: [`crate::stream`] and the serve
+//! spool hold a `&dyn SpoolIo`/`Arc<dyn SpoolIo>` so the fault layer
+//! threads through without monomorphising every caller.
+
+use interleave::fault::{Decision, FaultPlan};
+use std::fs::{File, OpenOptions};
+use std::io::{self, Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+/// An open spool/report file: readable, writable, truncatable.
+pub trait SpoolFile: Read + Write + Send {
+    /// Truncates the file to `len` bytes and leaves the cursor at the new
+    /// end (the resume path drops a torn tail, then appends).
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors.
+    fn truncate_to(&mut self, len: u64) -> io::Result<()>;
+}
+
+/// The file operations the streaming pipeline and the spool perform.
+pub trait SpoolIo: Send + Sync {
+    /// Creates (truncating) `path` for writing.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors.
+    fn create(&self, path: &Path) -> io::Result<Box<dyn SpoolFile>>;
+
+    /// Opens `path` for reading and writing without truncating.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors.
+    fn open_read_write(&self, path: &Path) -> io::Result<Box<dyn SpoolFile>>;
+
+    /// Opens `path` in append mode.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors.
+    fn open_append(&self, path: &Path) -> io::Result<Box<dyn SpoolFile>>;
+
+    /// Reads `path` to a string.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors.
+    fn read_to_string(&self, path: &Path) -> io::Result<String>;
+
+    /// Writes `bytes` to `path` atomically (write a `.tmp` sibling, then
+    /// rename): a crash leaves either the old file or the new one, never a
+    /// torn mix.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors.
+    fn write_atomic(&self, path: &Path, bytes: &[u8]) -> io::Result<()>;
+
+    /// Removes `path`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors.
+    fn remove_file(&self, path: &Path) -> io::Result<()>;
+
+    /// Whether `path` exists (a pure query, never faulted).
+    fn exists(&self, path: &Path) -> bool;
+}
+
+/// The `.tmp` sibling used by [`SpoolIo::write_atomic`] (`spec.job` →
+/// `spec.job.tmp`).
+pub fn tmp_path(path: &Path) -> PathBuf {
+    let mut name = path.file_name().unwrap_or_default().to_os_string();
+    name.push(".tmp");
+    path.with_file_name(name)
+}
+
+/// Production I/O: plain `std::fs`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RealIo;
+
+struct RealFile(File);
+
+impl Read for RealFile {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        self.0.read(buf)
+    }
+}
+
+impl Write for RealFile {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        self.0.write(buf)
+    }
+    fn flush(&mut self) -> io::Result<()> {
+        self.0.flush()
+    }
+}
+
+impl SpoolFile for RealFile {
+    fn truncate_to(&mut self, len: u64) -> io::Result<()> {
+        self.0.set_len(len)?;
+        self.0.seek(SeekFrom::End(0))?;
+        Ok(())
+    }
+}
+
+impl SpoolIo for RealIo {
+    fn create(&self, path: &Path) -> io::Result<Box<dyn SpoolFile>> {
+        Ok(Box::new(RealFile(File::create(path)?)))
+    }
+
+    fn open_read_write(&self, path: &Path) -> io::Result<Box<dyn SpoolFile>> {
+        Ok(Box::new(RealFile(
+            OpenOptions::new().read(true).write(true).open(path)?,
+        )))
+    }
+
+    fn open_append(&self, path: &Path) -> io::Result<Box<dyn SpoolFile>> {
+        Ok(Box::new(RealFile(
+            OpenOptions::new().append(true).open(path)?,
+        )))
+    }
+
+    fn read_to_string(&self, path: &Path) -> io::Result<String> {
+        std::fs::read_to_string(path)
+    }
+
+    fn write_atomic(&self, path: &Path, bytes: &[u8]) -> io::Result<()> {
+        let tmp = tmp_path(path);
+        std::fs::write(&tmp, bytes)?;
+        std::fs::rename(&tmp, path)
+    }
+
+    fn remove_file(&self, path: &Path) -> io::Result<()> {
+        std::fs::remove_file(path)
+    }
+
+    fn exists(&self, path: &Path) -> bool {
+        path.exists()
+    }
+}
+
+fn crash_error() -> io::Error {
+    io::Error::other("injected fault: process died mid-operation")
+}
+
+fn enospc_error() -> io::Error {
+    io::Error::other("injected fault: no space left on device")
+}
+
+/// Fault-injecting I/O over the real filesystem: identical to [`RealIo`]
+/// except that the operation scripted in its [`FaultPlan`] fails as
+/// scheduled (see [`interleave::fault`] for the semantics).  Torn state is
+/// left on disk so recovery can be exercised with [`RealIo`] afterwards.
+#[derive(Debug, Clone)]
+pub struct FaultIo {
+    plan: Arc<FaultPlan>,
+}
+
+impl FaultIo {
+    /// I/O driven by `plan`.
+    pub fn new(plan: Arc<FaultPlan>) -> FaultIo {
+        FaultIo { plan }
+    }
+
+    /// The underlying plan (for op counts and fired/crashed queries).
+    pub fn plan(&self) -> &FaultPlan {
+        &self.plan
+    }
+}
+
+struct FaultFile {
+    inner: File,
+    plan: Arc<FaultPlan>,
+    /// Set once a short read fired: the handle reports EOF from then on,
+    /// as if the file had been truncated underneath the reader.
+    short: bool,
+}
+
+impl Read for FaultFile {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        if self.short {
+            return Ok(0);
+        }
+        match self.plan.decide() {
+            Decision::Proceed => self.inner.read(buf),
+            Decision::ShortRead => {
+                self.short = true;
+                if buf.is_empty() {
+                    return Ok(0);
+                }
+                // Deliver at most half the asked-for bytes, then EOF.
+                let take = (buf.len() / 2).max(1);
+                self.inner.read(&mut buf[..take])
+            }
+            Decision::Enospc => Err(enospc_error()),
+            Decision::TornWrite | Decision::Crashed => Err(crash_error()),
+        }
+    }
+}
+
+impl Write for FaultFile {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        match self.plan.decide() {
+            Decision::Proceed | Decision::ShortRead => self.inner.write(buf),
+            Decision::TornWrite => {
+                // Persist a prefix — the torn write — then die.  Errors
+                // from the partial write itself are moot: the verdict is
+                // already "crashed".
+                let _ = self.inner.write_all(&buf[..buf.len() / 2]);
+                let _ = self.inner.flush();
+                Err(crash_error())
+            }
+            Decision::Enospc => Err(enospc_error()),
+            Decision::Crashed => Err(crash_error()),
+        }
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        match self.plan.decide() {
+            Decision::Proceed | Decision::ShortRead => self.inner.flush(),
+            Decision::Enospc => Err(enospc_error()),
+            Decision::TornWrite | Decision::Crashed => Err(crash_error()),
+        }
+    }
+}
+
+impl SpoolFile for FaultFile {
+    fn truncate_to(&mut self, len: u64) -> io::Result<()> {
+        match self.plan.decide() {
+            Decision::Proceed | Decision::ShortRead => {
+                self.inner.set_len(len)?;
+                self.inner.seek(SeekFrom::End(0))?;
+                Ok(())
+            }
+            Decision::Enospc => Err(enospc_error()),
+            Decision::TornWrite | Decision::Crashed => Err(crash_error()),
+        }
+    }
+}
+
+impl FaultIo {
+    fn open_with(&self, open: impl FnOnce() -> io::Result<File>) -> io::Result<Box<dyn SpoolFile>> {
+        match self.plan.decide() {
+            Decision::Proceed | Decision::ShortRead => Ok(Box::new(FaultFile {
+                inner: open()?,
+                plan: Arc::clone(&self.plan),
+                short: false,
+            })),
+            Decision::Enospc => Err(enospc_error()),
+            Decision::TornWrite | Decision::Crashed => Err(crash_error()),
+        }
+    }
+}
+
+impl SpoolIo for FaultIo {
+    fn create(&self, path: &Path) -> io::Result<Box<dyn SpoolFile>> {
+        self.open_with(|| File::create(path))
+    }
+
+    fn open_read_write(&self, path: &Path) -> io::Result<Box<dyn SpoolFile>> {
+        self.open_with(|| OpenOptions::new().read(true).write(true).open(path))
+    }
+
+    fn open_append(&self, path: &Path) -> io::Result<Box<dyn SpoolFile>> {
+        self.open_with(|| OpenOptions::new().append(true).open(path))
+    }
+
+    fn read_to_string(&self, path: &Path) -> io::Result<String> {
+        match self.plan.decide() {
+            Decision::Proceed => std::fs::read_to_string(path),
+            Decision::ShortRead => {
+                let text = std::fs::read_to_string(path)?;
+                let mut cut = text.len() / 2;
+                while !text.is_char_boundary(cut) {
+                    cut -= 1;
+                }
+                Ok(text[..cut].to_string())
+            }
+            Decision::Enospc => Err(enospc_error()),
+            Decision::TornWrite | Decision::Crashed => Err(crash_error()),
+        }
+    }
+
+    fn write_atomic(&self, path: &Path, bytes: &[u8]) -> io::Result<()> {
+        let tmp = tmp_path(path);
+        // Two crash points: the tmp write (a torn tmp is ignored by spool
+        // scans — the `.job` suffix never matches) and the rename.
+        match self.plan.decide() {
+            Decision::Proceed | Decision::ShortRead => std::fs::write(&tmp, bytes)?,
+            Decision::TornWrite => {
+                let _ = std::fs::write(&tmp, &bytes[..bytes.len() / 2]);
+                return Err(crash_error());
+            }
+            Decision::Enospc => return Err(enospc_error()),
+            Decision::Crashed => return Err(crash_error()),
+        }
+        match self.plan.decide() {
+            Decision::Proceed | Decision::ShortRead => std::fs::rename(&tmp, path),
+            Decision::Enospc => Err(enospc_error()),
+            Decision::TornWrite | Decision::Crashed => Err(crash_error()),
+        }
+    }
+
+    fn remove_file(&self, path: &Path) -> io::Result<()> {
+        match self.plan.decide() {
+            Decision::Proceed | Decision::ShortRead => std::fs::remove_file(path),
+            Decision::Enospc => Err(enospc_error()),
+            Decision::TornWrite | Decision::Crashed => Err(crash_error()),
+        }
+    }
+
+    fn exists(&self, path: &Path) -> bool {
+        path.exists()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use interleave::fault::FaultKind;
+
+    fn temp(tag: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("ld-spool-io-{tag}-{}", std::process::id()))
+    }
+
+    #[test]
+    fn real_io_round_trips_and_write_atomic_leaves_no_tmp() {
+        let path = temp("real");
+        let io = RealIo;
+        io.write_atomic(&path, b"{\"a\":1}\n")
+            .expect("atomic write");
+        assert!(!tmp_path(&path).exists());
+        assert_eq!(io.read_to_string(&path).expect("read"), "{\"a\":1}\n");
+        let mut file = io.open_read_write(&path).expect("open");
+        file.truncate_to(3).expect("truncate");
+        file.write_all(b"XYZ").expect("append");
+        file.flush().expect("flush");
+        drop(file);
+        assert_eq!(io.read_to_string(&path).expect("read"), "{\"aXYZ");
+        io.remove_file(&path).expect("remove");
+        assert!(!io.exists(&path));
+    }
+
+    #[test]
+    fn torn_write_persists_a_prefix_then_kills_every_later_op() {
+        let path = temp("torn");
+        // Ops: 0 = create, 1 = write (torn).
+        let io = FaultIo::new(Arc::new(FaultPlan::inject(1, FaultKind::TornWrite)));
+        let mut file = io.create(&path).expect("create is op 0");
+        let err = file.write_all(b"0123456789").expect_err("torn write");
+        assert!(err.to_string().contains("died"), "{err}");
+        assert!(io.plan().crashed());
+        // The prefix is on disk; the dead process can do nothing more.
+        assert_eq!(std::fs::read(&path).expect("read"), b"01234");
+        assert!(io.read_to_string(&path).is_err());
+        assert!(io.remove_file(&path).is_err());
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn short_read_truncates_the_view_and_then_reports_eof() {
+        let path = temp("short");
+        std::fs::write(&path, b"abcdefgh").expect("seed file");
+        let io = FaultIo::new(Arc::new(FaultPlan::inject(1, FaultKind::ShortRead)));
+        let mut file = io.open_read_write(&path).expect("open is op 0");
+        let mut buf = [0u8; 8];
+        let n = file.read(&mut buf).expect("short read");
+        assert!(n < 8, "read must be short, got {n}");
+        assert_eq!(file.read(&mut buf).expect("eof"), 0);
+        assert!(!io.plan().crashed());
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn enospc_fails_cleanly_and_the_process_continues() {
+        let path = temp("enospc");
+        let io = FaultIo::new(Arc::new(FaultPlan::inject(1, FaultKind::Enospc)));
+        let mut file = io.create(&path).expect("create is op 0");
+        let err = file.write_all(b"data").expect_err("enospc");
+        assert!(err.to_string().contains("no space"), "{err}");
+        // Alive: the next write proceeds.
+        file.write_all(b"data").expect("post-enospc write");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn torn_atomic_write_leaves_only_a_tmp_sibling() {
+        let path = temp("atomic");
+        let io = FaultIo::new(Arc::new(FaultPlan::inject(0, FaultKind::TornWrite)));
+        assert!(io.write_atomic(&path, b"spec-bytes").is_err());
+        assert!(
+            !path.exists(),
+            "target must not exist after a torn tmp write"
+        );
+        let _ = std::fs::remove_file(tmp_path(&path));
+    }
+}

@@ -40,14 +40,15 @@ use crate::executor::{effective_workers, run_cell};
 use crate::json::Json;
 use crate::report::{cell_json, config_json, csv_header, csv_row, perf_json, summary_json, SCHEMA};
 use crate::scenario::{Plan, PlannedCell, Scenario, SweepConfig};
+use crate::spool_io::{RealIo, SpoolFile, SpoolIo};
 use interleave::{
     AtomicBoolApi, AtomicUsizeApi, CondvarApi, MutexApi, ReceiverApi, SenderApi, StdSync,
     SyncFacade,
 };
 use ld_local::cache::CacheStats;
 use std::collections::BTreeMap;
-use std::fs::{File, OpenOptions};
-use std::io::{Read, Seek, Write};
+use std::fs::File;
+use std::io::{Read, Write};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::Ordering;
 // ld-analyze: allow(D002, reason = "wall-clock timings are reporting-only; no control flow depends on them")
@@ -60,14 +61,16 @@ pub const CKPT_SCHEMA: &str = "ld-runner/ckpt/v1";
 /// [`FNV_OFFSET`]).  The checkpoint digest: cheap, streaming, and entirely
 /// deterministic — it guards against resuming onto a report that was
 /// edited, torn, or produced by a different run, not against adversaries.
-fn fnv1a(state: u64, bytes: &[u8]) -> u64 {
+/// Public because the dispatch coordinator cross-checks worker-reported
+/// shard digests with the same function.
+pub fn fnv1a(state: u64, bytes: &[u8]) -> u64 {
     bytes.iter().fold(state, |h, &b| {
         (h ^ u64::from(b)).wrapping_mul(0x100_0000_01b3)
     })
 }
 
 /// The FNV-1a 64 offset basis (the digest of zero bytes).
-const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+pub const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
 
 /// The deterministic partition of a plan's cells into fixed-size shards.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -160,14 +163,27 @@ impl<W: Write> ReportStream<W> {
     ///
     /// Propagates I/O errors.
     pub fn write_cells(&mut self, cells: &[CellResult]) -> std::io::Result<()> {
+        let fragments: Vec<String> = cells.iter().map(render_cell_fragment).collect();
+        self.write_rendered_cells(&fragments)
+    }
+
+    /// Appends already-rendered cell fragments (depth-2, as produced by
+    /// [`execute_shard`]) with exactly the separators [`ReportStream::write_cells`]
+    /// would emit — the merge entry point of the dispatch coordinator,
+    /// byte-identical to rendering the cells locally.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors.
+    pub fn write_rendered_cells<S: AsRef<str>>(&mut self, fragments: &[S]) -> std::io::Result<()> {
         let mut text = String::new();
-        for cell in cells {
+        for fragment in fragments {
             text.push_str(if self.cells_written == 0 {
                 "\n    "
             } else {
                 ",\n    "
             });
-            cell_json(cell).write_fragment(&mut text, 2);
+            text.push_str(fragment.as_ref());
             self.cells_written += 1;
         }
         self.emit(&text)?;
@@ -221,6 +237,93 @@ impl<W: Write> ReportStream<W> {
         self.offset += text.len() as u64;
         Ok(())
     }
+}
+
+/// Renders one cell as the depth-2 JSON fragment the `cells` array holds
+/// (no separators).
+fn render_cell_fragment(cell: &CellResult) -> String {
+    let mut fragment = String::new();
+    cell_json(cell).write_fragment(&mut fragment, 2);
+    fragment
+}
+
+/// One shard executed for transport: the rendered report fragments plus
+/// counters, the worker half of `ldx dispatch`.  The `digest` is FNV-1a
+/// over the fragment bytes in cell order (no separators) seeded with
+/// [`FNV_OFFSET`]; the coordinator recomputes it over the fragments it
+/// received, so a truncated or corrupted transfer is rejected before any
+/// byte reaches the merged report.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShardCells {
+    /// Shard index in the layout.
+    pub shard: usize,
+    /// Depth-2 cell fragments, in global cell-index order.
+    pub fragments: Vec<String>,
+    /// Passing cells.
+    pub passed: usize,
+    /// Failing (completed, wrong verdict) cells.
+    pub failed: usize,
+    /// Panicked cells.
+    pub panicked: usize,
+    /// Budget-exhausted cells.
+    pub exhausted: usize,
+    /// Per-cell wall times, micros (feeds the merged checkpoint only —
+    /// never the deterministic report bytes).
+    pub wall_micros: Vec<u64>,
+    /// `(cell id, verdict-or-panic)` of every non-passing cell.
+    pub failures: Vec<(String, String)>,
+    /// FNV-1a over the fragment bytes, seeded with [`FNV_OFFSET`].
+    pub digest: u64,
+}
+
+/// Executes one shard of `cells` and renders it for transport — the entry
+/// point the `POST /shards` worker endpoint drives.  Cells run
+/// sequentially in index order; per-cell seeds derive from the *global*
+/// index, so the fragments are byte-identical to what a local
+/// [`run`] would stream for the same shard.
+pub fn execute_shard(
+    cells: &[PlannedCell],
+    config: &SweepConfig,
+    layout: ShardLayout,
+    shard: usize,
+) -> ShardCells {
+    let range = layout.shard_range(shard);
+    let mut out = ShardCells {
+        shard,
+        fragments: Vec::with_capacity(range.len()),
+        passed: 0,
+        failed: 0,
+        panicked: 0,
+        exhausted: 0,
+        wall_micros: Vec::with_capacity(range.len()),
+        failures: Vec::new(),
+        digest: FNV_OFFSET,
+    };
+    for index in range {
+        let cell = run_cell(&cells[index], index, config);
+        if cell.passed() {
+            out.passed += 1;
+        } else if cell.panicked() {
+            out.panicked += 1;
+        } else {
+            out.failed += 1;
+        }
+        if cell.exhausted() {
+            out.exhausted += 1;
+        }
+        if !cell.passed() {
+            let what = match &cell.outcome {
+                Ok(outcome) => outcome.verdict.clone(),
+                Err(message) => format!("panic: {message}"),
+            };
+            out.failures.push((cell.spec.id.clone(), what));
+        }
+        out.wall_micros.push(cell.wall.as_micros() as u64);
+        let fragment = render_cell_fragment(&cell);
+        out.digest = fnv1a(out.digest, fragment.as_bytes());
+        out.fragments.push(fragment);
+    }
+    out
 }
 
 /// One completed shard's checkpoint record.
@@ -537,10 +640,29 @@ pub fn run(
     path: &Path,
     opts: &StreamOptions,
 ) -> Result<StreamSummary, String> {
+    run_with_io(&RealIo, scenario, config, path, opts)
+}
+
+/// [`run`] with the report/checkpoint I/O routed through `io` — the entry
+/// point of the fault-injection suite, which drives every persisted byte
+/// through a scripted [`crate::spool_io::FaultIo`].
+///
+/// # Errors
+///
+/// Returns a message on configuration, planning or I/O failures.
+pub fn run_with_io(
+    io: &dyn SpoolIo,
+    scenario: &dyn Scenario,
+    config: &SweepConfig,
+    path: &Path,
+    opts: &StreamOptions,
+) -> Result<StreamSummary, String> {
     config.validate().map_err(|e| e.to_string())?;
     let plan = scenario.plan(config)?;
     let layout = ShardLayout::new(plan.cells.len(), config.shard_size);
-    let file = File::create(path).map_err(|e| format!("creating {}: {e}", path.display()))?;
+    let file = io
+        .create(path)
+        .map_err(|e| format!("creating {}: {e}", path.display()))?;
     let stream = ReportStream::begin(file, scenario.name(), config)
         .map_err(|e| format!("writing {}: {e}", path.display()))?;
     let ckpt_path = Checkpoint::path_for(path);
@@ -554,8 +676,9 @@ pub fn run(
         header_digest: stream.digest(),
         shards: Vec::new(),
     };
-    let mut ckpt_file =
-        File::create(&ckpt_path).map_err(|e| format!("creating {}: {e}", ckpt_path.display()))?;
+    let mut ckpt_file = io
+        .create(&ckpt_path)
+        .map_err(|e| format!("creating {}: {e}", ckpt_path.display()))?;
     ckpt_file
         .write_all(checkpoint.render_header().as_bytes())
         .and_then(|()| ckpt_file.flush())
@@ -572,6 +695,7 @@ pub fn run(
         None => None,
     };
     drive(
+        io,
         scenario.name(),
         &plan,
         config,
@@ -600,8 +724,23 @@ pub fn resume(
     threads: Option<usize>,
     max_shards: Option<usize>,
 ) -> Result<StreamSummary, String> {
+    resume_with_io(&RealIo, path, threads, max_shards)
+}
+
+/// [`resume`] with the report/checkpoint I/O routed through `io`; see
+/// [`run_with_io`].
+///
+/// # Errors
+///
+/// As [`resume`].
+pub fn resume_with_io(
+    io: &dyn SpoolIo,
+    path: &Path,
+    threads: Option<usize>,
+    max_shards: Option<usize>,
+) -> Result<StreamSummary, String> {
     let ckpt_path = Checkpoint::path_for(path);
-    let text = std::fs::read_to_string(&ckpt_path).map_err(|e| {
+    let text = io.read_to_string(&ckpt_path).map_err(|e| {
         format!(
             "no checkpoint at {} ({e}); the sweep may already be complete",
             ckpt_path.display()
@@ -641,10 +780,8 @@ pub fn resume(
     // Verify the report prefix against the checkpoint digest (streamed in
     // fixed-size chunks — resume must stay O(shard), not O(report)), then
     // drop any bytes past it (a kill can land mid-append).
-    let mut file = OpenOptions::new()
-        .read(true)
-        .write(true)
-        .open(path)
+    let mut file = io
+        .open_read_write(path)
         .map_err(|e| format!("opening {}: {e}", path.display()))?;
     let mut prefix_digest = FNV_OFFSET;
     let mut remaining = end_offset;
@@ -663,14 +800,12 @@ pub fn resume(
             path.display()
         ));
     }
-    file.set_len(end_offset)
-        .and_then(|()| file.seek(std::io::SeekFrom::End(0)))
+    file.truncate_to(end_offset)
         .map_err(|e| format!("truncating {}: {e}", path.display()))?;
     let cells_done: usize = checkpoint.shards.iter().map(|s| s.cells).sum();
     let stream = ReportStream::resume_at(file, end_offset, digest, cells_done);
-    let ckpt_file = OpenOptions::new()
-        .append(true)
-        .open(&ckpt_path)
+    let ckpt_file = io
+        .open_append(&ckpt_path)
         .map_err(|e| format!("opening {}: {e}", ckpt_path.display()))?;
     let opts = StreamOptions {
         deterministic: checkpoint.deterministic,
@@ -678,6 +813,7 @@ pub fn resume(
         csv: None,
     };
     drive(
+        io,
         &checkpoint.scenario,
         &plan,
         &config,
@@ -740,13 +876,14 @@ impl Resumption {
 /// and finishes the document unless `max_shards` stops it early.
 #[allow(clippy::too_many_arguments)]
 fn drive(
+    io: &dyn SpoolIo,
     scenario_name: &str,
     plan: &Plan,
     config: &SweepConfig,
     opts: &StreamOptions,
     prior: Resumption,
-    mut stream: ReportStream<File>,
-    mut ckpt_file: File,
+    mut stream: ReportStream<Box<dyn SpoolFile>>,
+    mut ckpt_file: Box<dyn SpoolFile>,
     ckpt_path: PathBuf,
     report_path: &Path,
     mut csv: Option<File>,
@@ -855,7 +992,7 @@ fn drive(
         stream
             .finish(summary, perf)
             .map_err(|e| format!("writing {}: {e}", report_path.display()))?;
-        std::fs::remove_file(&ckpt_path)
+        io.remove_file(&ckpt_path)
             .map_err(|e| format!("removing {}: {e}", ckpt_path.display()))?;
     }
     Ok(StreamSummary {

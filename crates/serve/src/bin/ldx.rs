@@ -12,6 +12,9 @@
 //! ldx serve [--addr HOST:PORT] [--spool DIR] [--workers N]
 //! ldx submit <scenario> [--addr HOST:PORT] [--priority P] [--wait] [--out FILE]
 //!                       [config flags as for run]
+//! ldx dispatch <scenario> [--workers N | --worker HOST:PORT ...] [--out FILE]
+//!                         [--lease-ms MS] [--batch N] [--max-attempts N]
+//!                         [--no-bench-json] [config flags as for run]
 //! ldx shutdown [--addr HOST:PORT]
 //! ```
 //!
@@ -35,6 +38,14 @@
 //! killed daemon resumes in-flight jobs on restart.  `submit` and
 //! `shutdown` are thin HTTP clients for it.
 //!
+//! `dispatch` runs one sweep *distributed*: the shard layout is split
+//! across N worker daemons (spawned locally with `--workers N`, or
+//! already-running ones named with repeated `--worker HOST:PORT`) under
+//! time-bounded, epoch-fenced leases, and the verified results are merged
+//! into a report byte-identical to `ldx run --deterministic` — including
+//! when workers are killed mid-sweep (their shards reassign with capped
+//! exponential backoff).  See `docs/FAULTS.md`.
+//!
 //! Invalid sweep configurations exit with the typed `ConfigError` codes
 //! (65 zero-max-n, 66 radius-too-large, 67 zero-shard-size); generic usage
 //! errors exit 64; operational failures exit 1.  The daemon's `400`
@@ -45,10 +56,12 @@ use ld_runner::json::Json;
 use ld_runner::stream::{self, Checkpoint, StreamOptions, StreamSummary};
 use ld_runner::{scenarios, ConfigError, ReportSummary, SweepConfig};
 use ld_serve::client;
-use ld_serve::{JobSpec, ServeOptions, Server};
+use ld_serve::{DispatchOptions, JobSpec, ServeOptions, Server};
+use std::io::BufRead;
 use std::path::PathBuf;
 use std::process::ExitCode;
-use std::time::Duration;
+// ld-analyze: allow(D002, reason = "CLI status lines report real elapsed wall time")
+use std::time::{Duration, Instant};
 
 /// The default daemon address shared by `serve`, `submit` and `shutdown`.
 const DEFAULT_ADDR: &str = "127.0.0.1:7117";
@@ -103,7 +116,7 @@ impl CliError {
 
 fn usage() -> String {
     let mut out = String::from(
-        "usage:\n  ldx list [--json]\n  ldx run <scenario> [--max-n N] [--threads T] [--seed S] [--radius R]\n                     [--node-budget N] [--view-budget N] [--shard-size N]\n                     [--out FILE.json] [--csv FILE.csv] [--no-bench-json]\n                     [--deterministic] [--max-shards N]\n  ldx resume <report.json> [--threads T] [--no-bench-json] [--max-shards N]\n  ldx diff <a.json> <b.json>\n  ldx analyze [--deny-all] [--json] [--root DIR]\n  ldx serve [--addr HOST:PORT] [--spool DIR] [--workers N]\n  ldx submit <scenario> [--addr HOST:PORT] [--priority P] [--wait] [--out FILE]\n             [config flags as for run]\n  ldx shutdown [--addr HOST:PORT]\n\nscenarios:\n",
+        "usage:\n  ldx list [--json]\n  ldx run <scenario> [--max-n N] [--threads T] [--seed S] [--radius R]\n                     [--node-budget N] [--view-budget N] [--shard-size N]\n                     [--out FILE.json] [--csv FILE.csv] [--no-bench-json]\n                     [--deterministic] [--max-shards N]\n  ldx resume <report.json> [--threads T] [--no-bench-json] [--max-shards N]\n  ldx diff <a.json> <b.json>\n  ldx analyze [--deny-all] [--json] [--root DIR]\n  ldx serve [--addr HOST:PORT] [--spool DIR] [--workers N]\n  ldx submit <scenario> [--addr HOST:PORT] [--priority P] [--wait] [--out FILE]\n             [config flags as for run]\n  ldx dispatch <scenario> [--workers N | --worker HOST:PORT ...] [--out FILE]\n               [--lease-ms MS] [--batch N] [--max-attempts N]\n               [--no-bench-json] [config flags as for run]\n  ldx shutdown [--addr HOST:PORT]\n\nscenarios:\n",
     );
     for scenario in scenarios::all() {
         out.push_str(&format!(
@@ -659,8 +672,20 @@ fn cmd_submit(args: &[String]) -> Result<bool, CliError> {
         println!("  status: GET http://{addr}/jobs/{id}");
         return Ok(true);
     }
+    // Poll with capped exponential backoff: quick jobs are picked up within
+    // tens of milliseconds, long sweeps cost the daemon one status request
+    // every two seconds instead of five per second.
+    let waited = Instant::now();
+    let mut polls = 0u64;
+    let mut backoff = client::RetryPolicy {
+        attempts: 1,
+        base: Duration::from_millis(50),
+        cap: Duration::from_secs(2),
+    }
+    .backoff();
     loop {
         let status = client::request(&addr, "GET", &format!("/jobs/{id}"), None)?;
+        polls += 1;
         let json = parse_response(&status)?;
         let state = json
             .get("state")
@@ -676,15 +701,219 @@ fn cmd_submit(args: &[String]) -> Result<bool, CliError> {
                     .unwrap_or("no message");
                 return Err(CliError::Message(format!("job {id} {state}: {message}")));
             }
-            _ => std::thread::sleep(Duration::from_millis(200)),
+            _ => {
+                if let Some(delay) = backoff.next() {
+                    std::thread::sleep(delay);
+                }
+            }
         }
     }
     let report = client::request(&addr, "GET", &format!("/jobs/{id}/report"), None)?;
     let out = out.unwrap_or_else(|| PathBuf::from(format!("ldx-{scenario}-job{id}.json")));
     std::fs::write(&out, &report.body).map_err(|e| format!("writing {}: {e}", out.display()))?;
-    println!("job {id} completed");
+    println!(
+        "job {id} completed in {:.2?} after {polls} status poll(s)",
+        waited.elapsed()
+    );
     println!("  report: {}", out.display());
     Ok(true)
+}
+
+/// A worker daemon this process spawned for `ldx dispatch --workers N`.
+///
+/// The stdout pipe is kept open for the child's lifetime so its status
+/// prints never hit a closed pipe; the temp spool is removed on stop.
+struct LocalWorker {
+    child: std::process::Child,
+    stdout: std::io::BufReader<std::process::ChildStdout>,
+    addr: String,
+    spool: PathBuf,
+}
+
+/// Spawns `count` single-worker `ldx serve` daemons on ephemeral ports,
+/// parsing each one's announced address from its first stdout line.
+fn spawn_local_workers(count: usize) -> Result<Vec<LocalWorker>, CliError> {
+    let exe = std::env::current_exe()
+        .map_err(|e| CliError::Message(format!("dispatch: locating own binary: {e}")))?;
+    let mut workers: Vec<LocalWorker> = Vec::with_capacity(count);
+    for index in 0..count {
+        let spool =
+            std::env::temp_dir().join(format!("ldx-dispatch-{}-w{index}", std::process::id()));
+        let spawned = std::process::Command::new(&exe)
+            .args([
+                "serve",
+                "--addr",
+                "127.0.0.1:0",
+                "--workers",
+                "1",
+                "--spool",
+            ])
+            .arg(&spool)
+            .stdout(std::process::Stdio::piped())
+            .stderr(std::process::Stdio::null())
+            .spawn();
+        let mut child = match spawned {
+            Ok(child) => child,
+            Err(e) => {
+                stop_local_workers(workers);
+                return Err(CliError::Message(format!(
+                    "dispatch: spawning worker {index}: {e}"
+                )));
+            }
+        };
+        let Some(pipe) = child.stdout.take() else {
+            let _ = child.kill();
+            stop_local_workers(workers);
+            return Err(CliError::Message(
+                "dispatch: worker spawned without a stdout pipe".to_string(),
+            ));
+        };
+        let mut stdout = std::io::BufReader::new(pipe);
+        let mut line = String::new();
+        let addr = match stdout.read_line(&mut line) {
+            Ok(_) => line
+                .trim()
+                .strip_prefix("ld-serve listening on ")
+                .map(str::to_string),
+            Err(_) => None,
+        };
+        let Some(addr) = addr else {
+            let _ = child.kill();
+            let _ = child.wait();
+            let _ = std::fs::remove_dir_all(&spool);
+            stop_local_workers(workers);
+            return Err(CliError::Message(format!(
+                "dispatch: worker {index} did not announce an address (got {:?})",
+                line.trim()
+            )));
+        };
+        workers.push(LocalWorker {
+            child,
+            stdout,
+            addr,
+            spool,
+        });
+    }
+    Ok(workers)
+}
+
+/// Drains and reaps spawned workers; best-effort on every step so a dead
+/// child never masks the dispatch outcome.
+fn stop_local_workers(workers: Vec<LocalWorker>) {
+    for mut worker in workers {
+        let _ = client::request(&worker.addr, "POST", "/shutdown", None);
+        let mut exited = false;
+        for _ in 0..50 {
+            if matches!(worker.child.try_wait(), Ok(Some(_))) {
+                exited = true;
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(20));
+        }
+        if !exited {
+            let _ = worker.child.kill();
+            let _ = worker.child.wait();
+        }
+        drop(worker.stdout);
+        let _ = std::fs::remove_dir_all(&worker.spool);
+    }
+}
+
+/// `ldx dispatch`: split one sweep across worker daemons and merge the
+/// results into a report byte-identical to `ldx run --deterministic`.
+fn cmd_dispatch(args: &[String]) -> Result<bool, CliError> {
+    let mut iter = args.iter();
+    let scenario = iter
+        .next()
+        .ok_or_else(|| CliError::Usage("dispatch: missing scenario name".to_string()))?
+        .clone();
+    let mut config = SweepConfig::default();
+    let mut out: Option<PathBuf> = None;
+    let mut spawn_count = 4usize;
+    let mut worker_addrs: Vec<String> = Vec::new();
+    let mut lease_ms = 30_000u64;
+    let mut batch = 2usize;
+    let mut max_attempts = 4u32;
+    let mut bench_json = true;
+    while let Some(flag) = iter.next() {
+        if parse_config_flag(&mut config, flag, &mut iter).map_err(CliError::Usage)? {
+            continue;
+        }
+        let mut value = |name: &str| {
+            iter.next()
+                .map(String::as_str)
+                .ok_or_else(|| CliError::Usage(format!("{name} expects a value")))
+                .map(str::to_string)
+        };
+        match flag.as_str() {
+            "--out" => out = Some(PathBuf::from(value("--out")?)),
+            "--workers" => {
+                spawn_count = value("--workers")?
+                    .parse()
+                    .map_err(|e| CliError::Usage(format!("--workers: {e}")))?;
+                if spawn_count == 0 {
+                    return Err(CliError::Usage("--workers must be at least 1".to_string()));
+                }
+            }
+            "--worker" => worker_addrs.push(value("--worker")?),
+            "--lease-ms" => {
+                lease_ms = value("--lease-ms")?
+                    .parse()
+                    .map_err(|e| CliError::Usage(format!("--lease-ms: {e}")))?;
+                if lease_ms == 0 {
+                    return Err(CliError::Usage("--lease-ms must be at least 1".to_string()));
+                }
+            }
+            "--batch" => {
+                batch = value("--batch")?
+                    .parse()
+                    .map_err(|e| CliError::Usage(format!("--batch: {e}")))?;
+                if batch == 0 {
+                    return Err(CliError::Usage("--batch must be at least 1".to_string()));
+                }
+            }
+            "--max-attempts" => {
+                max_attempts = value("--max-attempts")?
+                    .parse()
+                    .map_err(|e| CliError::Usage(format!("--max-attempts: {e}")))?;
+                if max_attempts == 0 {
+                    return Err(CliError::Usage(
+                        "--max-attempts must be at least 1".to_string(),
+                    ));
+                }
+            }
+            "--no-bench-json" => bench_json = false,
+            other => return Err(CliError::Usage(format!("dispatch: unknown flag {other}"))),
+        }
+    }
+    config.validate().map_err(CliError::Config)?;
+    let out = out.unwrap_or_else(|| PathBuf::from(format!("ldx-dispatch-{scenario}.json")));
+    // Address mode targets already-running daemons; spawn mode brings up
+    // local single-worker daemons on ephemeral ports and tears them down.
+    let spawned = if worker_addrs.is_empty() {
+        let workers = spawn_local_workers(spawn_count)?;
+        worker_addrs = workers.iter().map(|w| w.addr.clone()).collect();
+        workers
+    } else {
+        Vec::new()
+    };
+    let mut options = DispatchOptions::new(scenario, &out);
+    options.config = config;
+    options.workers = worker_addrs;
+    options.lease = Duration::from_millis(lease_ms);
+    options.batch = batch;
+    options.max_attempts = max_attempts;
+    let worker_count = options.workers.len();
+    let result = ld_serve::dispatch(&options);
+    stop_local_workers(spawned);
+    let (summary, stats) = result?;
+    print_summary(&summary);
+    println!("  report: {}", out.display());
+    println!(
+        "  dispatch: {worker_count} worker(s), {} shard(s) reassigned, {} stale result(s) rejected, {} worker failure(s)",
+        stats.reassigned, stats.stale_rejected, stats.worker_failures
+    );
+    Ok(finish(&summary, bench_json))
 }
 
 /// `ldx shutdown`: ask the daemon to drain.
@@ -735,6 +964,7 @@ fn main() -> ExitCode {
         Some("analyze") => cmd_analyze(&args[1..]),
         Some("serve") => cmd_serve(&args[1..]),
         Some("submit") => cmd_submit(&args[1..]),
+        Some("dispatch") => cmd_dispatch(&args[1..]),
         Some("shutdown") => cmd_shutdown(&args[1..]),
         _ => {
             eprint!("{}", usage());

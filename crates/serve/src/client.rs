@@ -1,13 +1,72 @@
-//! A minimal HTTP/1.1 client for `ldx submit`/`ldx shutdown` and the
-//! integration tests.
+//! A minimal HTTP/1.1 client for `ldx submit`/`ldx shutdown`, the
+//! dispatch coordinator, and the integration tests.
 //!
 //! One request per connection, mirroring the server's `Connection: close`
 //! discipline.  Responses are decoded by `Content-Length`, chunked
-//! transfer coding (the report stream), or read-to-EOF.
+//! transfer coding (the report stream), or read-to-EOF.  Transport
+//! failures are retried under a typed [`RetryPolicy`] with capped
+//! exponential backoff — the same policy object the coordinator uses to
+//! decide when a worker is dead.
 
-use std::io::{BufRead, BufReader, Write};
+use std::io::{BufRead, BufReader, ErrorKind, Read, Write};
 use std::net::TcpStream;
 use std::time::Duration;
+
+/// Default connect and per-read socket timeout.  A report stream of a
+/// running job keeps delivering chunks, so a healthy server never lets a
+/// read starve this long.
+pub const DEFAULT_READ_TIMEOUT: Duration = Duration::from_secs(30);
+
+/// How transport failures are retried: `attempts` tries separated by
+/// capped exponential backoff starting at `base` and clamped to `cap`.
+/// Deterministic (no jitter) so tests and reports can assert on it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total attempts (the first try counts as one).
+    pub attempts: u32,
+    /// Delay before the second attempt; doubles each retry.
+    pub base: Duration,
+    /// Upper bound on any single delay.
+    pub cap: Duration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            attempts: 5,
+            base: Duration::from_millis(100),
+            cap: Duration::from_secs(5),
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// An infinite iterator of successive backoff delays:
+    /// `base, 2*base, 4*base, …` clamped to `cap`.
+    pub fn backoff(&self) -> Backoff {
+        Backoff {
+            next: self.base,
+            cap: self.cap,
+        }
+    }
+}
+
+/// The delay sequence of a [`RetryPolicy`]; see [`RetryPolicy::backoff`].
+#[derive(Debug, Clone)]
+pub struct Backoff {
+    next: Duration,
+    cap: Duration,
+}
+
+impl Iterator for Backoff {
+    type Item = Duration;
+
+    fn next(&mut self) -> Option<Duration> {
+        let current = self.next.min(self.cap);
+        self.next = self.next.saturating_mul(2).min(self.cap);
+        Some(current)
+    }
+}
 
 /// A decoded response.
 #[derive(Debug)]
@@ -36,11 +95,7 @@ impl Response {
 }
 
 /// Sends one `method path` request to `addr` with an optional JSON body
-/// and decodes the response.
-///
-/// Connect and per-read socket timeouts are 30 s: a report stream of a
-/// running job keeps delivering chunks, so a healthy server never lets a
-/// read starve that long.
+/// and decodes the response, under [`DEFAULT_READ_TIMEOUT`].
 ///
 /// # Errors
 ///
@@ -51,9 +106,86 @@ pub fn request(
     path: &str,
     body: Option<&str>,
 ) -> Result<Response, String> {
+    request_with(addr, method, path, body, DEFAULT_READ_TIMEOUT)
+}
+
+/// [`request`] with an explicit per-read socket timeout — the coordinator
+/// sets this to the worker lease duration so a stalled socket surfaces as
+/// a transport error before the lease expires twice over.
+///
+/// # Errors
+///
+/// Returns a message on connection, framing or I/O failures.
+pub fn request_with(
+    addr: &str,
+    method: &str,
+    path: &str,
+    body: Option<&str>,
+    read_timeout: Duration,
+) -> Result<Response, String> {
+    let (status, headers, mut reader) = open_stream(addr, method, path, body, read_timeout)?;
+    let body = read_body(&headers, &mut reader)?;
+    Ok(Response {
+        status,
+        headers,
+        body,
+    })
+}
+
+/// [`request_with`], retried under `policy` on transport or framing
+/// failures.  HTTP error statuses are *not* retried — a decoded response
+/// is a success at this layer, whatever its status code.
+///
+/// # Errors
+///
+/// Returns the final attempt's message once `policy.attempts` tries have
+/// all failed.
+pub fn request_retry(
+    addr: &str,
+    method: &str,
+    path: &str,
+    body: Option<&str>,
+    policy: &RetryPolicy,
+    read_timeout: Duration,
+) -> Result<Response, String> {
+    let mut backoff = policy.backoff();
+    let mut last = String::new();
+    for attempt in 0..policy.attempts.max(1) {
+        if attempt > 0 {
+            if let Some(delay) = backoff.next() {
+                std::thread::sleep(delay);
+            }
+        }
+        match request_with(addr, method, path, body, read_timeout) {
+            Ok(response) => return Ok(response),
+            Err(e) => last = e,
+        }
+    }
+    Err(format!(
+        "{addr}: {last} (after {} attempts)",
+        policy.attempts.max(1)
+    ))
+}
+
+/// Sends one request and returns the status, headers, and a reader
+/// positioned at the first body byte — for callers that consume a
+/// streaming (chunked) body incrementally instead of buffering it.
+/// Wrap the reader in [`ChunkedReader`] when the response is chunked.
+///
+/// # Errors
+///
+/// Returns a message on connection, framing or I/O failures.
+#[allow(clippy::type_complexity)]
+pub fn open_stream(
+    addr: &str,
+    method: &str,
+    path: &str,
+    body: Option<&str>,
+    read_timeout: Duration,
+) -> Result<(u16, Vec<(String, String)>, BufReader<TcpStream>), String> {
     let stream = TcpStream::connect(addr).map_err(|e| format!("connecting {addr}: {e}"))?;
     stream
-        .set_read_timeout(Some(Duration::from_secs(30)))
+        .set_read_timeout(Some(read_timeout))
         .map_err(|e| format!("socket timeout: {e}"))?;
     let mut writer = stream
         .try_clone()
@@ -68,7 +200,9 @@ pub fn request(
     writer
         .flush()
         .map_err(|e| format!("sending request: {e}"))?;
-    read_response(&mut BufReader::new(stream))
+    let mut reader = BufReader::new(stream);
+    let (status, headers) = read_head(&mut reader)?;
+    Ok((status, headers, reader))
 }
 
 /// Decodes one response off `reader`.
@@ -77,6 +211,16 @@ pub fn request(
 ///
 /// Returns a message on framing or I/O failures.
 pub fn read_response(reader: &mut impl BufRead) -> Result<Response, String> {
+    let (status, headers) = read_head(reader)?;
+    let body = read_body(&headers, reader)?;
+    Ok(Response {
+        status,
+        headers,
+        body,
+    })
+}
+
+fn read_head(reader: &mut impl BufRead) -> Result<(u16, Vec<(String, String)>), String> {
     let mut line = String::new();
     reader
         .read_line(&mut line)
@@ -103,37 +247,26 @@ pub fn read_response(reader: &mut impl BufRead) -> Result<Response, String> {
             headers.push((name.trim().to_string(), value.trim().to_string()));
         }
     }
-    let chunked = headers.iter().any(|(k, v)| {
+    Ok((status, headers))
+}
+
+/// Whether `headers` declare a chunked transfer coding.
+pub fn is_chunked(headers: &[(String, String)]) -> bool {
+    headers.iter().any(|(k, v)| {
         k.eq_ignore_ascii_case("transfer-encoding") && v.eq_ignore_ascii_case("chunked")
-    });
+    })
+}
+
+fn read_body(headers: &[(String, String)], reader: &mut impl BufRead) -> Result<Vec<u8>, String> {
     let length = headers
         .iter()
         .find(|(k, _)| k.eq_ignore_ascii_case("content-length"))
         .and_then(|(_, v)| v.parse::<usize>().ok());
     let mut body = Vec::new();
-    if chunked {
-        loop {
-            let mut size_line = String::new();
-            reader
-                .read_line(&mut size_line)
-                .map_err(|e| format!("reading chunk size: {e}"))?;
-            let size = usize::from_str_radix(size_line.trim(), 16)
-                .map_err(|_| format!("bad chunk size '{}'", size_line.trim()))?;
-            if size == 0 {
-                let mut trailer = String::new();
-                let _ = reader.read_line(&mut trailer);
-                break;
-            }
-            let mut chunk = vec![0u8; size];
-            reader
-                .read_exact(&mut chunk)
-                .map_err(|e| format!("reading chunk: {e}"))?;
-            body.extend_from_slice(&chunk);
-            let mut crlf = [0u8; 2];
-            reader
-                .read_exact(&mut crlf)
-                .map_err(|e| format!("reading chunk terminator: {e}"))?;
-        }
+    if is_chunked(headers) {
+        ChunkedReader::new(reader)
+            .read_to_end(&mut body)
+            .map_err(|e| format!("reading chunked body: {e}"))?;
     } else if let Some(length) = length {
         let mut exact = vec![0u8; length];
         reader
@@ -145,11 +278,105 @@ pub fn read_response(reader: &mut impl BufRead) -> Result<Response, String> {
             .read_to_end(&mut body)
             .map_err(|e| format!("reading body: {e}"))?;
     }
-    Ok(Response {
-        status,
-        headers,
-        body,
-    })
+    Ok(body)
+}
+
+/// An incremental decoder for HTTP/1.1 chunked transfer coding over any
+/// [`BufRead`].
+///
+/// Tolerances, matching what real peers emit: chunk-size lines may arrive
+/// split across reads (buffered reading reassembles them), chunk
+/// extensions (`;name=value`) are stripped, blank lines between chunks
+/// are skipped (so a missing or doubled inter-chunk CRLF does not
+/// desynchronise the framing), a `0`-sized chunk terminates the body even
+/// mid-stream, and EOF right after the terminal chunk — before the final
+/// CRLF or trailer section — still yields a complete body.  A truncated
+/// chunk *payload*, by contrast, is a hard [`ErrorKind::UnexpectedEof`]:
+/// the declared size promised bytes that never arrived.
+#[derive(Debug)]
+pub struct ChunkedReader<R> {
+    inner: R,
+    remaining: usize,
+    done: bool,
+}
+
+impl<R: BufRead> ChunkedReader<R> {
+    /// Wraps `inner`, positioned at the first chunk-size line.
+    pub fn new(inner: R) -> Self {
+        ChunkedReader {
+            inner,
+            remaining: 0,
+            done: false,
+        }
+    }
+
+    /// Unwraps the inner reader (any trailer bytes remain unread unless
+    /// the body was consumed to completion).
+    pub fn into_inner(self) -> R {
+        self.inner
+    }
+
+    /// Reads the next chunk-size line, skipping blank separator lines.
+    fn next_size(&mut self) -> std::io::Result<usize> {
+        loop {
+            let mut line = Vec::new();
+            let n = self.inner.read_until(b'\n', &mut line)?;
+            if n == 0 {
+                return Err(std::io::Error::new(
+                    ErrorKind::UnexpectedEof,
+                    "eof before chunk size",
+                ));
+            }
+            let text = String::from_utf8_lossy(&line);
+            let text = text.trim();
+            if text.is_empty() {
+                continue;
+            }
+            let size = text.split(';').next().unwrap_or("").trim();
+            return usize::from_str_radix(size, 16).map_err(|_| {
+                std::io::Error::new(ErrorKind::InvalidData, format!("bad chunk size '{text}'"))
+            });
+        }
+    }
+
+    /// Consumes the optional trailer section after the terminal chunk.
+    /// EOF anywhere in here is fine — the body is already complete.
+    fn skip_trailers(&mut self) -> std::io::Result<()> {
+        loop {
+            let mut line = Vec::new();
+            let n = self.inner.read_until(b'\n', &mut line)?;
+            if n == 0 || line.iter().all(|&b| b == b'\r' || b == b'\n') {
+                return Ok(());
+            }
+        }
+    }
+}
+
+impl<R: BufRead> Read for ChunkedReader<R> {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        if self.done || buf.is_empty() {
+            return Ok(0);
+        }
+        if self.remaining == 0 {
+            let size = self.next_size()?;
+            if size == 0 {
+                self.skip_trailers()?;
+                self.done = true;
+                return Ok(0);
+            }
+            self.remaining = size;
+        }
+        let take = buf.len().min(self.remaining);
+        let n = self.inner.read(&mut buf[..take])?;
+        if n == 0 {
+            return Err(std::io::Error::new(
+                ErrorKind::UnexpectedEof,
+                "eof inside chunk payload",
+            ));
+        }
+        self.remaining -= n;
+        Ok(n)
+    }
 }
 
 #[cfg(test)]
@@ -185,5 +412,44 @@ mod tests {
     fn rejects_garbage_status_lines() {
         let raw = b"NOPE\r\n\r\n";
         assert!(read_response(&mut BufReader::new(&raw[..])).is_err());
+    }
+
+    #[test]
+    fn chunked_reader_strips_extensions_and_tolerates_missing_final_crlf() {
+        let raw = b"5;ext=1\r\nhello\r\n0\r\n";
+        let mut body = Vec::new();
+        ChunkedReader::new(BufReader::new(&raw[..]))
+            .read_to_end(&mut body)
+            .expect("decode");
+        assert_eq!(body, b"hello");
+    }
+
+    #[test]
+    fn chunked_reader_rejects_truncated_payload() {
+        let raw = b"a\r\nhel";
+        let mut body = Vec::new();
+        let err = ChunkedReader::new(BufReader::new(&raw[..]))
+            .read_to_end(&mut body)
+            .expect_err("truncated");
+        assert_eq!(err.kind(), ErrorKind::UnexpectedEof);
+    }
+
+    #[test]
+    fn backoff_doubles_and_caps() {
+        let policy = RetryPolicy {
+            attempts: 5,
+            base: Duration::from_millis(100),
+            cap: Duration::from_millis(350),
+        };
+        let delays: Vec<Duration> = policy.backoff().take(4).collect();
+        assert_eq!(
+            delays,
+            vec![
+                Duration::from_millis(100),
+                Duration::from_millis(200),
+                Duration::from_millis(350),
+                Duration::from_millis(350),
+            ]
+        );
     }
 }

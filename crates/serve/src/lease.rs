@@ -1,0 +1,318 @@
+//! Shard leases with epoch fencing: the bookkeeping core of the dispatch
+//! coordinator.
+//!
+//! A [`LeaseTable`] tracks every shard of a sweep through
+//! `Pending → Leased → Done`.  A worker *acquires* a contiguous batch of
+//! pending shards under a time-bounded lease stamped with a fresh
+//! **epoch** — a globally monotonic counter.  Results are accepted only
+//! when they carry the epoch currently leasing the shard; anything else
+//! is *stale* (fenced off).  That is what makes reassignment safe: when a
+//! lease expires and the shard is re-leased at a higher epoch, a late
+//! result from the presumed-dead original worker — which may still be
+//! running, merely slow or partitioned — is rejected by epoch mismatch
+//! rather than racing the replacement's result into the report.
+//!
+//! The table is pure state-machine logic over caller-supplied clock
+//! readings (`now_ms`): no threads, no sockets, no `Instant` — so every
+//! expiry/fencing interleaving is unit-testable with a scripted clock.
+
+use std::ops::Range;
+
+/// Lease duration and retry budget for a dispatch run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LeasePolicy {
+    /// How long a lease lives without renewal, in milliseconds.
+    pub lease_ms: u64,
+    /// How many failed attempts a single shard tolerates before the
+    /// sweep aborts (a shard that keeps killing workers is a poison
+    /// pill, not a transient fault).
+    pub max_attempts: u32,
+}
+
+impl Default for LeasePolicy {
+    fn default() -> Self {
+        LeasePolicy {
+            lease_ms: 30_000,
+            max_attempts: 4,
+        }
+    }
+}
+
+/// A batch of shards granted to one worker under one epoch.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Assignment {
+    /// The acquiring worker's identifier (its address, for dispatch).
+    pub worker: String,
+    /// The fencing epoch every result of this batch must carry.
+    pub epoch: u64,
+    /// The contiguous shard range granted.
+    pub shards: Range<usize>,
+}
+
+/// The verdict on a reported shard result.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Completion {
+    /// The result carries the live epoch: merge it.
+    Accepted,
+    /// The shard is done or leased under a different epoch: drop the
+    /// result (a fenced-off straggler or duplicate).
+    Stale,
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum ShardState {
+    Pending,
+    Leased {
+        worker: String,
+        epoch: u64,
+        deadline_ms: u64,
+    },
+    Done,
+}
+
+#[derive(Debug, Clone)]
+struct Shard {
+    state: ShardState,
+    attempts: u32,
+}
+
+/// The lease table for one dispatch run; see the module docs.
+#[derive(Debug)]
+pub struct LeaseTable {
+    shards: Vec<Shard>,
+    policy: LeasePolicy,
+    next_epoch: u64,
+}
+
+impl LeaseTable {
+    /// A table with every shard pending.
+    pub fn new(shard_count: usize, policy: LeasePolicy) -> Self {
+        LeaseTable {
+            shards: vec![
+                Shard {
+                    state: ShardState::Pending,
+                    attempts: 0,
+                };
+                shard_count
+            ],
+            policy,
+            next_epoch: 0,
+        }
+    }
+
+    /// Grants `worker` the first contiguous run of pending shards (at
+    /// most `max_batch` of them) under a fresh epoch, or `None` when
+    /// nothing is pending.
+    pub fn acquire(&mut self, worker: &str, now_ms: u64, max_batch: usize) -> Option<Assignment> {
+        let first = self
+            .shards
+            .iter()
+            .position(|s| s.state == ShardState::Pending)?;
+        let mut stop = first;
+        while stop < self.shards.len()
+            && stop - first < max_batch.max(1)
+            && self.shards[stop].state == ShardState::Pending
+        {
+            stop += 1;
+        }
+        self.next_epoch += 1;
+        let epoch = self.next_epoch;
+        let deadline_ms = now_ms + self.policy.lease_ms;
+        for shard in &mut self.shards[first..stop] {
+            shard.state = ShardState::Leased {
+                worker: worker.to_string(),
+                epoch,
+                deadline_ms,
+            };
+        }
+        Some(Assignment {
+            worker: worker.to_string(),
+            epoch,
+            shards: first..stop,
+        })
+    }
+
+    /// Extends the deadline of every shard still leased under
+    /// `(worker, epoch)`.  Returns `false` when none are — the lease was
+    /// lost (expired and reassigned) and the worker should abandon the
+    /// batch.
+    pub fn renew(&mut self, worker: &str, epoch: u64, now_ms: u64) -> bool {
+        let deadline = now_ms + self.policy.lease_ms;
+        let mut any = false;
+        for shard in &mut self.shards {
+            if let ShardState::Leased {
+                worker: w,
+                epoch: e,
+                deadline_ms,
+            } = &mut shard.state
+            {
+                if *e == epoch && w == worker {
+                    *deadline_ms = deadline;
+                    any = true;
+                }
+            }
+        }
+        any
+    }
+
+    /// Judges a reported result for `shard` under `epoch`.  Accepting
+    /// transitions the shard to done.
+    pub fn complete(&mut self, shard: usize, epoch: u64) -> Completion {
+        match self.shards.get_mut(shard) {
+            Some(s) => match &s.state {
+                ShardState::Leased { epoch: e, .. } if *e == epoch => {
+                    s.state = ShardState::Done;
+                    Completion::Accepted
+                }
+                _ => Completion::Stale,
+            },
+            None => Completion::Stale,
+        }
+    }
+
+    /// Returns every leased shard whose deadline has passed to pending
+    /// (charging one attempt each), and reports their indices.
+    pub fn expire(&mut self, now_ms: u64) -> Vec<usize> {
+        let mut expired = Vec::new();
+        for (index, shard) in self.shards.iter_mut().enumerate() {
+            if let ShardState::Leased { deadline_ms, .. } = &shard.state {
+                if *deadline_ms <= now_ms {
+                    shard.state = ShardState::Pending;
+                    shard.attempts += 1;
+                    expired.push(index);
+                }
+            }
+        }
+        expired
+    }
+
+    /// Returns every shard still leased under `(worker, epoch)` to
+    /// pending (charging one attempt each) — the immediate give-back
+    /// when a worker's connection drops before its lease expires.
+    pub fn release(&mut self, worker: &str, epoch: u64) -> Vec<usize> {
+        let mut released = Vec::new();
+        for (index, shard) in self.shards.iter_mut().enumerate() {
+            if let ShardState::Leased {
+                worker: w,
+                epoch: e,
+                ..
+            } = &shard.state
+            {
+                if *e == epoch && w == worker {
+                    shard.state = ShardState::Pending;
+                    shard.attempts += 1;
+                    released.push(index);
+                }
+            }
+        }
+        released
+    }
+
+    /// The first shard whose failed-attempt count exceeds the policy's
+    /// budget, if any — grounds for aborting the sweep.
+    pub fn exhausted(&self) -> Option<usize> {
+        self.shards
+            .iter()
+            .position(|s| s.state != ShardState::Done && s.attempts > self.policy.max_attempts)
+    }
+
+    /// Whether every shard is done.
+    pub fn all_done(&self) -> bool {
+        self.shards.iter().all(|s| s.state == ShardState::Done)
+    }
+
+    /// How many shards are done.
+    pub fn done_count(&self) -> usize {
+        self.shards
+            .iter()
+            .filter(|s| s.state == ShardState::Done)
+            .count()
+    }
+
+    /// How many shards are neither done nor currently leased.
+    pub fn pending_count(&self) -> usize {
+        self.shards
+            .iter()
+            .filter(|s| s.state == ShardState::Pending)
+            .count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table(shards: usize) -> LeaseTable {
+        LeaseTable::new(
+            shards,
+            LeasePolicy {
+                lease_ms: 1_000,
+                max_attempts: 2,
+            },
+        )
+    }
+
+    #[test]
+    fn acquire_grants_contiguous_batches_with_fresh_epochs() {
+        let mut t = table(5);
+        let a = t.acquire("a", 0, 2).expect("grant");
+        assert_eq!(a.shards, 0..2);
+        assert_eq!(a.epoch, 1);
+        let b = t.acquire("b", 0, 10).expect("grant");
+        assert_eq!(b.shards, 2..5);
+        assert_eq!(b.epoch, 2);
+        assert!(t.acquire("c", 0, 1).is_none());
+    }
+
+    #[test]
+    fn epoch_fencing_rejects_a_late_result_from_a_reassigned_shard() {
+        let mut t = table(1);
+        let a = t.acquire("a", 0, 1).expect("grant");
+        // "a" goes silent; the lease expires and "b" takes over.
+        assert_eq!(t.expire(1_000), vec![0]);
+        let b = t.acquire("b", 1_000, 1).expect("grant");
+        assert!(b.epoch > a.epoch);
+        // "a" was only slow, not dead: its result arrives late.
+        assert_eq!(t.complete(0, a.epoch), Completion::Stale);
+        assert_eq!(t.complete(0, b.epoch), Completion::Accepted);
+        // And a duplicate of the accepted result is likewise fenced.
+        assert_eq!(t.complete(0, b.epoch), Completion::Stale);
+        assert!(t.all_done());
+    }
+
+    #[test]
+    fn renewal_holds_a_lease_past_its_original_deadline() {
+        let mut t = table(1);
+        let a = t.acquire("a", 0, 1).expect("grant");
+        assert!(t.renew("a", a.epoch, 900));
+        assert!(t.expire(1_000).is_empty());
+        assert_eq!(t.expire(1_900), vec![0]);
+        // The lease is gone: renewal now reports loss.
+        assert!(!t.renew("a", a.epoch, 2_000));
+    }
+
+    #[test]
+    fn release_returns_shards_immediately_and_charges_an_attempt() {
+        let mut t = table(2);
+        let a = t.acquire("a", 0, 2).expect("grant");
+        assert_eq!(t.release("a", a.epoch), vec![0, 1]);
+        assert_eq!(t.pending_count(), 2);
+        // Three strikes (policy allows 2) exhausts the shard.
+        let b = t.acquire("b", 0, 2).expect("grant");
+        t.release("b", b.epoch);
+        assert!(t.exhausted().is_none());
+        let c = t.acquire("c", 0, 2).expect("grant");
+        t.release("c", c.epoch);
+        assert_eq!(t.exhausted(), Some(0));
+    }
+
+    #[test]
+    fn done_shards_are_immune_to_expiry_and_release() {
+        let mut t = table(1);
+        let a = t.acquire("a", 0, 1).expect("grant");
+        assert_eq!(t.complete(0, a.epoch), Completion::Accepted);
+        assert!(t.expire(10_000).is_empty());
+        assert!(t.release("a", a.epoch).is_empty());
+        assert_eq!(t.done_count(), 1);
+    }
+}

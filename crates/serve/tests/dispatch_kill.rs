@@ -1,0 +1,123 @@
+//! Distributed dispatch under worker loss: spawn four real single-worker
+//! `ldx serve` daemons, dispatch one sweep across them, SIGKILL one daemon
+//! mid-sweep, and byte-compare the merged report against a single-process
+//! deterministic run.
+//!
+//! This is the integration proof of the lease/epoch-fencing design: the
+//! killed worker's leased shards must be reassigned (connection loss or
+//! lease expiry — whichever surfaces first) and the merged report must be
+//! indistinguishable from one produced with no failure at all.
+
+use ld_runner::stream::{self, StreamOptions};
+use ld_runner::{scenarios, SweepConfig};
+use ld_serve::DispatchOptions;
+use std::io::{BufRead, BufReader};
+use std::path::PathBuf;
+use std::process::{Child, ChildStdout, Command, Stdio};
+use std::time::Duration;
+
+struct Worker {
+    child: Child,
+    // Held open so the daemon's status prints never hit a closed pipe.
+    _stdout: BufReader<ChildStdout>,
+    addr: String,
+    spool: PathBuf,
+}
+
+fn spawn_worker(tag: &str, index: usize) -> Worker {
+    let spool = std::env::temp_dir().join(format!("ldx-dk-{tag}-{}-w{index}", std::process::id()));
+    let mut child = Command::new(env!("CARGO_BIN_EXE_ldx"))
+        .args([
+            "serve",
+            "--addr",
+            "127.0.0.1:0",
+            "--workers",
+            "1",
+            "--spool",
+        ])
+        .arg(&spool)
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn ldx serve");
+    let mut stdout = BufReader::new(child.stdout.take().expect("stdout pipe"));
+    let mut line = String::new();
+    stdout.read_line(&mut line).expect("read announce line");
+    let addr = line
+        .trim()
+        .strip_prefix("ld-serve listening on ")
+        .unwrap_or_else(|| panic!("unexpected announce line: {line:?}"))
+        .to_string();
+    Worker {
+        child,
+        _stdout: stdout,
+        addr,
+        spool,
+    }
+}
+
+fn stop_workers(workers: Vec<Worker>) {
+    for mut worker in workers {
+        let _ = worker.child.kill();
+        let _ = worker.child.wait();
+        let _ = std::fs::remove_dir_all(&worker.spool);
+    }
+}
+
+fn config() -> SweepConfig {
+    SweepConfig {
+        max_n: 1024,
+        threads: 2,
+        shard_size: 4,
+        ..SweepConfig::default()
+    }
+}
+
+#[test]
+fn dispatch_with_a_sigkilled_worker_byte_matches_single_process() {
+    let dir = std::env::temp_dir();
+    let reference_path = dir.join(format!("ldx-dk-ref-{}.json", std::process::id()));
+    let dispatched_path = dir.join(format!("ldx-dk-dist-{}.json", std::process::id()));
+
+    let scenario = scenarios::find("section2-sweep-xl").expect("scenario");
+    let opts = StreamOptions {
+        deterministic: true,
+        max_shards: None,
+        csv: None,
+    };
+    stream::run(scenario.as_ref(), &config(), &reference_path, &opts).expect("reference run");
+    let reference = std::fs::read(&reference_path).expect("reference bytes");
+
+    let workers: Vec<Worker> = (0..4).map(|i| spawn_worker("kill", i)).collect();
+    let mut options = DispatchOptions::new("section2-sweep-xl", &dispatched_path);
+    options.config = config();
+    options.workers = workers.iter().map(|w| w.addr.clone()).collect();
+    // A short lease keeps the reassignment path fast even if the dead
+    // worker's socket lingers instead of erroring out.
+    options.lease = Duration::from_secs(2);
+
+    // SIGKILL the first daemon shortly into the sweep: abrupt process
+    // death, no drain, no goodbye — its in-flight batch must be retried
+    // by the survivors.
+    let victim = workers[0].child.id().to_string();
+    let killer = std::thread::spawn(move || {
+        std::thread::sleep(Duration::from_millis(300));
+        let _ = Command::new("kill").args(["-9", &victim]).status();
+    });
+
+    let result = ld_serve::dispatch(&options);
+    killer.join().expect("killer thread");
+    stop_workers(workers);
+
+    let (summary, stats) = result.expect("dispatch must survive a killed worker");
+    assert!(summary.completed, "dispatch summary must be complete");
+    let dispatched = std::fs::read(&dispatched_path).expect("dispatched bytes");
+    assert_eq!(
+        dispatched, reference,
+        "merged report must byte-match the single-process run \
+         (stats: {stats:?})"
+    );
+
+    let _ = std::fs::remove_file(&reference_path);
+    let _ = std::fs::remove_file(&dispatched_path);
+}

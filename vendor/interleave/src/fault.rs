@@ -1,0 +1,175 @@
+//! Deterministic I/O fault scheduling: the sequencing half of the
+//! workspace's fault-injection harness.
+//!
+//! The schedule explorer in this crate answers "what happens under every
+//! *thread* interleaving"; this module answers the sibling question for
+//! durability: "what happens when the *k*-th I/O operation fails" — a torn
+//! write followed by process death, a short read, or a clean `ENOSPC`.
+//! A [`FaultPlan`] owns a global operation counter; an instrumented I/O
+//! layer (e.g. `ld_runner::spool_io::FaultIo`) calls [`FaultPlan::decide`]
+//! before every primitive operation and acts on the verdict.  Because the
+//! counter is the only state, a schedule is reproduced exactly by replaying
+//! the same `(op, kind)` pair — which is what lets a test enumerate *every*
+//! crash point of a pipeline: run once fault-free to count the operations,
+//! then run the pipeline once per index with a fault scripted there.
+//!
+//! Fault semantics:
+//!
+//! * [`FaultKind::TornWrite`] — the scheduled operation takes partial
+//!   effect (a write persists only a prefix), fails, and the plan enters
+//!   the **crashed** state: every later operation fails too, as if the
+//!   process died mid-write.  Scheduled on a non-write operation it is a
+//!   plain crash at that point (no partial effect).
+//! * [`FaultKind::ShortRead`] — the scheduled read observes fewer bytes
+//!   than available and the handle then reports end-of-file, as if the
+//!   file had been truncated underneath the reader.  The process stays
+//!   alive.
+//! * [`FaultKind::Enospc`] — the scheduled operation fails cleanly with a
+//!   "no space" error and takes no effect.  The process stays alive and
+//!   later operations proceed, which is how callers are forced to prove
+//!   they propagate (not swallow) a mid-pipeline write error.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+/// The kind of fault a [`FaultPlan`] injects at its scripted operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// Partial write, then process death (every later operation fails).
+    TornWrite,
+    /// A read that observes a truncated view of the file; process lives.
+    ShortRead,
+    /// A clean out-of-space failure with no effect; process lives.
+    Enospc,
+}
+
+/// What the instrumented I/O layer must do with the current operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Decision {
+    /// Perform the operation normally.
+    Proceed,
+    /// Apply a partial effect (writes persist a prefix), then fail; the
+    /// plan is now crashed.
+    TornWrite,
+    /// Deliver fewer bytes than asked and make the handle hit EOF early.
+    ShortRead,
+    /// Fail cleanly with an out-of-space error; no effect.
+    Enospc,
+    /// The plan already crashed (an earlier [`Decision::TornWrite`]):
+    /// fail without any effect.
+    Crashed,
+}
+
+/// A deterministic schedule of at most one fault, driven by a global
+/// operation counter.  Thread-safe: operations may be counted from any
+/// thread, and the crash state is sticky.
+#[derive(Debug)]
+pub struct FaultPlan {
+    next_op: AtomicU64,
+    fault_at: Option<u64>,
+    kind: FaultKind,
+    crashed: AtomicBool,
+    fired: AtomicBool,
+}
+
+impl FaultPlan {
+    /// A plan that injects nothing and only counts operations — the
+    /// measurement run that tells a harness how many crash points exist.
+    pub fn observe() -> FaultPlan {
+        FaultPlan {
+            next_op: AtomicU64::new(0),
+            fault_at: None,
+            kind: FaultKind::Enospc,
+            crashed: AtomicBool::new(false),
+            fired: AtomicBool::new(false),
+        }
+    }
+
+    /// A plan that injects `kind` at zero-based operation index `op`.
+    pub fn inject(op: u64, kind: FaultKind) -> FaultPlan {
+        FaultPlan {
+            next_op: AtomicU64::new(0),
+            fault_at: Some(op),
+            kind,
+            crashed: AtomicBool::new(false),
+            fired: AtomicBool::new(false),
+        }
+    }
+
+    /// Counts one operation and returns what to do with it.
+    pub fn decide(&self) -> Decision {
+        if self.crashed.load(Ordering::SeqCst) {
+            return Decision::Crashed;
+        }
+        let op = self.next_op.fetch_add(1, Ordering::SeqCst);
+        if self.fault_at != Some(op) {
+            return Decision::Proceed;
+        }
+        self.fired.store(true, Ordering::SeqCst);
+        match self.kind {
+            FaultKind::TornWrite => {
+                self.crashed.store(true, Ordering::SeqCst);
+                Decision::TornWrite
+            }
+            FaultKind::ShortRead => Decision::ShortRead,
+            FaultKind::Enospc => Decision::Enospc,
+        }
+    }
+
+    /// Operations counted so far.
+    pub fn ops(&self) -> u64 {
+        self.next_op.load(Ordering::SeqCst)
+    }
+
+    /// Whether the scripted fault has fired.
+    pub fn fired(&self) -> bool {
+        self.fired.load(Ordering::SeqCst)
+    }
+
+    /// Whether the plan is in the crashed state (a torn write fired).
+    pub fn crashed(&self) -> bool {
+        self.crashed.load(Ordering::SeqCst)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn observe_counts_without_injecting() {
+        let plan = FaultPlan::observe();
+        for _ in 0..5 {
+            assert_eq!(plan.decide(), Decision::Proceed);
+        }
+        assert_eq!(plan.ops(), 5);
+        assert!(!plan.fired());
+    }
+
+    #[test]
+    fn torn_write_fires_once_then_everything_fails() {
+        let plan = FaultPlan::inject(2, FaultKind::TornWrite);
+        assert_eq!(plan.decide(), Decision::Proceed);
+        assert_eq!(plan.decide(), Decision::Proceed);
+        assert_eq!(plan.decide(), Decision::TornWrite);
+        assert!(plan.fired());
+        assert!(plan.crashed());
+        assert_eq!(plan.decide(), Decision::Crashed);
+        assert_eq!(plan.decide(), Decision::Crashed);
+        // Crashed operations are not counted: the process is dead.
+        assert_eq!(plan.ops(), 3);
+    }
+
+    #[test]
+    fn short_read_and_enospc_leave_the_process_alive() {
+        for (kind, decision) in [
+            (FaultKind::ShortRead, Decision::ShortRead),
+            (FaultKind::Enospc, Decision::Enospc),
+        ] {
+            let plan = FaultPlan::inject(0, kind);
+            assert_eq!(plan.decide(), decision);
+            assert_eq!(plan.decide(), Decision::Proceed);
+            assert!(plan.fired());
+            assert!(!plan.crashed());
+        }
+    }
+}

@@ -67,6 +67,7 @@
 
 mod exec;
 mod facade;
+pub mod fault;
 mod shim;
 pub mod thread;
 
