@@ -180,13 +180,18 @@ impl Scope {
             || path.starts_with("crates/local/src/"))
             && !path.contains("/bin/")
             && !path.starts_with("crates/runner/src/scenarios/");
+        // The bitset canon kernel sits on every sweep's hot path and is
+        // differenced byte-for-byte against the oracle; a panic in it
+        // takes the whole dedup pipeline down, so it gets the same
+        // no-unwrap discipline as the runner and local libraries.
+        let canon_kernel = path == "crates/graph/src/fastcanon.rs";
         Scope {
             d001: first_party,
             d002: first_party && !perf_module,
             // Every crate root in the workspace, vendored stand-ins
             // included: they are first-party code wearing external names.
             d003: path == "src/lib.rs" || path.ends_with("/src/lib.rs"),
-            d004: runner_or_local_lib,
+            d004: runner_or_local_lib || canon_kernel,
             d005: first_party,
         }
     }
@@ -562,6 +567,10 @@ mod tests {
     fn d004_scope_is_runner_and_local_libraries() {
         let src = "fn f(x: Option<u8>) -> u8 { x.unwrap() }\n";
         let (findings, _) = run("crates/runner/src/x.rs", src);
+        assert_eq!(rules_of(&findings), [Rule::D004]);
+        // The canon kernel is individually in scope; its sibling graph
+        // modules stay exempt.
+        let (findings, _) = run("crates/graph/src/fastcanon.rs", src);
         assert_eq!(rules_of(&findings), [Rule::D004]);
         for exempt in [
             "crates/graph/src/x.rs",

@@ -56,6 +56,13 @@ impl CanonicalCode {
         &self.0
     }
 
+    /// Wraps words the bitset kernel emitted.  Crate-private: the only
+    /// producers of code words are this module and [`crate::fastcanon`],
+    /// which mirrors this module's encode layout byte for byte.
+    pub(crate) fn from_words(words: Vec<u64>) -> Self {
+        CanonicalCode(words)
+    }
+
     /// Appends a context word (e.g. a view radius) to the code.  Codes with
     /// different tags never compare equal, so callers can embed ambient data
     /// that is not part of the graph itself.
@@ -85,9 +92,52 @@ pub fn centered_canonical_code(graph: &Graph, center: NodeId, colors: &[u64]) ->
     canonical_form(graph, Some(center), colors)
 }
 
-/// Shared entry point: dispatches to the tree fast path or the
-/// individualisation–refinement search.
+/// [`canonical_code`], forced onto the original refinement +
+/// branch-and-bound path.  This is the **differential oracle** for the
+/// bitset kernel in [`crate::fastcanon`]: the kernel must reproduce these
+/// bytes exactly, and `tests/tests/fastcanon_differential.rs` holds it to
+/// that.  Production callers want [`canonical_code`], which picks the fast
+/// path automatically.
+///
+/// # Panics
+///
+/// Panics if `colors.len() != graph.node_count()`.
+pub fn canonical_code_oracle(graph: &Graph, colors: &[u64]) -> CanonicalCode {
+    oracle_form(graph, None, colors)
+}
+
+/// [`centered_canonical_code`], forced onto the original path — the centred
+/// differential oracle for the bitset kernel.
+///
+/// # Panics
+///
+/// Panics if `center` is out of range or `colors.len() != graph.node_count()`.
+pub fn centered_canonical_code_oracle(
+    graph: &Graph,
+    center: NodeId,
+    colors: &[u64],
+) -> CanonicalCode {
+    oracle_form(graph, Some(center), colors)
+}
+
+/// Shared entry point: balls in the ≤ 64-node regime run on the
+/// word-parallel kernel ([`crate::fastcanon`], byte-identical output unless
+/// `LD_CANON_FALLBACK` forces the oracle); everything else takes the
+/// original tree / search paths.
 fn canonical_form(graph: &Graph, center: Option<NodeId>, colors: &[u64]) -> CanonicalCode {
+    if crate::fastcanon::accelerates(graph) {
+        // The kernel re-validates the colour/centre contracts and mirrors
+        // this module's orderings exactly; see its module docs for why the
+        // bytes cannot differ.
+        return crate::fastcanon::thread_form(graph, center, colors);
+    }
+    oracle_form(graph, center, colors)
+}
+
+/// The original canonicalisation pipeline (header fast path, AHU trees,
+/// refinement + branch-and-bound search) — the target of every oracle entry
+/// point and the fallback for graphs the kernel does not support.
+pub(crate) fn oracle_form(graph: &Graph, center: Option<NodeId>, colors: &[u64]) -> CanonicalCode {
     let n = graph.node_count();
     assert_eq!(n, colors.len(), "one colour per node is required");
     if let Some(c) = center {
@@ -104,7 +154,7 @@ fn canonical_form(graph: &Graph, center: Option<NodeId>, colors: &[u64]) -> Cano
 }
 
 /// Centre marker used in the code header when no centre is distinguished.
-const NO_CENTER: u64 = u64::MAX;
+pub(crate) const NO_CENTER: u64 = u64::MAX;
 
 /// Emits the code of `graph` under the canonical labelling `perm`
 /// (`perm[old] = new`): header, colours in canonical order, sorted edges.
@@ -571,6 +621,31 @@ mod tests {
         assert_ne!(base, tagged);
         assert_eq!(tagged.as_slice().len(), base.as_slice().len() + 1);
         assert_eq!(tagged.as_slice()[base.as_slice().len()], 2);
+    }
+
+    #[test]
+    fn public_entry_points_dispatch_on_the_64_node_boundary() {
+        // 63- and 64-node graphs run on the bitset kernel; 65 nodes fall
+        // back — and both sides of the seam agree with the oracle bytes.
+        // (Counter is thread-local, so parallel test threads cannot race it.)
+        if crate::fastcanon::fallback_forced() {
+            return;
+        }
+        for (n, kernel_delta) in [(63usize, 1u64), (64, 1), (65, 0)] {
+            let g = generators::path(n);
+            let before = crate::fastcanon::thread_kernel_calls();
+            let dispatched = centered_canonical_code(&g, NodeId(1), &uniform(n));
+            assert_eq!(
+                crate::fastcanon::thread_kernel_calls(),
+                before + kernel_delta,
+                "{n}-node dispatch"
+            );
+            assert_eq!(
+                dispatched,
+                centered_canonical_code_oracle(&g, NodeId(1), &uniform(n)),
+                "{n}-node code must match the oracle bytes"
+            );
+        }
     }
 
     #[test]

@@ -21,6 +21,13 @@
 //!    mechanically — exactly via the backtracking tests in [`iso`], and in
 //!    bulk via the total canonical codes in [`canon`] (equal code ⇔
 //!    isomorphic view), which turn deduplication into hash-set insertion.
+//!    Balls of at most 64 nodes — every ball the paper's sweeps produce —
+//!    are canonicalised by the word-parallel bitset kernel in
+//!    [`fastcanon`], which emits byte-identical codes from `u64` adjacency
+//!    rows and a reusable [`CanonScratch`]; the original path remains the
+//!    differential oracle ([`canon::canonical_code_oracle`]) and the
+//!    fallback for larger graphs (or for every graph when
+//!    `LD_CANON_FALLBACK=1` is set).
 //!
 //! The crate also ships deterministic [`generators`] for every graph family
 //! used by the paper, plus [`ports`] (port numberings and orientations) for
@@ -48,6 +55,7 @@
 pub mod ball;
 pub mod canon;
 pub mod error;
+pub mod fastcanon;
 pub mod generators;
 pub mod graph;
 pub mod iso;
@@ -58,6 +66,7 @@ pub mod traversal;
 pub use ball::{Ball, BallExtractor};
 pub use canon::{canonical_code, centered_canonical_code, CanonicalCode};
 pub use error::GraphError;
+pub use fastcanon::CanonScratch;
 pub use graph::{EdgeIter, Graph, NeighborIter, NodeId};
 pub use labeled::LabeledGraph;
 pub use ports::{Orientation, PortNumbering};

@@ -30,7 +30,7 @@ use crate::hashing::{FxHashMap, FxHashSet};
 use crate::input::Input;
 use crate::view::{ObliviousView, View};
 use ld_graph::canon::CanonicalCode;
-use ld_graph::{BallExtractor, LabeledGraph};
+use ld_graph::{BallExtractor, CanonScratch, LabeledGraph};
 use std::hash::Hash;
 use std::sync::Arc;
 
@@ -186,7 +186,9 @@ pub fn distinct_oblivious_views<L: Clone + Eq + Hash>(
 ) -> Vec<ObliviousView<L>> {
     // Exact-equality prepass: balls are numbered deterministically, so
     // repeated views of a self-similar family are usually equal as values
-    // and never need canonicalising more than once.
+    // and never need canonicalising more than once.  One kernel scratch
+    // serves every canonicalisation of the batch.
+    let mut scratch = CanonScratch::new();
     let mut exact_seen: FxHashSet<ObliviousView<L>> = FxHashSet::default();
     let mut codes: FxHashSet<CanonicalCode> = FxHashSet::default();
     let mut result = Vec::new();
@@ -194,7 +196,7 @@ pub fn distinct_oblivious_views<L: Clone + Eq + Hash>(
         if exact_seen.contains(&view) {
             continue;
         }
-        if codes.insert(view.canonical_code()) {
+        if codes.insert(view.canonical_code_in(&mut scratch)) {
             result.push(view.clone());
         }
         exact_seen.insert(view);
@@ -213,7 +215,9 @@ pub fn distinct_oblivious_views_of<L: Clone + Eq + Hash>(
     labeled: &LabeledGraph<L>,
     radius: usize,
 ) -> Vec<ObliviousView<L>> {
-    distinct_of_impl(labeled, radius, |view| Arc::new(view.canonical_code()))
+    distinct_of_impl(labeled, radius, |view, scratch| {
+        Arc::new(view.canonical_code_in(scratch))
+    })
 }
 
 /// 64-bit hash of a node's label, the `label_word` every exact-key
@@ -232,7 +236,7 @@ fn label_hash<L: Hash>(labeled: &LabeledGraph<L>, v: ld_graph::NodeId) -> u64 {
 fn distinct_of_impl<L: Clone + Eq + Hash>(
     labeled: &LabeledGraph<L>,
     radius: usize,
-    code_of: impl FnMut(&ObliviousView<L>) -> Arc<CanonicalCode>,
+    code_of: impl FnMut(&ObliviousView<L>, &mut CanonScratch) -> Arc<CanonicalCode>,
 ) -> Vec<ObliviousView<L>> {
     distinct_of_budgeted_impl(labeled, radius, EnumerationBudget::UNLIMITED, code_of).0
 }
@@ -245,9 +249,10 @@ fn distinct_of_budgeted_impl<L: Clone + Eq + Hash>(
     labeled: &LabeledGraph<L>,
     radius: usize,
     budget: EnumerationBudget,
-    mut code_of: impl FnMut(&ObliviousView<L>) -> Arc<CanonicalCode>,
+    mut code_of: impl FnMut(&ObliviousView<L>, &mut CanonScratch) -> Arc<CanonicalCode>,
 ) -> (Vec<ObliviousView<L>>, BudgetUsage) {
     let mut extractor = BallExtractor::new();
+    let mut scratch = CanonScratch::new();
     let mut exact_seen: FxHashSet<Vec<u64>> = FxHashSet::default();
     let mut codes: FxHashSet<Arc<CanonicalCode>> = FxHashSet::default();
     let mut result = Vec::new();
@@ -285,7 +290,7 @@ fn distinct_of_budgeted_impl<L: Clone + Eq + Hash>(
             .collect();
         let view = ObliviousView::from_ball(ball, labels);
         usage.views_materialized += 1;
-        if codes.insert(code_of(&view)) {
+        if codes.insert(code_of(&view, &mut scratch)) {
             result.push(view);
         }
     }
@@ -303,8 +308,8 @@ pub fn distinct_oblivious_views_of_budgeted<L: Clone + Eq + Hash>(
     radius: usize,
     budget: EnumerationBudget,
 ) -> (Vec<ObliviousView<L>>, BudgetUsage) {
-    distinct_of_budgeted_impl(labeled, radius, budget, |view| {
-        Arc::new(view.canonical_code())
+    distinct_of_budgeted_impl(labeled, radius, budget, |view, scratch| {
+        Arc::new(view.canonical_code_in(scratch))
     })
 }
 
@@ -316,7 +321,9 @@ pub fn distinct_oblivious_views_of_budgeted_cached<L: Clone + Eq + Hash + Send +
     cache: &ViewCache<L>,
     budget: EnumerationBudget,
 ) -> (Vec<ObliviousView<L>>, BudgetUsage) {
-    distinct_of_budgeted_impl(labeled, radius, budget, |view| cache.canonical_code(view))
+    distinct_of_budgeted_impl(labeled, radius, budget, |view, scratch| {
+        cache.canonical_code_in(view, scratch)
+    })
 }
 
 /// The distinct oblivious views of a labelled graph at **every** radius
@@ -337,6 +344,7 @@ pub fn distinct_views_by_radius_cached<L: Clone + Eq + Hash + Send + Sync>(
 ) -> (Vec<Vec<ObliviousView<L>>>, BudgetUsage) {
     let graph = labeled.graph();
     let mut extractor = BallExtractor::new();
+    let mut scratch = CanonScratch::new();
     let mut exact_seen: Vec<FxHashSet<Vec<u64>>> = vec![FxHashSet::default(); max_radius + 1];
     let mut codes: Vec<FxHashSet<Arc<CanonicalCode>>> = vec![FxHashSet::default(); max_radius + 1];
     let mut results: Vec<Vec<ObliviousView<L>>> = vec![Vec::new(); max_radius + 1];
@@ -386,7 +394,7 @@ pub fn distinct_views_by_radius_cached<L: Clone + Eq + Hash + Send + Sync>(
                 .collect();
             let view = ObliviousView::from_ball(ball, labels);
             usage.views_materialized += 1;
-            if codes[radius].insert(cache.canonical_code(&view)) {
+            if codes[radius].insert(cache.canonical_code_in(&view, &mut scratch)) {
                 results[radius].push(view);
             }
         }
@@ -401,10 +409,11 @@ pub fn distinct_oblivious_views_cached<L: Clone + Eq + Hash + Send + Sync>(
     views: Vec<ObliviousView<L>>,
     cache: &ViewCache<L>,
 ) -> Vec<ObliviousView<L>> {
+    let mut scratch = CanonScratch::new();
     let mut codes: FxHashSet<Arc<CanonicalCode>> = FxHashSet::default();
     let mut result = Vec::new();
     for view in views {
-        if codes.insert(cache.canonical_code(&view)) {
+        if codes.insert(cache.canonical_code_in(&view, &mut scratch)) {
             result.push(view);
         }
     }
@@ -421,7 +430,9 @@ pub fn distinct_oblivious_views_of_cached<L: Clone + Eq + Hash + Send + Sync>(
     radius: usize,
     cache: &ViewCache<L>,
 ) -> Vec<ObliviousView<L>> {
-    distinct_of_impl(labeled, radius, |view| cache.canonical_code(view))
+    distinct_of_impl(labeled, radius, |view, scratch| {
+        cache.canonical_code_in(view, scratch)
+    })
 }
 
 /// The seed deduplication pipeline — Weisfeiler–Leman bucketing followed by
@@ -455,12 +466,13 @@ pub fn view_occurs_in<L: Clone + Eq + Hash>(
     view: &ObliviousView<L>,
     family: &[ObliviousView<L>],
 ) -> bool {
-    let code = view.canonical_code();
+    let mut scratch = CanonScratch::new();
+    let code = view.canonical_code_in(&mut scratch);
     family.iter().any(|candidate| {
         candidate.radius() == view.radius()
             && candidate.node_count() == view.node_count()
             && candidate.graph().edge_count() == view.graph().edge_count()
-            && candidate.canonical_code() == code
+            && candidate.canonical_code_in(&mut scratch) == code
     })
 }
 
@@ -478,9 +490,11 @@ pub fn coverage<L: Clone + Eq + Hash>(
     }
     // Memoize by exact view value within the call: self-similar families
     // repeat the same ball layouts many times over.
+    let mut scratch = CanonScratch::new();
     let mut memo: FxHashMap<&ObliviousView<L>, CanonicalCode> = FxHashMap::default();
     for view in family.iter().chain(targets.iter()) {
-        memo.entry(view).or_insert_with(|| view.canonical_code());
+        memo.entry(view)
+            .or_insert_with(|| view.canonical_code_in(&mut scratch));
     }
     let family_codes: FxHashSet<&CanonicalCode> = family.iter().map(|v| &memo[v]).collect();
     let covered = targets
@@ -502,11 +516,14 @@ pub fn coverage_cached<L: Clone + Eq + Hash + Send + Sync>(
     if targets.is_empty() {
         return 1.0;
     }
-    let family_codes: FxHashSet<Arc<CanonicalCode>> =
-        family.iter().map(|v| cache.canonical_code(v)).collect();
+    let mut scratch = CanonScratch::new();
+    let family_codes: FxHashSet<Arc<CanonicalCode>> = family
+        .iter()
+        .map(|v| cache.canonical_code_in(v, &mut scratch))
+        .collect();
     let covered = targets
         .iter()
-        .filter(|t| family_codes.contains(&cache.canonical_code(t)))
+        .filter(|t| family_codes.contains(&cache.canonical_code_in(t, &mut scratch)))
         .count();
     covered as f64 / targets.len() as f64
 }

@@ -9,7 +9,7 @@
 //! construction, not by luck:
 //!
 //! * Workers never randomise anything — per-cell seeds derive from global
-//!   cell indices ([`stream::execute_shard`]), so a shard computes the
+//!   cell indices ([`ld_runner::stream::execute_shard`]), so a shard computes the
 //!   same fragments wherever it runs, however many times it is retried.
 //! * The coordinator writes fragments strictly in shard order through
 //!   [`ReportStream::write_rendered_cells`], the exact path a local run

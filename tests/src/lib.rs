@@ -1,4 +1,10 @@
 //! Integration-test crate (tests live under `tests/tests`).
+//!
+//! The library part ships [`strategies`]: shared proptest generators for
+//! adversarial local views, reused by the canonical-code differential
+//! suites (`canon_differential.rs`, `fastcanon_differential.rs`).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+
+pub mod strategies;

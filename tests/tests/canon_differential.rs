@@ -9,6 +9,7 @@
 //! disjoint triangles collide under `wl_hash` (every node of both graphs is
 //! "degree 2 among degree 2s" forever) but get distinct canonical codes.
 
+use ld_tests::strategies::{adversarial_ball, small_view_parts};
 use local_decision::graph::canon::{canonical_code, centered_canonical_code};
 use local_decision::graph::iso::{are_isomorphic, wl_hash};
 use local_decision::prelude::*;
@@ -16,15 +17,10 @@ use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-/// A seeded random connected labelled graph with a distinguished centre.
+/// A seeded random connected labelled graph with a distinguished centre
+/// (shared with `fastcanon_differential.rs` via `ld_tests::strategies`).
 fn arbitrary_view_parts() -> impl Strategy<Value = (Graph, Vec<u8>, usize, usize)> {
-    (3usize..=10, 0usize..=8, any::<u64>(), 0usize..3).prop_map(|(n, extra, seed, radius)| {
-        let mut rng = StdRng::seed_from_u64(seed);
-        let graph = generators::random_connected(n, extra, &mut rng);
-        let labels: Vec<u8> = (0..n).map(|_| rng.gen_range(0u8..3)).collect();
-        let center = rng.gen_range(0..n);
-        (graph, labels, center, radius)
-    })
+    small_view_parts()
 }
 
 proptest! {
@@ -109,6 +105,34 @@ proptest! {
         let engine = enumeration::distinct_oblivious_views(views.clone());
         let oracle = enumeration::distinct_oblivious_views_pairwise(views);
         prop_assert_eq!(engine, oracle);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// The oracle itself is relabelling-invariant on the full adversarial
+    /// family mix (boundary-sized graphs, disconnected remainders,
+    /// duplicate-colour orbits, GMR balls) — the ground truth the bitset
+    /// kernel is differenced against in `fastcanon_differential.rs` must
+    /// hold its own invariant on exactly those inputs.
+    #[test]
+    fn oracle_codes_are_invariant_under_relabelling_on_adversarial_balls(
+        case in adversarial_ball(),
+        perm_seed in any::<u64>(),
+    ) {
+        use local_decision::graph::canon::{
+            canonical_code_oracle, centered_canonical_code_oracle,
+        };
+        let copy = case.permuted_copy(perm_seed);
+        prop_assert_eq!(
+            canonical_code_oracle(&case.graph, &case.colors()),
+            canonical_code_oracle(&copy.graph, &copy.colors())
+        );
+        prop_assert_eq!(
+            centered_canonical_code_oracle(&case.graph, case.center_id(), &case.colors()),
+            centered_canonical_code_oracle(&copy.graph, copy.center_id(), &copy.colors())
+        );
     }
 }
 
