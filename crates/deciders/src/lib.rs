@@ -12,10 +12,14 @@
 //! * [`randomized`] — Corollary 1: the randomised Id-oblivious
 //!   `(1, 1−o(1))`-decider that replaces large identifiers with large random
 //!   numbers.
+//! * [`fractional`] — fractional `(p:q)`-colouring verification ported from
+//!   Bousquet–Esperet–Pirot (arXiv 2012.01752): the first decider family
+//!   beyond the paper's own sections, swept via the scenario DSL.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod fractional;
 pub mod randomized;
 pub mod section2;
 pub mod section3;

@@ -273,6 +273,149 @@ pub fn random_connected<R: Rng + ?Sized>(n: usize, extra_edges: usize, rng: &mut
     g
 }
 
+/// Random `d`-regular graph on `n` nodes via the pairing (configuration)
+/// model: half-edges are shuffled into a perfect matching, rejecting and
+/// reshuffling whenever the matching produces a loop or parallel edge.  The
+/// rejection probability is bounded away from 1 for fixed `d`, so a handful
+/// of restarts suffice; a generous deterministic cap keeps the generator
+/// total.
+///
+/// # Errors
+///
+/// `InvalidParameter` when `n * d` is odd (no `d`-regular graph exists),
+/// `d >= n` (simple graphs cap degree at `n - 1`), or the pairing fails to
+/// simplify within the restart cap (not observed for the swept parameters).
+pub fn random_regular<R: Rng + ?Sized>(n: usize, d: usize, rng: &mut R) -> Result<Graph> {
+    if n * d % 2 != 0 {
+        return Err(GraphError::InvalidParameter {
+            reason: format!("no {d}-regular graph on {n} nodes: n*d must be even"),
+        });
+    }
+    if d >= n && !(n == 0 && d == 0) {
+        return Err(GraphError::InvalidParameter {
+            reason: format!("degree {d} needs at least {} nodes (got {n})", d + 1),
+        });
+    }
+    if d == 0 {
+        return Ok(Graph::with_nodes(n));
+    }
+    // Half-edge i belongs to node i / d; a shuffle of the half-edges read
+    // off in consecutive pairs is a uniform perfect matching on them.
+    let mut stubs: Vec<usize> = (0..n * d).map(|i| i / d).collect();
+    const MAX_RESTARTS: usize = 1_000;
+    for _ in 0..MAX_RESTARTS {
+        for i in (1..stubs.len()).rev() {
+            stubs.swap(i, rng.gen_range(0..=i));
+        }
+        let mut g = Graph::with_nodes(n);
+        let mut simple = true;
+        for pair in stubs.chunks_exact(2) {
+            let (u, v) = (pair[0], pair[1]);
+            if u == v
+                || !g
+                    .add_edge_idempotent(NodeId::from(u), NodeId::from(v))
+                    .expect("stub endpoints are in range")
+            {
+                simple = false;
+                break;
+            }
+        }
+        if simple {
+            return Ok(g);
+        }
+    }
+    Err(GraphError::InvalidParameter {
+        reason: format!("pairing model failed to produce a simple {d}-regular graph on {n} nodes"),
+    })
+}
+
+/// Power-law graph via preferential attachment (Barabási–Albert): the seed
+/// is the complete graph on `m + 1` nodes, and each later node attaches to
+/// `m` distinct existing nodes chosen proportionally to their degree — so
+/// every node has degree at least `m` and the degree distribution develops
+/// the heavy tail the DSL's power-law property cells sweep.
+///
+/// # Errors
+///
+/// `InvalidParameter` when `m == 0` (the graph would be edgeless and
+/// disconnected) or `n < m + 1` (smaller than its own seed clique).
+pub fn preferential_attachment<R: Rng + ?Sized>(n: usize, m: usize, rng: &mut R) -> Result<Graph> {
+    if m == 0 {
+        return Err(GraphError::InvalidParameter {
+            reason: "preferential attachment needs m >= 1".to_string(),
+        });
+    }
+    if n < m + 1 {
+        return Err(GraphError::InvalidParameter {
+            reason: format!("preferential attachment needs n >= m + 1 (got n = {n}, m = {m})"),
+        });
+    }
+    let mut g = Graph::with_nodes(n);
+    // One entry per half-edge endpoint: sampling it uniformly is sampling a
+    // node proportionally to its degree.
+    let mut endpoints: Vec<usize> = Vec::with_capacity(2 * (m * (m + 1) / 2 + (n - m - 1) * m));
+    for u in 0..=m {
+        for v in (u + 1)..=m {
+            g.add_edge(NodeId::from(u), NodeId::from(v))
+                .expect("seed clique edges are simple");
+            endpoints.push(u);
+            endpoints.push(v);
+        }
+    }
+    for node in (m + 1)..n {
+        let mut targets: Vec<usize> = Vec::with_capacity(m);
+        while targets.len() < m {
+            let target = endpoints[rng.gen_range(0..endpoints.len())];
+            if !targets.contains(&target) {
+                targets.push(target);
+            }
+        }
+        for target in targets {
+            g.add_edge(NodeId::from(node), NodeId::from(target))
+                .expect("attachment edges are simple");
+            endpoints.push(node);
+            endpoints.push(target);
+        }
+    }
+    Ok(g)
+}
+
+/// Circulant graph `C_n(offsets)`: node `i` is adjacent to `i ± o (mod n)`
+/// for every offset `o`.  With offsets coprime-ish to `n` (e.g. `{1, k}`
+/// with `k ~ sqrt(n)`) these are the classic bounded-degree expander-like
+/// constructions: vertex-transitive, diameter `O(n / max_offset +
+/// max_offset)`, degree at most `2 * offsets.len()`.
+///
+/// # Errors
+///
+/// `InvalidParameter` when `offsets` is empty, or an offset is `0` (a
+/// self-loop) or `>= n` (aliases a smaller offset, so the requested degree
+/// is unrealisable).
+pub fn circulant(n: usize, offsets: &[usize]) -> Result<Graph> {
+    if offsets.is_empty() {
+        return Err(GraphError::InvalidParameter {
+            reason: "circulant graphs need at least one offset".to_string(),
+        });
+    }
+    for &o in offsets {
+        if o == 0 || o >= n {
+            return Err(GraphError::InvalidParameter {
+                reason: format!("circulant offset {o} is outside 1..{n}"),
+            });
+        }
+    }
+    let mut g = Graph::with_nodes(n);
+    for i in 0..n {
+        for &o in offsets {
+            // An offset of exactly n/2 meets itself from both sides; the
+            // idempotent insert keeps the graph simple.
+            g.add_edge_idempotent(NodeId::from(i), NodeId::from((i + o) % n))
+                .expect("circulant endpoints are in range and distinct");
+        }
+    }
+    Ok(g)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -403,5 +546,61 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(1);
         assert_eq!(random_gnp(10, 0.0, &mut rng).edge_count(), 0);
         assert_eq!(random_gnp(10, 1.0, &mut rng).edge_count(), 45);
+    }
+
+    #[test]
+    fn random_regular_is_regular_and_simple() {
+        let mut rng = StdRng::seed_from_u64(11);
+        for (n, d) in [(8, 3), (20, 4), (21, 4), (6, 5), (10, 0)] {
+            let g = random_regular(n, d, &mut rng).unwrap();
+            assert_eq!(g.node_count(), n);
+            assert!(g.is_regular(d), "n = {n}, d = {d}");
+            assert_eq!(g.edge_count(), n * d / 2);
+        }
+    }
+
+    #[test]
+    fn random_regular_rejects_impossible_parameters() {
+        let mut rng = StdRng::seed_from_u64(11);
+        assert!(random_regular(7, 3, &mut rng).is_err(), "odd n*d");
+        assert!(random_regular(4, 4, &mut rng).is_err(), "d >= n");
+        assert!(random_regular(4, 5, &mut rng)
+            .unwrap_err()
+            .to_string()
+            .contains("degree 5"));
+    }
+
+    #[test]
+    fn preferential_attachment_bounds_and_connectivity() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let m = 2;
+        let g = preferential_attachment(60, m, &mut rng).unwrap();
+        assert_eq!(g.node_count(), 60);
+        assert!(g.is_connected());
+        // Seed clique edges plus m per later node.
+        assert_eq!(g.edge_count(), m * (m + 1) / 2 + (60 - m - 1) * m);
+        for v in 0..60 {
+            assert!(g.degree(NodeId::from(v)).unwrap() >= m);
+        }
+        assert!(preferential_attachment(10, 0, &mut rng).is_err());
+        assert!(preferential_attachment(2, 2, &mut rng).is_err());
+    }
+
+    #[test]
+    fn circulant_structure() {
+        let g = circulant(12, &[1, 5]).unwrap();
+        assert!(g.is_regular(4));
+        assert!(g.is_connected());
+        assert!(g.has_edge(NodeId(0), NodeId(5)));
+        // C_n({1}) is the n-cycle.
+        let ring = circulant(9, &[1]).unwrap();
+        assert_eq!(ring.edge_count(), 9);
+        assert!(ring.is_regular(2));
+        // The half-way offset meets itself: degree drops to 3, still simple.
+        let moebius = circulant(8, &[1, 4]).unwrap();
+        assert!(moebius.is_regular(3));
+        assert!(circulant(5, &[]).is_err());
+        assert!(circulant(5, &[0]).is_err());
+        assert!(circulant(5, &[5]).is_err());
     }
 }

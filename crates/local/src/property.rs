@@ -111,6 +111,65 @@ impl Property<u8> for MaximalIndependentSet {
     }
 }
 
+/// The fractional "(p:q)-colouring" property (Bousquet–Esperet–Pirot,
+/// arXiv 2012.01752): every node carries a *set* of exactly `q` colours
+/// drawn from `0..p`, encoded as a `u64` bitmask, and adjacent colour sets
+/// are disjoint.  Odd cycles `C_{2k+1}` are the canonical separating family
+/// — they admit a `(2k+1 : k)`-colouring but no `(p:q)` one with
+/// `p/q < 2 + 1/k` — which makes this the first decider family beyond the
+/// source paper's own sections.
+#[derive(Debug, Clone, Copy)]
+pub struct FractionalColoring {
+    colors: u32,
+    set_size: u32,
+}
+
+impl FractionalColoring {
+    /// Fractional colouring with sets of `set_size` colours from `0..colors`
+    /// (`colors <= 64` so a set fits a `u64` bitmask).
+    pub fn new(colors: u32, set_size: u32) -> Self {
+        assert!(colors <= 64, "colour sets are u64 bitmasks");
+        FractionalColoring { colors, set_size }
+    }
+
+    /// The colour-universe size `p`.
+    pub fn colors(&self) -> u32 {
+        self.colors
+    }
+
+    /// The per-node set size `q`.
+    pub fn set_size(&self) -> u32 {
+        self.set_size
+    }
+
+    /// Is `label` a well-formed colour set: exactly `q` colours, all below
+    /// `p`?
+    pub fn well_formed(&self, label: u64) -> bool {
+        let universe = if self.colors == 64 {
+            u64::MAX
+        } else {
+            (1u64 << self.colors) - 1
+        };
+        label & !universe == 0 && label.count_ones() == self.set_size
+    }
+}
+
+impl Property<u64> for FractionalColoring {
+    fn name(&self) -> &str {
+        "fractional-colouring"
+    }
+
+    fn contains(&self, labeled: &LabeledGraph<u64>) -> bool {
+        if labeled.labels().iter().any(|&s| !self.well_formed(s)) {
+            return false;
+        }
+        labeled
+            .graph()
+            .edges()
+            .all(|(u, v)| labeled.label(u) & labeled.label(v) == 0)
+    }
+}
+
 /// The property "all nodes carry the same label" — a minimal example of a
 /// property that is *not* locally decidable without identifiers on cycles of
 /// unknown size, useful in tests.
@@ -183,6 +242,34 @@ mod tests {
         assert!(!p.contains(&different));
         let empty = LabeledGraph::uniform(ld_graph::Graph::new(), 0u8);
         assert!(p.contains(&empty));
+    }
+
+    #[test]
+    fn fractional_coloring_accepts_and_rejects() {
+        // C_5 with the canonical (5:2)-colouring: vertex i gets {2i, 2i+1}
+        // mod 5.
+        let p = FractionalColoring::new(5, 2);
+        assert_eq!((p.colors(), p.set_size()), (5, 2));
+        let canonical: Vec<u64> = (0..5u64)
+            .map(|i| (1 << (2 * i % 5)) | (1 << ((2 * i + 1) % 5)))
+            .collect();
+        let good = LabeledGraph::new(generators::cycle(5), canonical.clone()).unwrap();
+        assert!(p.contains(&good));
+        // Overlapping neighbours fail.
+        let mut overlapping = canonical.clone();
+        overlapping[0] = overlapping[1];
+        let bad = LabeledGraph::new(generators::cycle(5), overlapping).unwrap();
+        assert!(!p.contains(&bad));
+        // Wrong set size fails.
+        let mut thin = canonical.clone();
+        thin[0] = 1;
+        let bad = LabeledGraph::new(generators::cycle(5), thin).unwrap();
+        assert!(!p.contains(&bad));
+        // Colours outside 0..p fail.
+        let mut wide = canonical;
+        wide[0] = (1 << 5) | 1;
+        let bad = LabeledGraph::new(generators::cycle(5), wide).unwrap();
+        assert!(!p.contains(&bad));
     }
 
     #[test]

@@ -178,10 +178,10 @@ mod tests {
     struct CountingScenario;
 
     impl Scenario for CountingScenario {
-        fn name(&self) -> &'static str {
+        fn name(&self) -> &str {
             "counting"
         }
-        fn description(&self) -> &'static str {
+        fn description(&self) -> &str {
             "test scenario: cells echo their seed"
         }
         fn plan(&self, config: &SweepConfig) -> Result<Plan, String> {

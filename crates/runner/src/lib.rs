@@ -68,6 +68,7 @@
 #![warn(missing_docs)]
 
 pub mod cell;
+pub mod dsl;
 pub mod executor;
 pub mod json;
 pub mod report;
@@ -78,6 +79,7 @@ pub mod stream;
 pub mod summary;
 
 pub use cell::{CellOutcome, CellResult, CellSpec};
+pub use dsl::{DslError, ScenarioDoc};
 pub use report::RunReport;
 pub use scenario::{with_cache_pool, ConfigError, Plan, PlannedCell, Scenario, SweepConfig};
 pub use spool_io::{FaultIo, RealIo, SpoolFile, SpoolIo};

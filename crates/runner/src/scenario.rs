@@ -316,10 +316,14 @@ impl Default for Plan {
 /// sweeps.
 pub trait Scenario: Sync {
     /// The stable name `ldx` addresses the scenario by (kebab-case).
-    fn name(&self) -> &'static str;
+    ///
+    /// Borrowed from the scenario value (not `'static`): built-in scenarios
+    /// return literals, while file-defined scenarios (see [`crate::dsl`])
+    /// return names owned by the parsed document.
+    fn name(&self) -> &str;
 
     /// One-line human description for `ldx list`.
-    fn description(&self) -> &'static str;
+    fn description(&self) -> &str;
 
     /// Expands the scenario into concrete cells under `config`.
     ///

@@ -9,6 +9,12 @@ mod section2_xl;
 mod section3;
 mod table;
 
+pub(crate) use section2::{layered_tree_cells, promise_decider_cells, MAX_ROOTS as TREE_MAX_ROOTS};
+pub(crate) use section2_r3::{
+    grid_profile_cells, path_cells, path_coverage_cells, promise_cells as promise_views_only_cells,
+    tree_family_cells, MAX_ROOTS as R3_TREE_MAX_ROOTS, PATH_STEP,
+};
+
 pub use pyramid::PyramidSweep;
 pub use randomized::RandomizedSweep;
 pub use randomized_xl::RandomizedSweepXl;

@@ -56,11 +56,11 @@ fn views_cell(plan: &mut Plan, cache: &Arc<ViewCache<PyramidLabel>>, h: u32, rad
 }
 
 impl Scenario for PyramidSweep {
-    fn name(&self) -> &'static str {
+    fn name(&self) -> &str {
         "pyramid-sweep"
     }
 
-    fn description(&self) -> &'static str {
+    fn description(&self) -> &str {
         "Quadtree pyramids: structural verification and cached view enumeration per height/radius"
     }
 

@@ -83,11 +83,11 @@ fn rate_cell(plan: &mut Plan, k: u8, instance: &'static str) {
 }
 
 impl Scenario for RandomizedSweep {
-    fn name(&self) -> &'static str {
+    fn name(&self) -> &str {
         "randomized-sweep"
     }
 
-    fn description(&self) -> &'static str {
+    fn description(&self) -> &str {
         "Corollary 1: seeded Monte-Carlo acceptance rates of the randomised Id-oblivious decider"
     }
 

@@ -124,11 +124,11 @@ fn xl_cell(
 }
 
 impl Scenario for RandomizedSweepXl {
-    fn name(&self) -> &'static str {
+    fn name(&self) -> &str {
         "randomized-sweep-xl"
     }
 
-    fn description(&self) -> &'static str {
+    fn description(&self) -> &str {
         "Corollary 1 at scale: Monte-Carlo acceptance plus budgeted view enumeration per GMR instance"
     }
 

@@ -27,7 +27,8 @@ const REGIMES: [&str; 3] = ["consecutive", "shifted", "shuffled"];
 
 /// How many small-instance roots to sweep (the family has hundreds; they are
 /// pairwise isomorphic, so a bounded sample exercises every view class).
-const MAX_ROOTS: usize = 32;
+/// Also the DSL `section2-trees` stanza's `max-roots` default.
+pub(crate) const MAX_ROOTS: usize = 32;
 
 /// Shift applied by the `shifted` regime; far above `R(r)` for the swept
 /// parameters, so it deliberately violates assumption (B)'s spirit and flips
@@ -121,6 +122,7 @@ fn coverage_cell(
     cache: &Arc<ViewCache<Section2Label>>,
     budget: EnumerationBudget,
     radius: usize,
+    max_roots: usize,
 ) {
     let r = params.r();
     let spec = CellSpec::new(
@@ -143,7 +145,7 @@ fn coverage_cell(
             distinct_oblivious_views_of_budgeted_cached(&large, radius, &cache, budget);
         let mut small_views = Vec::new();
         for small in params
-            .sample_small_instances(MAX_ROOTS)
+            .sample_small_instances(max_roots)
             .expect("swept parameters construct valid instances")
         {
             if usage.exhausted {
@@ -220,12 +222,124 @@ fn promise_cells(
     super::promise_views_cell(plan, cache, budget, radius, r, bound);
 }
 
+/// Plans the layered-tree portion of `section2-sweep`: every sampled small
+/// instance × identifier regime × algorithm, then — when `max_n` affords the
+/// large instance — the large-instance cells and the Figure-1 coverage
+/// measurement at every radius up to `coverage_radius`.  Shared with the
+/// scenario DSL's `section2-trees` stanza (see [`crate::dsl`]); returns the
+/// small-instance node count for empty-plan diagnostics.
+pub(crate) fn layered_tree_cells(
+    plan: &mut Plan,
+    cache: &Arc<ViewCache<Section2Label>>,
+    config: &SweepConfig,
+    max_roots: usize,
+    coverage_radius: usize,
+) -> Result<usize, String> {
+    let budget = config.enumeration_budget();
+    let params = Section2Params::new(1, IdBound::identity_plus(2))
+        .map_err(|e| format!("section 2 parameters: {e}"))?;
+
+    if params.small_instance_size() <= config.max_n {
+        let roots: Vec<Coord> = params
+            .small_instance_roots()
+            .into_iter()
+            .take(max_roots)
+            .collect();
+        for &root in &roots {
+            for regime in REGIMES {
+                // The structure verifier ignores identifiers: small
+                // instances are locally consistent under every regime.
+                tree_cell(
+                    plan,
+                    &params,
+                    cache,
+                    budget,
+                    "small",
+                    Some(root),
+                    regime,
+                    "verifier",
+                    "accept",
+                );
+                // The Id-based decider also rejects when any id reaches
+                // R(r); the shifted regime plants such ids everywhere.
+                let expect = if regime == "shifted" {
+                    "reject"
+                } else {
+                    "accept"
+                };
+                tree_cell(
+                    plan,
+                    &params,
+                    cache,
+                    budget,
+                    "small",
+                    Some(root),
+                    regime,
+                    "id-decider",
+                    expect,
+                );
+            }
+        }
+    }
+
+    if params.large_instance_size() <= config.max_n {
+        for regime in REGIMES {
+            // T_r is locally consistent (it is in P'), so the oblivious
+            // verifier accepts it — the heart of "P not in LD*".
+            tree_cell(
+                plan, &params, cache, budget, "large", None, regime, "verifier", "accept",
+            );
+            // With n = |T_r| nodes, every regime hands some node an id
+            // >= R(r), so the Id-based decider rejects.
+            tree_cell(
+                plan,
+                &params,
+                cache,
+                budget,
+                "large",
+                None,
+                regime,
+                "id-decider",
+                "reject",
+            );
+        }
+        // Figure-1 coverage at every radius up to the sweep radius
+        // (default 1; `--radius` raises it — radius 3 is where the
+        // budgeted radius-3 machinery earns its keep).
+        for radius in 0..=coverage_radius {
+            coverage_cell(plan, &params, cache, budget, radius, max_roots);
+        }
+    }
+
+    Ok(params.small_instance_size())
+}
+
+/// Plans the promise-cycle portion of `section2-sweep`: the yes/no decision
+/// cells plus the indistinguishability views cell, for every `r` whose
+/// no-instance (`3r`-cycle) fits `max_n`.  Shared with the scenario DSL's
+/// `section2-promise` stanza.
+pub(crate) fn promise_decider_cells(
+    plan: &mut Plan,
+    cache: &Arc<ViewCache<CycleParamLabel>>,
+    config: &SweepConfig,
+    views_radius: usize,
+) {
+    let budget = config.enumeration_budget();
+    // Promise cycles: the no-instance is the f(r) = 3r cycle, so the
+    // pair fits the budget exactly when 3r <= max_n.
+    let bound = IdBound::linear(3, 0);
+    let max_r = (config.max_n as u64) / 3;
+    for r in 3..=max_r {
+        promise_cells(plan, cache, budget, views_radius, r, &bound);
+    }
+}
+
 impl Scenario for Section2Sweep {
-    fn name(&self) -> &'static str {
+    fn name(&self) -> &str {
         "section2-sweep"
     }
 
-    fn description(&self) -> &'static str {
+    fn description(&self) -> &str {
         "Layered-tree family and promise cycles: id regimes x algorithms x sizes, with cached views"
     }
 
@@ -233,105 +347,21 @@ impl Scenario for Section2Sweep {
         let mut plan = Plan::new();
         let tree_cache = plan.share_cache::<Section2Label>();
         let promise_cache = plan.share_cache::<CycleParamLabel>();
-        let budget = config.enumeration_budget();
 
-        let params = Section2Params::new(1, IdBound::identity_plus(2))
-            .map_err(|e| format!("section 2 parameters: {e}"))?;
-
-        if params.small_instance_size() <= config.max_n {
-            let roots: Vec<Coord> = params
-                .small_instance_roots()
-                .into_iter()
-                .take(MAX_ROOTS)
-                .collect();
-            for &root in &roots {
-                for regime in REGIMES {
-                    // The structure verifier ignores identifiers: small
-                    // instances are locally consistent under every regime.
-                    tree_cell(
-                        &mut plan,
-                        &params,
-                        &tree_cache,
-                        budget,
-                        "small",
-                        Some(root),
-                        regime,
-                        "verifier",
-                        "accept",
-                    );
-                    // The Id-based decider also rejects when any id reaches
-                    // R(r); the shifted regime plants such ids everywhere.
-                    let expect = if regime == "shifted" {
-                        "reject"
-                    } else {
-                        "accept"
-                    };
-                    tree_cell(
-                        &mut plan,
-                        &params,
-                        &tree_cache,
-                        budget,
-                        "small",
-                        Some(root),
-                        regime,
-                        "id-decider",
-                        expect,
-                    );
-                }
-            }
-        }
-
-        if params.large_instance_size() <= config.max_n {
-            for regime in REGIMES {
-                // T_r is locally consistent (it is in P'), so the oblivious
-                // verifier accepts it — the heart of "P not in LD*".
-                tree_cell(
-                    &mut plan,
-                    &params,
-                    &tree_cache,
-                    budget,
-                    "large",
-                    None,
-                    regime,
-                    "verifier",
-                    "accept",
-                );
-                // With n = |T_r| nodes, every regime hands some node an id
-                // >= R(r), so the Id-based decider rejects.
-                tree_cell(
-                    &mut plan,
-                    &params,
-                    &tree_cache,
-                    budget,
-                    "large",
-                    None,
-                    regime,
-                    "id-decider",
-                    "reject",
-                );
-            }
-            // Figure-1 coverage at every radius up to the sweep radius
-            // (default 1; `--radius` raises it — radius 3 is where the
-            // budgeted radius-3 machinery earns its keep).
-            for radius in 0..=config.radius_or(1) {
-                coverage_cell(&mut plan, &params, &tree_cache, budget, radius);
-            }
-        }
-
-        // Promise cycles: the no-instance is the f(r) = 3r cycle, so the
-        // pair fits the budget exactly when 3r <= max_n.
-        let bound = IdBound::linear(3, 0);
-        let view_radius = config.radius_or(2);
-        let max_r = (config.max_n as u64) / 3;
-        for r in 3..=max_r {
-            promise_cells(&mut plan, &promise_cache, budget, view_radius, r, &bound);
-        }
+        let small_size = layered_tree_cells(
+            &mut plan,
+            &tree_cache,
+            config,
+            MAX_ROOTS,
+            config.radius_or(1),
+        )?;
+        promise_decider_cells(&mut plan, &promise_cache, config, config.radius_or(2));
 
         if plan.cells.is_empty() {
             return Err(format!(
                 "max_n = {} leaves no section 2 cell; the smallest instances need {} nodes",
                 config.max_n,
-                params.small_instance_size().min(9)
+                small_size.min(9)
             ));
         }
         Ok(plan)

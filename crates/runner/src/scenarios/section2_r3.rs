@@ -39,12 +39,13 @@ use std::sync::Arc;
 
 use super::coverage_pair;
 
-/// How many small-instance roots the tree-family coverage cells sample.
-const MAX_ROOTS: usize = 8;
+/// How many small-instance roots the tree-family coverage cells sample
+/// (also the DSL `layered-tree-views` stanza's `max-roots` default).
+pub(crate) const MAX_ROOTS: usize = 8;
 
 /// Step between swept path sizes (keeps the family to ~16 cells at the
-/// default `max_n`).
-const PATH_STEP: usize = 8;
+/// default `max_n`; also the DSL `paths` stanza's `step` default).
+pub(crate) const PATH_STEP: usize = 8;
 
 /// The radius-3 Section 2 sweep scenario.
 pub struct Section2SweepR3;
@@ -64,7 +65,7 @@ fn expected_path_views(n: usize, radius: usize) -> Option<usize> {
 /// Plans the closed-form path family: one distinct-view-count cell per
 /// swept size, `step` apart.  Shared with `section2-sweep-xl`, which sweeps
 /// the same family at larger sizes and strides.
-pub(super) fn path_cells(
+pub(crate) fn path_cells(
     plan: &mut Plan,
     cache: &Arc<ViewCache<u8>>,
     config: &SweepConfig,
@@ -105,7 +106,7 @@ pub(super) fn path_cells(
 
 /// Plans the cross-size path coverage cells (the paradigmatic
 /// indistinguishability).  Shared with `section2-sweep-xl`.
-pub(super) fn path_coverage_cells(
+pub(crate) fn path_coverage_cells(
     plan: &mut Plan,
     cache: &Arc<ViewCache<u8>>,
     config: &SweepConfig,
@@ -160,7 +161,7 @@ pub(super) fn path_coverage_cells(
 
 /// Plans the grid incremental-profile differential cells.  Shared with
 /// `section2-sweep-xl`.
-pub(super) fn grid_profile_cells(
+pub(crate) fn grid_profile_cells(
     plan: &mut Plan,
     cache: &Arc<ViewCache<u8>>,
     config: &SweepConfig,
@@ -221,12 +222,13 @@ pub(super) fn grid_profile_cells(
 
 /// Plans the distinctly-labelled layered-tree cells.  Shared with
 /// `section2-sweep-xl`.
-pub(super) fn tree_family_cells(
+pub(crate) fn tree_family_cells(
     plan: &mut Plan,
     cache: &Arc<ViewCache<Section2Label>>,
     config: &SweepConfig,
     radius: usize,
     budget: EnumerationBudget,
+    max_roots: usize,
 ) -> Result<(), String> {
     let params = Section2Params::new(1, IdBound::identity_plus(2))
         .map_err(|e| format!("section 2 parameters: {e}"))?;
@@ -234,7 +236,7 @@ pub(super) fn tree_family_cells(
         return Ok(());
     }
     let roots = params.small_instance_roots();
-    for (index, &root) in roots.iter().take(MAX_ROOTS).enumerate() {
+    for (index, &root) in roots.iter().take(max_roots).enumerate() {
         let r = params.r();
         let spec = CellSpec::new(
             format!("tree/r={r}/distinct-views/instance={index}/radius={radius}"),
@@ -274,7 +276,7 @@ pub(super) fn tree_family_cells(
 
 /// Plans the promise-cycle yes/no view cells.  Shared with
 /// `section2-sweep-xl`.
-pub(super) fn promise_cells(
+pub(crate) fn promise_cells(
     plan: &mut Plan,
     cache: &Arc<ViewCache<CycleParamLabel>>,
     config: &SweepConfig,
@@ -289,11 +291,11 @@ pub(super) fn promise_cells(
 }
 
 impl Scenario for Section2SweepR3 {
-    fn name(&self) -> &'static str {
+    fn name(&self) -> &str {
         "section2-sweep-r3"
     }
 
-    fn description(&self) -> &'static str {
+    fn description(&self) -> &str {
         "Radius-3 coverage cells: paths, grids, layered trees and promise cycles, under work budgets"
     }
 
@@ -315,7 +317,7 @@ impl Scenario for Section2SweepR3 {
         );
         path_coverage_cells(&mut plan, &structural_cache, config, radius, budget);
         grid_profile_cells(&mut plan, &structural_cache, config, radius, budget);
-        tree_family_cells(&mut plan, &tree_cache, config, radius, budget)?;
+        tree_family_cells(&mut plan, &tree_cache, config, radius, budget, MAX_ROOTS)?;
         promise_cells(&mut plan, &promise_cache, config, radius, budget);
 
         if plan.cells.is_empty() {

@@ -15,6 +15,7 @@
 
 use super::section2_r3::{
     grid_profile_cells, path_cells, path_coverage_cells, promise_cells, tree_family_cells,
+    MAX_ROOTS,
 };
 use crate::scenario::{Plan, Scenario, SweepConfig};
 use ld_constructions::section2::promise::CycleParamLabel;
@@ -30,11 +31,11 @@ const XL_PATH_STRIDE_DIVISOR: usize = 16;
 pub struct Section2SweepXl;
 
 impl Scenario for Section2SweepXl {
-    fn name(&self) -> &'static str {
+    fn name(&self) -> &str {
         "section2-sweep-xl"
     }
 
-    fn description(&self) -> &'static str {
+    fn description(&self) -> &str {
         "Large-N radius-3 Section 2 families (paths, grids, trees, promise cycles), budget-capped by default"
     }
 
@@ -50,7 +51,7 @@ impl Scenario for Section2SweepXl {
         path_cells(&mut plan, &structural_cache, config, radius, budget, step);
         path_coverage_cells(&mut plan, &structural_cache, config, radius, budget);
         grid_profile_cells(&mut plan, &structural_cache, config, radius, budget);
-        tree_family_cells(&mut plan, &tree_cache, config, radius, budget)?;
+        tree_family_cells(&mut plan, &tree_cache, config, radius, budget, MAX_ROOTS)?;
         promise_cells(&mut plan, &promise_cache, config, radius, budget);
 
         if plan.cells.is_empty() {

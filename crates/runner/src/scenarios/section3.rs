@@ -97,11 +97,11 @@ fn candidate_cell(
 }
 
 impl Scenario for Section3Sweep {
-    fn name(&self) -> &'static str {
+    fn name(&self) -> &str {
         "section3-sweep"
     }
 
-    fn description(&self) -> &'static str {
+    fn description(&self) -> &str {
         "Execution-table family G(M,r) over the machine zoo: id decider vs fuel-bounded candidates"
     }
 

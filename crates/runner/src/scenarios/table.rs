@@ -126,11 +126,11 @@ fn table_cell(
 }
 
 impl Scenario for RelationshipTable {
-    fn name(&self) -> &'static str {
+    fn name(&self) -> &str {
         "relationship-table"
     }
 
-    fn description(&self) -> &'static str {
+    fn description(&self) -> &str {
         "The Section 1.1 (B/~B) x (C/~C) summary table, one witnessing experiment per quadrant"
     }
 

@@ -727,6 +727,25 @@ pub fn resume(
     resume_with_io(&RealIo, path, threads, max_shards)
 }
 
+/// [`resume`] with the interrupted scenario supplied by the caller instead
+/// of looked up in the built-in registry — the resume path for sweeps whose
+/// scenario came from a DSL document (see [`crate::dsl`]), which the
+/// registry cannot reconstruct.  The scenario's name must match the one the
+/// checkpoint recorded.
+///
+/// # Errors
+///
+/// As [`resume`], plus a message when `scenario`'s name disagrees with the
+/// checkpoint.
+pub fn resume_with_scenario(
+    path: &Path,
+    threads: Option<usize>,
+    max_shards: Option<usize>,
+    scenario: &dyn Scenario,
+) -> Result<StreamSummary, String> {
+    resume_impl(&RealIo, path, threads, max_shards, Some(scenario))
+}
+
 /// [`resume`] with the report/checkpoint I/O routed through `io`; see
 /// [`run_with_io`].
 ///
@@ -738,6 +757,19 @@ pub fn resume_with_io(
     path: &Path,
     threads: Option<usize>,
     max_shards: Option<usize>,
+) -> Result<StreamSummary, String> {
+    resume_impl(io, path, threads, max_shards, None)
+}
+
+/// The shared resume core: `scenario` overrides the registry lookup when
+/// the caller already holds the interrupted scenario (a parsed DSL
+/// document); `None` resolves the checkpointed name among the built-ins.
+fn resume_impl(
+    io: &dyn SpoolIo,
+    path: &Path,
+    threads: Option<usize>,
+    max_shards: Option<usize>,
+    scenario: Option<&dyn Scenario>,
 ) -> Result<StreamSummary, String> {
     let ckpt_path = Checkpoint::path_for(path);
     let text = io.read_to_string(&ckpt_path).map_err(|e| {
@@ -752,8 +784,27 @@ pub fn resume_with_io(
         config.threads = threads;
     }
     config.validate().map_err(|e| e.to_string())?;
-    let scenario = crate::scenarios::find(&checkpoint.scenario)
-        .ok_or_else(|| format!("unknown scenario '{}' in checkpoint", checkpoint.scenario))?;
+    let registry_scenario =
+        match scenario {
+            Some(supplied) => {
+                if supplied.name() != checkpoint.scenario {
+                    return Err(format!(
+                        "scenario '{}' does not match '{}' in the checkpoint",
+                        supplied.name(),
+                        checkpoint.scenario
+                    ));
+                }
+                None
+            }
+            None => Some(crate::scenarios::find(&checkpoint.scenario).ok_or_else(|| {
+                format!("unknown scenario '{}' in checkpoint", checkpoint.scenario)
+            })?),
+        };
+    let scenario: &dyn Scenario = match (&registry_scenario, scenario) {
+        (Some(found), _) => found.as_ref(),
+        (None, Some(supplied)) => supplied,
+        (None, None) => unreachable!("one branch above always yields a scenario"),
+    };
     let plan = scenario.plan(&config)?;
     if plan.cells.len() != checkpoint.cell_count {
         return Err(format!(
@@ -1169,12 +1220,12 @@ mod tests {
     struct SynthScenario;
 
     impl Scenario for SynthScenario {
-        fn name(&self) -> &'static str {
+        fn name(&self) -> &str {
             // Registered name so `resume` can find a real scenario; the
             // synthetic tests below never round-trip through the registry.
             "synth"
         }
-        fn description(&self) -> &'static str {
+        fn description(&self) -> &str {
             "test scenario: deterministic synthetic cells"
         }
         fn plan(&self, config: &SweepConfig) -> Result<Plan, String> {

@@ -2,15 +2,18 @@
 //!
 //! ```text
 //! ldx list [--json]
-//! ldx run <scenario> [--max-n N] [--threads T] [--seed S] [--radius R]
+//! ldx run <scenario> | --file <scenario.json>
+//!                    [--max-n N] [--threads T] [--seed S] [--radius R]
 //!                    [--node-budget N] [--view-budget N] [--shard-size N]
 //!                    [--out FILE.json] [--csv FILE.csv] [--no-bench-json]
 //!                    [--deterministic] [--max-shards N]
-//! ldx resume <report.json> [--threads T] [--no-bench-json] [--max-shards N]
+//! ldx resume <report.json> [--file <scenario.json>] [--threads T]
+//!                          [--no-bench-json] [--max-shards N]
 //! ldx diff <a.json> <b.json>
 //! ldx analyze [--deny-all] [--json] [--root DIR]
 //! ldx serve [--addr HOST:PORT] [--spool DIR] [--workers N]
-//! ldx submit <scenario> [--addr HOST:PORT] [--priority P] [--wait] [--out FILE]
+//! ldx submit <scenario> | --file <scenario.json>
+//!                       [--addr HOST:PORT] [--priority P] [--wait] [--out FILE]
 //!                       [config flags as for run]
 //! ldx dispatch <scenario> [--workers N | --worker HOST:PORT ...] [--out FILE]
 //!                         [--lease-ms MS] [--batch N] [--max-attempts N]
@@ -54,7 +57,9 @@
 
 use ld_runner::json::Json;
 use ld_runner::stream::{self, Checkpoint, StreamOptions, StreamSummary};
-use ld_runner::{scenarios, ConfigError, ReportSummary, SweepConfig};
+use ld_runner::{
+    scenarios, ConfigError, DslError, ReportSummary, Scenario, ScenarioDoc, SweepConfig,
+};
 use ld_serve::client;
 use ld_serve::{DispatchOptions, JobSpec, ServeOptions, Server};
 use std::io::BufRead;
@@ -79,6 +84,8 @@ enum CliError {
     Message(String),
     /// A typed configuration error (exit 65–67, see [`ConfigError`]).
     Config(ConfigError),
+    /// A typed scenario-document error (exit 64/66/68, see [`DslError`]).
+    Dsl(DslError),
     /// A server-provided exit code (e.g. from a `400` body).
     Exit {
         /// The exit code to use.
@@ -100,6 +107,7 @@ impl CliError {
             CliError::Usage(_) => 64,
             CliError::Message(_) => 1,
             CliError::Config(e) => e.exit_code(),
+            CliError::Dsl(e) => e.exit_code(),
             CliError::Exit { code, .. } => *code,
         }
     }
@@ -110,13 +118,14 @@ impl CliError {
                 m.clone()
             }
             CliError::Config(e) => format!("{e} [{}]", e.token()),
+            CliError::Dsl(e) => format!("{e} [{}]", e.token()),
         }
     }
 }
 
 fn usage() -> String {
     let mut out = String::from(
-        "usage:\n  ldx list [--json]\n  ldx run <scenario> [--max-n N] [--threads T] [--seed S] [--radius R]\n                     [--node-budget N] [--view-budget N] [--shard-size N]\n                     [--out FILE.json] [--csv FILE.csv] [--no-bench-json]\n                     [--deterministic] [--max-shards N]\n  ldx resume <report.json> [--threads T] [--no-bench-json] [--max-shards N]\n  ldx diff <a.json> <b.json>\n  ldx analyze [--deny-all] [--json] [--root DIR]\n  ldx serve [--addr HOST:PORT] [--spool DIR] [--workers N]\n  ldx submit <scenario> [--addr HOST:PORT] [--priority P] [--wait] [--out FILE]\n             [config flags as for run]\n  ldx dispatch <scenario> [--workers N | --worker HOST:PORT ...] [--out FILE]\n               [--lease-ms MS] [--batch N] [--max-attempts N]\n               [--no-bench-json] [config flags as for run]\n  ldx shutdown [--addr HOST:PORT]\n\nscenarios:\n",
+        "usage:\n  ldx list [--json]\n  ldx run <scenario> | --file <scenario.json>\n                     [--max-n N] [--threads T] [--seed S] [--radius R]\n                     [--node-budget N] [--view-budget N] [--shard-size N]\n                     [--out FILE.json] [--csv FILE.csv] [--no-bench-json]\n                     [--deterministic] [--max-shards N]\n  ldx resume <report.json> [--file <scenario.json>] [--threads T]\n             [--no-bench-json] [--max-shards N]\n  ldx diff <a.json> <b.json>\n  ldx analyze [--deny-all] [--json] [--root DIR]\n  ldx serve [--addr HOST:PORT] [--spool DIR] [--workers N]\n  ldx submit <scenario> | --file <scenario.json>\n             [--addr HOST:PORT] [--priority P] [--wait] [--out FILE]\n             [config flags as for run]\n  ldx dispatch <scenario> [--workers N | --worker HOST:PORT ...] [--out FILE]\n               [--lease-ms MS] [--batch N] [--max-attempts N]\n               [--no-bench-json] [config flags as for run]\n  ldx shutdown [--addr HOST:PORT]\n\nscenario documents (--file) follow docs/DSL.md, schema ld-runner/scenario/v1\n\nscenarios:\n",
     );
     for scenario in scenarios::all() {
         out.push_str(&format!(
@@ -129,7 +138,8 @@ fn usage() -> String {
 }
 
 struct RunArgs {
-    scenario: String,
+    scenario: Option<String>,
+    file: Option<PathBuf>,
     config: SweepConfig,
     out: Option<PathBuf>,
     csv: Option<PathBuf>,
@@ -203,12 +213,9 @@ fn parse_config_flag(
 
 fn parse_run_args(args: &[String]) -> Result<RunArgs, CliError> {
     let mut iter = args.iter();
-    let scenario = iter
-        .next()
-        .ok_or_else(|| CliError::Usage("run: missing scenario name".to_string()))?
-        .clone();
     let mut run = RunArgs {
-        scenario,
+        scenario: None,
+        file: None,
         config: SweepConfig::default(),
         out: None,
         csv: None,
@@ -217,6 +224,15 @@ fn parse_run_args(args: &[String]) -> Result<RunArgs, CliError> {
         max_shards: None,
     };
     while let Some(flag) = iter.next() {
+        if !flag.starts_with("--") {
+            if run.scenario.is_some() {
+                return Err(CliError::Usage(format!(
+                    "run: unexpected extra argument '{flag}'"
+                )));
+            }
+            run.scenario = Some(flag.clone());
+            continue;
+        }
         if parse_config_flag(&mut run.config, flag, &mut iter).map_err(CliError::Usage)? {
             continue;
         }
@@ -227,6 +243,7 @@ fn parse_run_args(args: &[String]) -> Result<RunArgs, CliError> {
                 .map(str::to_string)
         };
         match flag.as_str() {
+            "--file" => run.file = Some(PathBuf::from(value("--file")?)),
             "--max-shards" => {
                 run.max_shards = Some(
                     value("--max-shards")?
@@ -241,8 +258,40 @@ fn parse_run_args(args: &[String]) -> Result<RunArgs, CliError> {
             other => return Err(CliError::Usage(format!("unknown flag {other}"))),
         }
     }
+    match (&run.scenario, &run.file) {
+        (None, None) => {
+            return Err(CliError::Usage(
+                "run: name a scenario or pass --file <scenario.json>".to_string(),
+            ))
+        }
+        (Some(_), Some(_)) => {
+            return Err(CliError::Usage(
+                "run: a scenario name and --file are mutually exclusive".to_string(),
+            ))
+        }
+        _ => {}
+    }
     run.config.validate().map_err(CliError::Config)?;
     Ok(run)
+}
+
+/// Resolves a run target to a boxed scenario: a registry name, or a DSL
+/// document loaded from `--file` (typed [`DslError`] exit codes on any
+/// defect, including an unreadable path).
+fn resolve_scenario(
+    scenario: Option<&String>,
+    file: Option<&PathBuf>,
+) -> Result<Box<dyn Scenario>, CliError> {
+    match (scenario, file) {
+        (Some(name), None) => scenarios::find(name)
+            .ok_or_else(|| CliError::Usage(format!("unknown scenario '{name}'\n\n{}", usage()))),
+        (None, Some(path)) => Ok(Box::new(
+            ScenarioDoc::load_file(path).map_err(CliError::Dsl)?,
+        )),
+        _ => Err(CliError::Usage(
+            "name a scenario or pass --file <scenario.json>".to_string(),
+        )),
+    }
 }
 
 /// The workspace root this binary was built from; `BENCH_runner.json` lands
@@ -310,13 +359,7 @@ fn finish(summary: &StreamSummary, bench_json: bool) -> bool {
 
 fn cmd_run(args: &[String]) -> Result<bool, CliError> {
     let run = parse_run_args(args)?;
-    let scenario = scenarios::find(&run.scenario).ok_or_else(|| {
-        CliError::Usage(format!(
-            "unknown scenario '{}'\n\n{}",
-            run.scenario,
-            usage()
-        ))
-    })?;
+    let scenario = resolve_scenario(run.scenario.as_ref(), run.file.as_ref())?;
     let out = run
         .out
         .unwrap_or_else(|| PathBuf::from(format!("ldx-{}.json", scenario.name())));
@@ -343,6 +386,7 @@ fn cmd_resume(args: &[String]) -> Result<bool, CliError> {
     let mut threads = None;
     let mut bench_json = true;
     let mut max_shards = None;
+    let mut file: Option<PathBuf> = None;
     while let Some(flag) = iter.next() {
         let mut value = |name: &str| {
             iter.next()
@@ -351,6 +395,7 @@ fn cmd_resume(args: &[String]) -> Result<bool, CliError> {
                 .map(str::to_string)
         };
         match flag.as_str() {
+            "--file" => file = Some(PathBuf::from(value("--file")?)),
             "--threads" => {
                 let t: usize = value("--threads")?
                     .parse()
@@ -383,7 +428,15 @@ fn cmd_resume(args: &[String]) -> Result<bool, CliError> {
             config.validate().map_err(CliError::Config)?;
         }
     }
-    let summary = stream::resume(&report, threads, max_shards)?;
+    // A DSL-defined sweep cannot be re-planned from the registry; `--file`
+    // re-loads its document and resumes against that.
+    let summary = match &file {
+        Some(path) => {
+            let doc = ScenarioDoc::load_file(path).map_err(CliError::Dsl)?;
+            stream::resume_with_scenario(&report, threads, max_shards, &doc)?
+        }
+        None => stream::resume(&report, threads, max_shards)?,
+    };
     print_summary(&summary);
     println!("  report: {}", report.display());
     Ok(finish(&summary, bench_json))
@@ -615,15 +668,22 @@ fn cmd_serve(args: &[String]) -> Result<bool, CliError> {
 /// state and download the report.
 fn cmd_submit(args: &[String]) -> Result<bool, CliError> {
     let mut iter = args.iter();
-    let scenario = iter
-        .next()
-        .ok_or_else(|| CliError::Usage("submit: missing scenario name".to_string()))?
-        .clone();
-    let mut spec = JobSpec::new(&scenario);
+    let mut scenario: Option<String> = None;
+    let mut file: Option<PathBuf> = None;
+    let mut spec = JobSpec::new("");
     let mut addr = DEFAULT_ADDR.to_string();
     let mut wait = false;
     let mut out: Option<PathBuf> = None;
     while let Some(flag) = iter.next() {
+        if !flag.starts_with("--") {
+            if scenario.is_some() {
+                return Err(CliError::Usage(format!(
+                    "submit: unexpected extra argument '{flag}'"
+                )));
+            }
+            scenario = Some(flag.clone());
+            continue;
+        }
         if parse_config_flag(&mut spec.config, flag, &mut iter).map_err(CliError::Usage)? {
             continue;
         }
@@ -634,6 +694,7 @@ fn cmd_submit(args: &[String]) -> Result<bool, CliError> {
                 .map(str::to_string)
         };
         match flag.as_str() {
+            "--file" => file = Some(PathBuf::from(value("--file")?)),
             "--addr" => addr = value("--addr")?,
             "--priority" => {
                 spec.priority = value("--priority")?
@@ -645,6 +706,27 @@ fn cmd_submit(args: &[String]) -> Result<bool, CliError> {
             other => return Err(CliError::Usage(format!("submit: unknown flag {other}"))),
         }
     }
+    // Resolve the submission target exactly like `run`: a registry name,
+    // or a DSL document shipped inline (the daemon re-validates it).
+    let scenario = match (scenario, &file) {
+        (Some(name), None) => name,
+        (None, Some(path)) => {
+            let doc = ScenarioDoc::load_file(path).map_err(CliError::Dsl)?;
+            spec.scenario_doc = Some(doc.to_json());
+            doc.name().to_string()
+        }
+        (None, None) => {
+            return Err(CliError::Usage(
+                "submit: name a scenario or pass --file <scenario.json>".to_string(),
+            ))
+        }
+        (Some(_), Some(_)) => {
+            return Err(CliError::Usage(
+                "submit: a scenario name and --file are mutually exclusive".to_string(),
+            ))
+        }
+    };
+    spec.scenario = scenario.clone();
     let body = spec.to_json().render_compact();
     let response = client::request(&addr, "POST", "/jobs", Some(&body))?;
     let json = parse_response(&response)?;

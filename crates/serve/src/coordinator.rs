@@ -497,6 +497,7 @@ fn shards_body(scenario: &str, config: &SweepConfig, assignment: &Assignment) ->
         scenario: scenario.to_string(),
         priority: 0,
         config: config.clone(),
+        scenario_doc: None,
     };
     spec.to_json()
         .set("schema", SHARDS_SCHEMA)

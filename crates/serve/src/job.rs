@@ -7,7 +7,7 @@
 //! re-plans exactly what was submitted.
 
 use ld_runner::json::Json;
-use ld_runner::{ConfigError, SweepConfig};
+use ld_runner::{ConfigError, DslError, SweepConfig};
 
 /// Where a job is in its lifecycle.
 ///
@@ -58,9 +58,11 @@ impl JobState {
 }
 
 /// One sweep-job submission: what to run and how urgently.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct JobSpec {
-    /// The scenario name, as listed by `GET /scenarios` / `ldx list`.
+    /// The scenario name, as listed by `GET /scenarios` / `ldx list` — or,
+    /// when [`JobSpec::scenario_doc`] is set, the name the document
+    /// declares.
     pub scenario: String,
     /// Scheduling priority: higher dequeues first; ties dequeue in
     /// submission order.  Defaults to 0.
@@ -69,6 +71,11 @@ pub struct JobSpec {
     /// deterministic-report mode, so these knobs fully determine the
     /// report bytes.
     pub config: SweepConfig,
+    /// An inline DSL scenario document (see `ld_runner::dsl`) for jobs not
+    /// backed by a built-in scenario.  Validated at submission; persists in
+    /// the spool with the rest of the spec, so a restarted daemon re-plans
+    /// file-defined jobs exactly like built-in ones.
+    pub scenario_doc: Option<Json>,
 }
 
 impl JobSpec {
@@ -78,6 +85,7 @@ impl JobSpec {
             scenario: scenario.into(),
             priority: 0,
             config: SweepConfig::default(),
+            scenario_doc: None,
         }
     }
 
@@ -98,10 +106,14 @@ impl JobSpec {
             .set("node_budget", optional_u64(self.config.node_budget))
             .set("view_budget", optional_u64(self.config.view_budget))
             .set("shard_size", self.config.shard_size);
-        Json::object()
+        let spec = Json::object()
             .set("scenario", self.scenario.as_str())
             .set("priority", self.priority)
-            .set("config", config)
+            .set("config", config);
+        match &self.scenario_doc {
+            Some(doc) => spec.set("scenario_doc", doc.clone()),
+            None => spec,
+        }
     }
 
     /// Parses a submission body.  Missing `priority` defaults to 0 and a
@@ -145,10 +157,17 @@ impl JobSpec {
                 "'threads' must be at least 1".to_string(),
             ));
         }
+        let scenario_doc = match json.get("scenario_doc") {
+            None | Some(Json::Null) => None,
+            // Kept verbatim: the server validates the document (and its
+            // name) with `ScenarioDoc::parse` at submission time.
+            Some(doc) => Some(doc.clone()),
+        };
         Ok(JobSpec {
             scenario,
             priority,
             config,
+            scenario_doc,
         })
     }
 }
@@ -216,7 +235,7 @@ impl JobRecord {
 /// an exit code so HTTP clients and CLI users see one consistent mapping —
 /// the `Config` variant reuses [`ConfigError::token`] /
 /// [`ConfigError::exit_code`] verbatim.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum SubmitError {
     /// The body was not valid JSON or not a valid spec shape.
     Malformed(String),
@@ -224,6 +243,10 @@ pub enum SubmitError {
     UnknownScenario(String),
     /// The spec parsed but its `SweepConfig` failed validation.
     Config(ConfigError),
+    /// The spec's inline `scenario_doc` failed DSL validation — the token
+    /// and exit code are the [`DslError`]'s own, so `POST /jobs` and
+    /// `ldx run --file` reject one document identically.
+    Dsl(DslError),
     /// The server is draining and accepts no new jobs.
     Draining,
 }
@@ -234,6 +257,7 @@ impl std::fmt::Display for SubmitError {
             SubmitError::Malformed(what) => write!(f, "malformed submission: {what}"),
             SubmitError::UnknownScenario(name) => write!(f, "unknown scenario '{name}'"),
             SubmitError::Config(e) => write!(f, "invalid config: {e}"),
+            SubmitError::Dsl(e) => write!(f, "invalid scenario document: {e}"),
             SubmitError::Draining => write!(f, "server is draining; not accepting jobs"),
         }
     }
@@ -256,6 +280,7 @@ impl SubmitError {
             SubmitError::Malformed(_) => "malformed-request",
             SubmitError::UnknownScenario(_) => "unknown-scenario",
             SubmitError::Config(e) => e.token(),
+            SubmitError::Dsl(e) => e.token(),
             SubmitError::Draining => "draining",
         }
     }
@@ -266,6 +291,7 @@ impl SubmitError {
     pub fn exit_code(&self) -> u8 {
         match self {
             SubmitError::Config(e) => e.exit_code(),
+            SubmitError::Dsl(e) => e.exit_code(),
             _ => 64,
         }
     }
@@ -297,10 +323,31 @@ mod tests {
                 view_budget: None,
                 shard_size: 8,
             },
+            scenario_doc: None,
         };
         let rendered = spec.to_json().render_compact();
         let parsed = JobSpec::from_json(&Json::parse(&rendered).expect("parse")).expect("spec");
         assert_eq!(parsed, spec);
+        // A spec with no document must not gain a `scenario_doc` key: the
+        // wire form of registry-backed jobs is unchanged.
+        assert!(!rendered.contains("scenario_doc"));
+
+        // A DSL-backed spec round-trips its document verbatim.
+        let doc = Json::object()
+            .set("schema", "ld-runner/scenario/v1")
+            .set("name", "custom")
+            .set(
+                "workloads",
+                Json::Arr(vec![Json::object().set("kind", "paths")]),
+            );
+        let dsl_spec = JobSpec {
+            scenario: "custom".to_string(),
+            scenario_doc: Some(doc),
+            ..spec
+        };
+        let rendered = dsl_spec.to_json().render_compact();
+        let parsed = JobSpec::from_json(&Json::parse(&rendered).expect("parse")).expect("spec");
+        assert_eq!(parsed, dsl_spec);
     }
 
     #[test]

@@ -38,7 +38,7 @@ use crate::spool::{RecoveredState, Spool};
 use ld_local::CachePool;
 use ld_runner::json::Json;
 use ld_runner::stream::{self, StreamOptions};
-use ld_runner::{scenarios, with_cache_pool};
+use ld_runner::{scenarios, with_cache_pool, Scenario, ScenarioDoc};
 use std::io::{BufReader, Read, Seek};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::PathBuf;
@@ -216,16 +216,29 @@ fn execute_job(shared: &Shared, id: u64) {
     };
     let resume = shared.spool.ckpt_path(id).exists();
     let outcome = with_cache_pool(&shared.cache_pool, || {
-        if resume {
-            stream::resume(&report_path, Some(spec.config.threads), None)
-        } else {
-            match scenarios::find(&spec.scenario) {
-                Some(scenario) => {
-                    stream::run(scenario.as_ref(), &spec.config, &report_path, &options)
-                }
-                None => Err(format!("unknown scenario '{}'", spec.scenario)),
+        // DSL-backed jobs re-parse the spec's document (validated at
+        // submission, persisted in the spool) instead of the registry; the
+        // resume path hands the parsed scenario to the checkpoint machinery
+        // the same way.
+        let scenario: Result<Box<dyn Scenario>, String> = match &spec.scenario_doc {
+            Some(doc) => ScenarioDoc::parse(doc)
+                .map(|doc| Box::new(doc) as Box<dyn Scenario>)
+                .map_err(|e| format!("invalid scenario document in spool: {e}")),
+            None => scenarios::find(&spec.scenario)
+                .ok_or_else(|| format!("unknown scenario '{}'", spec.scenario)),
+        };
+        scenario.and_then(|scenario| {
+            if resume {
+                stream::resume_with_scenario(
+                    &report_path,
+                    Some(spec.config.threads),
+                    None,
+                    scenario.as_ref(),
+                )
+            } else {
+                stream::run(scenario.as_ref(), &spec.config, &report_path, &options)
             }
-        }
+        })
     });
     match outcome {
         Ok(summary) if summary.completed => {
@@ -330,8 +343,25 @@ fn submit(shared: &Shared, body: &[u8]) -> Result<(u64, JobRecord), SubmitError>
         .map_err(|_| SubmitError::Malformed("body is not UTF-8".to_string()))?;
     let json = Json::parse(text).map_err(SubmitError::Malformed)?;
     let spec = JobSpec::from_json(&json)?;
-    if scenarios::find(&spec.scenario).is_none() {
-        return Err(SubmitError::UnknownScenario(spec.scenario));
+    match &spec.scenario_doc {
+        // Inline DSL document: validate it now (typed rejection at the
+        // door), and require its declared name to match the spec's so every
+        // status/report surface agrees on what ran.
+        Some(doc) => {
+            let parsed = ld_runner::ScenarioDoc::parse(doc).map_err(SubmitError::Dsl)?;
+            if parsed.name() != spec.scenario {
+                return Err(SubmitError::Malformed(format!(
+                    "scenario_doc is named '{}' but the spec says '{}'",
+                    parsed.name(),
+                    spec.scenario
+                )));
+            }
+        }
+        None => {
+            if scenarios::find(&spec.scenario).is_none() {
+                return Err(SubmitError::UnknownScenario(spec.scenario));
+            }
+        }
     }
     spec.config.validate().map_err(SubmitError::Config)?;
     let id = shared.next_id.fetch_add(1, Ordering::SeqCst);

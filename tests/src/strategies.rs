@@ -95,8 +95,11 @@ impl BallCase {
     }
 }
 
-/// Number of graph families [`build_case`] knows how to build.
-pub const FAMILY_COUNT: u8 = 8;
+/// Number of graph families [`build_case`] knows how to build.  Families
+/// 8–10 are the scenario-DSL sweep families (random-regular, power-law
+/// preferential attachment, circulant), so every canonical-code
+/// differential suite drawing on [`adversarial_ball`] exercises them too.
+pub const FAMILY_COUNT: u8 = 11;
 
 /// Number of colouring modes [`build_case`] knows how to apply.
 pub const COLOUR_MODES: u8 = 3;
@@ -203,7 +206,36 @@ pub fn build_case(family: u8, colour_mode: u8, seed: u64) -> BallCase {
         }
         // Section 3 Turing-machine execution grids: a radius-limited ball
         // of a real `G(M, r)` instance, labels hashed down to `u8`.
-        _ => return gmr_ball_case(colour_mode, &mut rng),
+        7 => return gmr_ball_case(colour_mode, &mut rng),
+        // Random d-regular graphs (pairing model): heavy vertex symmetry
+        // with none of the lattice structure of grids or cycles.  A
+        // pathological seed that never pairs into a simple graph falls back
+        // to the cycle — still regular, still valid.
+        8 => {
+            let d = rng.gen_range(2..=4usize);
+            let mut n = rng.gen_range(d + 1..=32);
+            if n * d % 2 == 1 {
+                n += 1;
+            }
+            generators::random_regular(n, d, &mut rng)
+                .unwrap_or_else(|_| generators::cycle(n.max(3)))
+        }
+        // Power-law graphs via preferential attachment: hub-dominated
+        // degree sequences, the opposite symmetry regime from family 8.
+        9 => {
+            let m = rng.gen_range(1..=3usize);
+            let n = rng.gen_range(m + 2..=48);
+            generators::preferential_attachment(n, m, &mut rng)
+                .expect("n >= m + 2 satisfies the generator's domain")
+        }
+        // Circulant graphs C_n({1, o}): vertex-transitive, so every node
+        // sits in one orbit until labels break it.
+        _ => {
+            let o = rng.gen_range(2..=4usize);
+            let n = rng.gen_range(2 * o + 1..=40);
+            generators::circulant(n, &[1, o])
+                .expect("offsets below n satisfy the generator's domain")
+        }
     };
     finish_case(graph, colour_mode, &mut rng)
 }
